@@ -1,0 +1,4 @@
+//! Ablations of the Triton join's design choices (beyond the paper).
+fn main() {
+    triton_bench::figs::ablations::print(&triton_bench::hw());
+}

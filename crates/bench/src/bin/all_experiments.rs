@@ -1,0 +1,26 @@
+//! Run every reproduced table and figure in sequence.
+//!
+//! `TRITON_SCALE` (default 512) selects the capacity scale factor; larger
+//! values run faster at coarser granularity.
+fn main() {
+    use triton_bench::figs::{self, PAPER_WORKLOADS, SCALING_AXIS};
+    let hw = triton_bench::hw();
+    figs::fig13::print_headline(&hw, &SCALING_AXIS);
+    figs::fig04::print(&hw);
+    figs::fig06::print(&hw);
+    figs::fig07::print(&hw);
+    figs::fig13::print(&hw, &SCALING_AXIS);
+    figs::fig14::print(&hw, &PAPER_WORKLOADS);
+    figs::fig15::print(&hw, &PAPER_WORKLOADS);
+    figs::fig16::print(&hw, &PAPER_WORKLOADS);
+    figs::fig17::print(&hw, &[128, 512, 1024, 1536, 2048]);
+    figs::fig18::print(&hw, 3840);
+    figs::fig19::print(&hw, &PAPER_WORKLOADS);
+    figs::fig20::print(&hw, &PAPER_WORKLOADS);
+    figs::fig21::print(&hw, &PAPER_WORKLOADS);
+    figs::fig22::print(&hw, 512);
+    figs::fig23::print(&hw, &PAPER_WORKLOADS);
+    figs::fig24::print(&hw, 512);
+    figs::table1::print(&hw);
+    figs::ablations::print(&hw);
+}

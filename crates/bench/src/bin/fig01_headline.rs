@@ -1,0 +1,5 @@
+//! Fig 1: the headline scaling experiment (perfect hashing only).
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig13::print_headline(&hw, &triton_bench::figs::SCALING_AXIS);
+}

@@ -1,0 +1,4 @@
+//! Fig 4: partitioning throughput by processor and destination memory.
+fn main() {
+    triton_bench::figs::fig04::print(&triton_bench::hw());
+}

@@ -1,0 +1,4 @@
+//! Fig 6: interconnect bandwidth vs access granularity and alignment.
+fn main() {
+    triton_bench::figs::fig06::print(&triton_bench::hw());
+}

@@ -1,0 +1,4 @@
+//! Fig 7: TLB miss latency for GPU and CPU memory (pointer chase).
+fn main() {
+    triton_bench::figs::fig07::print(&triton_bench::hw());
+}

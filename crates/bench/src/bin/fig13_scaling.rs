@@ -1,0 +1,5 @@
+//! Fig 13: scaling the build & probe relations against six operators.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig13::print(&hw, &triton_bench::figs::SCALING_AXIS);
+}

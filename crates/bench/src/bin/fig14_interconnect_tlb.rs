@@ -1,0 +1,5 @@
+//! Fig 14: interconnect utilisation and IOMMU requests per tuple.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig14::print(&hw, &triton_bench::figs::PAPER_WORKLOADS);
+}

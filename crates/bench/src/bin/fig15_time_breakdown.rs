@@ -1,0 +1,5 @@
+//! Fig 15: Triton join time breakdown and stall analysis.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig15::print(&hw, &triton_bench::figs::PAPER_WORKLOADS);
+}

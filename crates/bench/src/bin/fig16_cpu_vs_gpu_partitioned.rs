@@ -1,0 +1,5 @@
+//! Fig 16: CPU-partitioned vs GPU-partitioned join.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig16::print(&hw, &triton_bench::figs::PAPER_WORKLOADS);
+}

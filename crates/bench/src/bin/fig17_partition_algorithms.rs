@@ -1,0 +1,5 @@
+//! Fig 17: partitioning algorithm effect on the radix join.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig17::print(&hw, &[128, 512, 1024, 1536, 2048]);
+}

@@ -1,0 +1,4 @@
+//! Fig 18: profiling the partitioning algorithms across fanouts.
+fn main() {
+    triton_bench::figs::fig18::print(&triton_bench::hw(), 3840);
+}

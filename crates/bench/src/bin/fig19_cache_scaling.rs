@@ -1,0 +1,5 @@
+//! Fig 19: scaling the GPU memory cache size.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig19::print(&hw, &triton_bench::figs::PAPER_WORKLOADS);
+}

@@ -1,0 +1,5 @@
+//! Fig 20: prefix sum on the CPU vs on the GPU.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig20::print(&hw, &triton_bench::figs::PAPER_WORKLOADS);
+}

@@ -1,0 +1,5 @@
+//! Fig 21: build-to-probe ratios at constant data volume.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig21::print(&hw, &triton_bench::figs::PAPER_WORKLOADS);
+}

@@ -1,0 +1,4 @@
+//! Fig 22: payload width and materialization strategy.
+fn main() {
+    triton_bench::figs::fig22::print(&triton_bench::hw(), 512);
+}

@@ -1,0 +1,5 @@
+//! Fig 23: performance per Watt.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::fig23::print(&hw, &triton_bench::figs::PAPER_WORKLOADS);
+}

@@ -1,0 +1,4 @@
+//! Fig 24: compute-power scaling over the SM count.
+fn main() {
+    triton_bench::figs::fig24::print(&triton_bench::hw(), 512);
+}

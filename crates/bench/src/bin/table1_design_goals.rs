@@ -1,0 +1,4 @@
+//! Table 1: partitioning design goals, measured.
+fn main() {
+    triton_bench::figs::table1::print(&triton_bench::hw());
+}

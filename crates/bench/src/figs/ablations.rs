@@ -1,0 +1,308 @@
+//! Ablations of the Triton join's design choices — experiments beyond the
+//! paper's figures that isolate each mechanism DESIGN.md calls out:
+//!
+//! * **overlap** — concurrent kernels on split SM sets (Section 5.2) vs
+//!   serial stages on the whole GPU;
+//! * **interleave** — evenly interleaved cache pages (Section 5.3) vs the
+//!   classic prefix cache the paper argues against;
+//! * **L2 tier size** — the Hierarchical partitioner's second-level
+//!   buffer size (its only tuning knob);
+//! * **page size** — 64 KiB vs 2 MiB vs 1 GiB huge pages (Section 2.1
+//!   lists the sizes; Section 6.1 preallocates 2 MiB — this quantifies
+//!   why);
+//! * **NUMA placement** — base relations on the near vs far socket;
+//! * **Bloom pre-filter** — the Section 7 extension, swept over the
+//!   probe-side match fraction.
+
+use triton_core::{MultiGpuTritonJoin, NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+use triton_part::{gpu_prefix_sum, GpuPartitioner, HierarchicalSwwc, PassConfig, SharedSwwc, Span};
+
+/// A generic (setting, value, G tuples/s) ablation row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// The ablation family.
+    pub ablation: &'static str,
+    /// The setting within the family.
+    pub setting: String,
+    /// Measured throughput in G tuples/s (or GiB/s for partition-level
+    /// ablations, as labelled).
+    pub value: f64,
+}
+
+/// Overlap and interleave ablations over one workload.
+pub fn run_join_ablations(hw: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw.scale;
+    let w = WorkloadSpec::paper_default(m_tuples, k).generate();
+    let mut rows = Vec::new();
+    for (name, join) in [
+        ("baseline", TritonJoin::default()),
+        (
+            "no overlap",
+            TritonJoin {
+                overlap: false,
+                ..TritonJoin::default()
+            },
+        ),
+        (
+            "prefix cache",
+            TritonJoin {
+                interleaved_cache: false,
+                ..TritonJoin::default()
+            },
+        ),
+        (
+            "no cache",
+            TritonJoin {
+                caching_enabled: false,
+                ..TritonJoin::default()
+            },
+        ),
+        (
+            "no third pass",
+            TritonJoin {
+                third_pass: false,
+                ..TritonJoin::default()
+            },
+        ),
+    ] {
+        rows.push(Row {
+            ablation: "join design",
+            setting: format!("{name} @{m_tuples}M"),
+            value: join.run(&w, hw).throughput_gtps(),
+        });
+    }
+    rows
+}
+
+/// Second-tier ablation at fanout 2048: no tier at all (Shared) vs
+/// Hierarchical with increasing L2 buffer sizes. The decisive step is
+/// *having* the tier — it restores whole-line flushes; growing it beyond
+/// one line mainly reduces flush bookkeeping.
+pub fn run_l2_sweep(hw: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw.scale;
+    let w = WorkloadSpec::paper_default(m_tuples, k).generate();
+    let bits = 11;
+    let pass = PassConfig::new(bits, 0);
+    let input = Span::cpu(0);
+    let output = Span::cpu(1 << 40);
+    let gib = (1u64 << 30) as f64;
+    let (hist, _) = gpu_prefix_sum(&w.r.keys, &input, &pass, hw, false);
+    let measure = |p: &dyn GpuPartitioner, label: String| {
+        let (_, cost) = p.partition(&w.r.keys, &w.r.rids, &hist, &input, &output, &pass, hw);
+        Row {
+            ablation: "second tier (GiB/s @fanout 2048)",
+            setting: label,
+            value: w.r.len() as f64 * 16.0 / gib / cost.timing(hw).total.as_secs(),
+        }
+    };
+    let mut rows = vec![measure(&SharedSwwc::default(), "none (Shared)".into())];
+    for l2 in [8usize, 32, 128, 256] {
+        let p = HierarchicalSwwc {
+            l2_tuples: l2,
+            ..HierarchicalSwwc::default()
+        };
+        rows.push(measure(&p, format!("L2 = {l2} tuples")));
+    }
+    rows
+}
+
+/// Page-size ablation: the TLB reach shrinks with the page size.
+pub fn run_page_size(hw_base: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw_base.scale;
+    let w = WorkloadSpec::paper_default(m_tuples, k).generate();
+    let mut rows = Vec::new();
+    for (label, bytes) in [
+        ("64 KiB", 64u64 << 10),
+        ("2 MiB (paper)", 2 << 20),
+        ("1 GiB", 1 << 30),
+    ] {
+        let hw = hw_base.clone().with_page_size_modeled(bytes);
+        rows.push(Row {
+            ablation: "page size (Triton)",
+            setting: label.into(),
+            value: TritonJoin::default().run(&w, &hw).throughput_gtps(),
+        });
+        rows.push(Row {
+            ablation: "page size (NPJ perfect)",
+            setting: label.into(),
+            value: NoPartitioningJoin::perfect().run(&w, &hw).throughput_gtps(),
+        });
+    }
+    rows
+}
+
+/// NUMA placement ablation.
+pub fn run_numa(hw_base: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw_base.scale;
+    let w = WorkloadSpec::paper_default(m_tuples, k).generate();
+    let far = hw_base.clone().with_far_numa();
+    vec![
+        Row {
+            ablation: "NUMA placement",
+            setting: "near socket (paper)".into(),
+            value: TritonJoin::default().run(&w, hw_base).throughput_gtps(),
+        },
+        Row {
+            ablation: "NUMA placement",
+            setting: "far socket".into(),
+            value: TritonJoin::default().run(&w, &far).throughput_gtps(),
+        },
+    ]
+}
+
+/// Multi-GPU scaling (the Section 7 MG-Join direction).
+pub fn run_multi_gpu(hw: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw.scale;
+    let w = WorkloadSpec::paper_default(m_tuples, k).generate();
+    [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|g| Row {
+            ablation: "multi-GPU",
+            setting: format!("{g} GPU(s)"),
+            value: MultiGpuTritonJoin::new(g).run(&w, hw).throughput_gtps(),
+        })
+        .collect()
+}
+
+/// Bloom pre-filter over the probe-side match fraction.
+pub fn run_bloom(hw: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw.scale;
+    let mut rows = Vec::new();
+    for frac in [1.0f64, 0.5, 0.2, 0.05] {
+        let w = WorkloadSpec::selective(m_tuples, frac, k).generate();
+        let plain = TritonJoin::default().run(&w, hw);
+        let bloom = TritonJoin {
+            bloom_prefilter: true,
+            ..TritonJoin::default()
+        }
+        .run(&w, hw);
+        assert_eq!(plain.result, bloom.result);
+        rows.push(Row {
+            ablation: "bloom prefilter",
+            setting: format!("match {:.0}% off", frac * 100.0),
+            value: plain.throughput_gtps(),
+        });
+        rows.push(Row {
+            ablation: "bloom prefilter",
+            setting: format!("match {:.0}% on", frac * 100.0),
+            value: bloom.throughput_gtps(),
+        });
+    }
+    rows
+}
+
+/// Print all ablations.
+pub fn print(hw: &HwConfig) {
+    crate::banner(
+        "Ablations",
+        "design-choice ablations beyond the paper's figures",
+    );
+    let mut t = crate::Table::new(["ablation", "setting", "value"]);
+    let mut all = Vec::new();
+    all.extend(run_join_ablations(hw, 512));
+    all.extend(run_join_ablations(hw, 2048));
+    all.extend(run_l2_sweep(hw, 1024));
+    all.extend(run_page_size(hw, 1024));
+    all.extend(run_numa(hw, 1024));
+    all.extend(run_bloom(hw, 2048));
+    all.extend(run_multi_gpu(hw, 2048));
+    for r in all {
+        t.row([r.ablation.to_string(), r.setting, crate::f3(r.value)]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HwConfig {
+        HwConfig::ac922().scaled(2048)
+    }
+
+    fn get<'a>(rows: &'a [Row], setting: &str) -> &'a Row {
+        rows.iter()
+            .find(|r| r.setting.starts_with(setting))
+            .unwrap()
+    }
+
+    #[test]
+    fn overlap_and_interleave_pay_off() {
+        let rows = run_join_ablations(&hw(), 2048);
+        let base = get(&rows, "baseline").value;
+        let no_overlap = get(&rows, "no overlap").value;
+        let prefix = get(&rows, "prefix cache").value;
+        let no_cache = get(&rows, "no cache").value;
+        assert!(
+            base > no_overlap,
+            "overlap must help: {base} vs {no_overlap}"
+        );
+        assert!(
+            base >= prefix * 0.999,
+            "interleave >= prefix: {base} vs {prefix}"
+        );
+        assert!(base > no_cache, "caching must help: {base} vs {no_cache}");
+        // Prefix caching still beats no caching (it saves volume, just
+        // not overlap).
+        assert!(prefix > no_cache);
+    }
+
+    #[test]
+    fn second_tier_restores_whole_line_flushes() {
+        let rows = run_l2_sweep(&hw(), 4096);
+        let none = rows.first().unwrap().value;
+        let with_tier = rows[1].value;
+        let largest = rows.last().unwrap().value;
+        // Having the tier at all is the decisive step (sub-line flushes
+        // vs whole lines)...
+        assert!(with_tier > none * 1.8, "tier: {with_tier} vs none {none}");
+        // ...and growing it never hurts.
+        assert!(largest >= with_tier * 0.95);
+    }
+
+    #[test]
+    fn small_pages_hurt_out_of_core_joins() {
+        let rows = run_page_size(&hw(), 2048);
+        let npj_small = rows
+            .iter()
+            .find(|r| r.ablation.contains("NPJ") && r.setting.starts_with("64 KiB"))
+            .unwrap()
+            .value;
+        let npj_huge = rows
+            .iter()
+            .find(|r| r.ablation.contains("NPJ") && r.setting.contains("2 MiB"))
+            .unwrap()
+            .value;
+        // With 64 KiB pages the TLB reach shrinks 32x: the out-of-core
+        // NPJ collapses much earlier.
+        assert!(
+            npj_huge > npj_small * 2.0,
+            "NPJ: 2 MiB {npj_huge} vs 64 KiB {npj_small}"
+        );
+    }
+
+    #[test]
+    fn far_numa_costs_throughput() {
+        let rows = run_numa(&hw(), 1024);
+        assert!(rows[0].value > rows[1].value * 1.2, "{rows:?}");
+    }
+
+    #[test]
+    fn multi_gpu_scales() {
+        let rows = run_multi_gpu(&hw(), 2048);
+        assert!(rows[1].value > rows[0].value * 1.3, "{rows:?}");
+        assert!(rows[3].value > rows[1].value, "{rows:?}");
+    }
+
+    #[test]
+    fn bloom_helps_exactly_when_selective() {
+        // Out-of-core at this scale, so dropped probe tuples save spill
+        // traffic, not just instructions.
+        let rows = run_bloom(&hw(), 2048);
+        let at = |s: &str| get(&rows, s).value;
+        assert!(at("match 100% on") <= at("match 100% off") * 1.02);
+        assert!(at("match 5% on") > at("match 5% off") * 1.2);
+    }
+}

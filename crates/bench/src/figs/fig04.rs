@@ -1,0 +1,153 @@
+//! Fig 4: data partitioning throughput of a CPU and a GPU for different
+//! destination locations (both read the base relation from CPU memory and
+//! split it into 512 partitions).
+//!
+//! Case (a): all resulting partitions fit into GPU memory; case (b): all
+//! partitions are stored back to CPU memory. The paper's take-away, which
+//! this experiment reproduces: the GPU out-partitions the CPU in *both*
+//! cases, and the CPU cannot saturate the fast interconnect even at
+//! alpha = 1 (Section 3.2).
+
+use triton_datagen::{WorkloadSpec, TUPLE_BYTES};
+use triton_hw::HwConfig;
+use triton_part::{
+    cpu_partition_time, gpu_prefix_sum, make_partitioner, Algorithm, PassConfig, Span,
+};
+
+/// One bar of Fig 4.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// "CPU" or "GPU".
+    pub processor: &'static str,
+    /// Destination memory.
+    pub dest: &'static str,
+    /// Partitioning throughput in GiB/s of input data.
+    pub input_gibs: f64,
+}
+
+/// Run the four bars. `m_tuples` is the modeled relation size in million
+/// tuples (the paper uses a large base relation; 1024 M by default).
+pub fn run(hw: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw.scale;
+    let w = WorkloadSpec::paper_default(m_tuples, k).generate();
+    let n = w.r.len();
+    let bytes = n as u64 * TUPLE_BYTES;
+    let gib = (1u64 << 30) as f64;
+    let pass = PassConfig::new(9, 0); // 512 partitions
+    let input = Span::cpu(0);
+    let part = make_partitioner(Algorithm::Hierarchical);
+
+    let gpu_rate = |span: Span| {
+        let (hist, ps_cost) = gpu_prefix_sum(&w.r.keys, &input, &pass, hw, false);
+        let (_, cost) = part.partition(&w.r.keys, &w.r.rids, &hist, &input, &span, &pass, hw);
+        let t = ps_cost.timing(hw).total + cost.timing(hw).total;
+        bytes as f64 / gib / t.as_secs()
+    };
+    let gpu_to_gpu = gpu_rate(Span::gpu(1 << 40));
+    let gpu_to_cpu = gpu_rate(Span::cpu(1 << 40));
+
+    // CPU: destination is CPU memory either way (writing into GPU memory
+    // from the CPU crosses the same link; the paper's CPU bars are nearly
+    // equal). The to-GPU case additionally caps at the effective link
+    // bandwidth on the write path.
+    let t_cpu = cpu_partition_time(n as u64, 9, 1, hw);
+    let cpu_gibs = bytes as f64 / gib / t_cpu.as_secs();
+    let link_eff = triton_hw::LinkModel::new(&hw.link).effective_seq_bw();
+    let cpu_to_gpu = cpu_gibs.min(link_eff / gib);
+
+    vec![
+        Row {
+            processor: "CPU",
+            dest: "GPU mem",
+            input_gibs: cpu_to_gpu,
+        },
+        Row {
+            processor: "GPU",
+            dest: "GPU mem",
+            input_gibs: gpu_to_gpu,
+        },
+        Row {
+            processor: "CPU",
+            dest: "CPU mem",
+            input_gibs: cpu_gibs,
+        },
+        Row {
+            processor: "GPU",
+            dest: "CPU mem",
+            input_gibs: gpu_to_cpu,
+        },
+    ]
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig) {
+    crate::banner(
+        "Fig 4",
+        "partitioning throughput by processor and destination",
+    );
+    let mut t = crate::Table::new(["processor", "destination", "throughput (GiB/s)"]);
+    for r in run(hw, 1024) {
+        t.row([
+            r.processor.to_string(),
+            r.dest.to_string(),
+            crate::f1(r.input_gibs),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_faster_than_cpu_in_both_cases() {
+        let hw = HwConfig::ac922().scaled(1024);
+        let rows = run(&hw, 512);
+        let get = |proc: &str, dest: &str| {
+            rows.iter()
+                .find(|r| r.processor == proc && r.dest == dest)
+                .unwrap()
+                .input_gibs
+        };
+        assert!(get("GPU", "GPU mem") > get("CPU", "GPU mem"));
+        assert!(get("GPU", "CPU mem") > get("CPU", "CPU mem"));
+    }
+
+    #[test]
+    fn cpu_cannot_saturate_the_link() {
+        let hw = HwConfig::ac922().scaled(1024);
+        let rows = run(&hw, 512);
+        let cpu = rows
+            .iter()
+            .filter(|r| r.processor == "CPU")
+            .map(|r| r.input_gibs)
+            .fold(0.0f64, f64::max);
+        // Effective link bandwidth is ~62 GiB/s; the CPU partitions at
+        // ~29 GiB/s (Fig 4's point).
+        assert!(cpu < 40.0, "CPU partitioning rate {cpu} GiB/s");
+    }
+
+    #[test]
+    fn magnitudes_match_paper() {
+        let hw = HwConfig::ac922().scaled(1024);
+        let rows = run(&hw, 512);
+        for r in &rows {
+            match (r.processor, r.dest) {
+                ("CPU", _) => assert!(
+                    (20.0..=40.0).contains(&r.input_gibs),
+                    "CPU {} at {}",
+                    r.dest,
+                    r.input_gibs
+                ),
+                ("GPU", _) => assert!(
+                    (30.0..=65.0).contains(&r.input_gibs),
+                    "GPU {} at {}",
+                    r.dest,
+                    r.input_gibs
+                ),
+                _ => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Fig 6: GPU interconnect bandwidth of a random access pattern to CPU
+//! memory, (a) with varying access granularities and (b) alignments.
+//!
+//! Exercises the NVLink packet model directly, the way the paper's
+//! microbenchmark exercises the hardware: random accesses within a 1 GiB
+//! array in LCG order, scaling the granularity from 4 bytes (a 32-bit
+//! integer) up to 512 bytes (a coalesced 32-thread warp access).
+
+use triton_hw::link::{Alignment, Dir, LinkModel};
+use triton_hw::units::Bytes;
+use triton_hw::HwConfig;
+
+/// One measured point of Fig 6(a).
+#[derive(Debug, Clone)]
+pub struct GranularityRow {
+    /// Access granularity in bytes.
+    pub granularity: u64,
+    /// Random-read bandwidth in GiB/s.
+    pub read_gibs: f64,
+    /// Random-write bandwidth in GiB/s.
+    pub write_gibs: f64,
+}
+
+/// One measured point of Fig 6(b) (512-byte accesses).
+#[derive(Debug, Clone)]
+pub struct AlignmentRow {
+    /// Alignment class label.
+    pub alignment: &'static str,
+    /// Read bandwidth in GiB/s.
+    pub read_gibs: f64,
+    /// Write bandwidth in GiB/s.
+    pub write_gibs: f64,
+}
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+/// Fig 6(a): bandwidth vs granularity 4-512 bytes.
+pub fn run_granularity(hw: &HwConfig) -> Vec<GranularityRow> {
+    let link = LinkModel::new(&hw.link);
+    [4u64, 8, 16, 32, 64, 128, 256, 512]
+        .into_iter()
+        .map(|g| GranularityRow {
+            granularity: g,
+            read_gibs: link.random_access_bandwidth(Bytes(g), Dir::CpuToGpu, Alignment::Natural)
+                / GIB,
+            write_gibs: link.random_access_bandwidth(Bytes(g), Dir::GpuToCpu, Alignment::Natural)
+                / GIB,
+        })
+        .collect()
+}
+
+/// Fig 6(b): 512-byte accesses at the three alignment classes.
+pub fn run_alignment(hw: &HwConfig) -> Vec<AlignmentRow> {
+    let link = LinkModel::new(&hw.link);
+    [
+        ("Sequential", Alignment::Natural),
+        ("Cacheline", Alignment::Cacheline),
+        ("None", Alignment::None),
+    ]
+    .into_iter()
+    .map(|(label, a)| AlignmentRow {
+        alignment: label,
+        read_gibs: link.random_access_bandwidth(Bytes(512), Dir::CpuToGpu, a) / GIB,
+        write_gibs: link.random_access_bandwidth(Bytes(512), Dir::GpuToCpu, a) / GIB,
+    })
+    .collect()
+}
+
+/// Print both panels.
+pub fn print(hw: &HwConfig) {
+    crate::banner(
+        "Fig 6",
+        "interconnect bandwidth of random CPU-memory accesses",
+    );
+    let mut t = crate::Table::new(["granularity (B)", "read (GiB/s)", "write (GiB/s)"]);
+    for r in run_granularity(hw) {
+        t.row([
+            r.granularity.to_string(),
+            crate::f1(r.read_gibs),
+            crate::f1(r.write_gibs),
+        ]);
+    }
+    t.print();
+    println!();
+    let mut t = crate::Table::new(["alignment (512 B)", "read (GiB/s)", "write (GiB/s)"]);
+    for r in run_alignment(hw) {
+        t.row([
+            r.alignment.to_string(),
+            crate::f1(r.read_gibs),
+            crate::f1(r.write_gibs),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_grows_linearly_then_saturates() {
+        let hw = HwConfig::ac922();
+        let rows = run_granularity(&hw);
+        // Linear growth region: each doubling of granularity roughly
+        // doubles bandwidth up to 64 B.
+        for w in rows.windows(2).take(4) {
+            let ratio = w[1].read_gibs / w[0].read_gibs;
+            assert!((1.6..=2.4).contains(&ratio), "read ratio {ratio}");
+        }
+        // Saturation: 128-512 B all near the sequential limit.
+        for r in &rows[5..] {
+            assert!(r.read_gibs > 55.0 && r.write_gibs > 55.0, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn misalignment_penalties_match_paper() {
+        let hw = HwConfig::ac922();
+        let rows = run_alignment(&hw);
+        let seq = &rows[0];
+        let mis = &rows[2];
+        let read_drop = 1.0 - mis.read_gibs / seq.read_gibs;
+        let write_drop = 1.0 - mis.write_gibs / seq.write_gibs;
+        // Paper: 20% for reads, 56% for writes.
+        assert!((0.1..=0.3).contains(&read_drop), "read drop {read_drop}");
+        assert!((0.4..=0.7).contains(&write_drop), "write drop {write_drop}");
+    }
+}

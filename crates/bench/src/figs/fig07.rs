@@ -1,0 +1,163 @@
+//! Fig 7: TLB miss latency for GPU memory and for CPU memory over
+//! NVLink 2.0, measured by fine-grained pointer chasing.
+//!
+//! The pointer chase strides through a memory range so that every access
+//! lands on a fresh TLB-entry region; once the range exceeds a level's
+//! coverage, the measured latency steps up to the next plateau. Ranges on
+//! the x-axis are in *modeled* GiB (the simulated coverages are scaled by
+//! K, so the plateaus appear at the paper's positions); latencies are
+//! unscaled nanoseconds directly comparable with the paper's.
+
+use triton_hw::tlb::{MemSide, TlbSim};
+use triton_hw::HwConfig;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Which memory was chased.
+    pub side: MemSide,
+    /// Range in modeled GiB (paper axis).
+    pub range_gib: f64,
+    /// Stride in modeled MiB.
+    pub stride_mib: u64,
+    /// Average access latency in ns.
+    pub latency_ns: f64,
+}
+
+/// Pointer-chase `accesses` times with `stride` within `range` (both in
+/// actual scaled bytes) and return the average latency.
+pub fn chase(hw: &HwConfig, side: MemSide, range: u64, stride: u64, accesses: u64) -> f64 {
+    let mut tlb = TlbSim::new(hw);
+    let mut addr = 0u64;
+    // Warm-up round: the paper measures steady-state latencies.
+    for _ in 0..accesses {
+        tlb.access_latency(addr, side);
+        addr = (addr + stride) % range.max(1);
+    }
+    let mut total = 0.0;
+    for _ in 0..accesses {
+        total += tlb.access_latency(addr, side).0;
+        addr = (addr + stride) % range.max(1);
+    }
+    total / accesses as f64
+}
+
+/// Run both panels: GPU memory (6-10.7 GiB modeled) and CPU memory
+/// (1-87.5 GiB modeled), strides 16/32/64 MiB modeled.
+pub fn run(hw: &HwConfig) -> Vec<Row> {
+    let k = hw.scale;
+    let gib = 1u64 << 30;
+    let mib = 1u64 << 20;
+    let mut rows = Vec::new();
+    let accesses = 4096;
+    for &(side, ranges) in &[
+        (
+            MemSide::Gpu,
+            &[6.0f64, 6.5, 7.0, 7.5, 8.0, 8.5, 9.0, 9.8, 10.7][..],
+        ),
+        (
+            MemSide::Cpu,
+            &[
+                1.0, 2.0, 4.0, 8.0, 9.5, 16.0, 24.0, 32.0, 37.0, 48.0, 64.0, 87.5,
+            ][..],
+        ),
+    ] {
+        for &range_gib in ranges {
+            for stride_mib in [16u64, 32, 64] {
+                let range = ((range_gib * gib as f64) as u64 / k).max(1);
+                let stride = (stride_mib * mib / k).max(1);
+                rows.push(Row {
+                    side,
+                    range_gib,
+                    stride_mib,
+                    latency_ns: chase(hw, side, range, stride, accesses),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig) {
+    crate::banner("Fig 7", "TLB miss latency (pointer chase)");
+    let mut t = crate::Table::new(["memory", "range (GiB)", "stride (MiB)", "latency (ns)"]);
+    for r in run(hw) {
+        t.row([
+            format!("{:?}", r.side),
+            format!("{:.1}", r.range_gib),
+            r.stride_mib.to_string(),
+            crate::f1(r.latency_ns),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hw() -> HwConfig {
+        HwConfig::ac922().scaled(1024)
+    }
+
+    fn avg_latency(rows: &[Row], side: MemSide, lo: f64, hi: f64) -> f64 {
+        avg_latency_stride(rows, side, lo, hi, None)
+    }
+
+    fn avg_latency_stride(
+        rows: &[Row],
+        side: MemSide,
+        lo: f64,
+        hi: f64,
+        stride: Option<u64>,
+    ) -> f64 {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| {
+                r.side == side
+                    && r.range_gib >= lo
+                    && r.range_gib <= hi
+                    && stride.is_none_or(|s| r.stride_mib == s)
+            })
+            .map(|r| r.latency_ns)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn gpu_memory_plateaus() {
+        let rows = run(&hw());
+        // Within the 8 GiB L2 coverage: ~151.9 ns; beyond: ~226.7 ns.
+        let hit = avg_latency(&rows, MemSide::Gpu, 6.0, 7.5);
+        let miss = avg_latency(&rows, MemSide::Gpu, 9.8, 10.7);
+        assert!((140.0..=170.0).contains(&hit), "hit {hit}");
+        assert!((185.0..=235.0).contains(&miss), "miss {miss}");
+    }
+
+    #[test]
+    fn cpu_memory_three_plateaus() {
+        let rows = run(&hw());
+        let l2 = avg_latency(&rows, MemSide::Cpu, 1.0, 4.0);
+        let l3_star = avg_latency(&rows, MemSide::Cpu, 16.0, 32.0);
+        // The 32 MiB stride touches a fresh translation entry on every
+        // access; wider strides halve the tag count and can fall back
+        // under the IOTLB capacity at mid ranges.
+        let miss_star = avg_latency_stride(&rows, MemSide::Cpu, 48.0, 87.5, Some(32));
+        assert!((430.0..=480.0).contains(&l2), "L2 plateau {l2}");
+        assert!((500.0..=600.0).contains(&l3_star), "L3* plateau {l3_star}");
+        assert!(
+            (2500.0..=3300.0).contains(&miss_star),
+            "Miss* plateau {miss_star}"
+        );
+    }
+
+    #[test]
+    fn plateaus_ordered() {
+        let rows = run(&hw());
+        let l2 = avg_latency(&rows, MemSide::Cpu, 1.0, 4.0);
+        let l3 = avg_latency(&rows, MemSide::Cpu, 16.0, 32.0);
+        let miss = avg_latency_stride(&rows, MemSide::Cpu, 64.0, 87.5, Some(32));
+        assert!(l2 < l3 && l3 < miss);
+    }
+}

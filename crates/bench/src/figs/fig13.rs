@@ -1,0 +1,154 @@
+//! Fig 13 (and its simplified form, Fig 1): scaling the build and probe
+//! relations from 128 to 2048 million tuples against six operators.
+//!
+//! Series: CPU radix join on POWER9 and Xeon, the GPU no-partitioning
+//! join with linear probing and perfect hashing, and the Triton join with
+//! bucket chaining and perfect hashing.
+
+use triton_core::{CpuRadixJoin, HashScheme, NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+/// One size point of Fig 13.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Relation size in modeled million tuples (per relation).
+    pub m_tuples: u64,
+    /// CPU radix join, POWER9, G tuples/s.
+    pub cpu_p9: f64,
+    /// CPU radix join, Xeon.
+    pub cpu_xeon: f64,
+    /// GPU no-partitioning join, linear probing.
+    pub npj_lp: f64,
+    /// GPU no-partitioning join, perfect hashing.
+    pub npj_perfect: f64,
+    /// Triton join, bucket chaining.
+    pub triton_bc: f64,
+    /// Triton join, perfect hashing.
+    pub triton_perfect: f64,
+}
+
+/// Run the sweep over `sizes` (modeled M tuples per relation).
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    sizes
+        .iter()
+        .map(|&m| {
+            let w = WorkloadSpec::paper_default(m, k).generate();
+            let triton_pf = TritonJoin {
+                scheme: HashScheme::Perfect,
+                ..TritonJoin::default()
+            };
+            Row {
+                m_tuples: m,
+                cpu_p9: CpuRadixJoin::power9(HashScheme::BucketChaining)
+                    .run(&w, hw)
+                    .throughput_gtps(),
+                cpu_xeon: CpuRadixJoin::xeon(HashScheme::BucketChaining)
+                    .run(&w, hw)
+                    .throughput_gtps(),
+                npj_lp: NoPartitioningJoin::linear_probing()
+                    .run(&w, hw)
+                    .throughput_gtps(),
+                npj_perfect: NoPartitioningJoin::perfect().run(&w, hw).throughput_gtps(),
+                triton_bc: TritonJoin::default().run(&w, hw).throughput_gtps(),
+                triton_perfect: triton_pf.run(&w, hw).throughput_gtps(),
+            }
+        })
+        .collect()
+}
+
+/// Print the figure (full Fig 13 table).
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner(
+        "Fig 13",
+        "scaling the build & probe relation size (G tuples/s)",
+    );
+    let mut t = crate::Table::new([
+        "M tuples",
+        "CPU P9",
+        "CPU Xeon",
+        "NPJ LP",
+        "NPJ Perfect",
+        "Triton BC",
+        "Triton Perfect",
+    ]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.m_tuples.to_string(),
+            crate::f3(r.cpu_p9),
+            crate::f3(r.cpu_xeon),
+            format!("{:.4}", r.npj_lp),
+            crate::f3(r.npj_perfect),
+            crate::f3(r.triton_bc),
+            crate::f3(r.triton_perfect),
+        ]);
+    }
+    t.print();
+}
+
+/// Print the Fig 1 (headline) subset: perfect hashing only.
+pub fn print_headline(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner(
+        "Fig 1",
+        "headline: CPU radix vs GPU NPJ vs Triton (perfect hashing, G tuples/s)",
+    );
+    let mut t = crate::Table::new(["M tuples", "CPU Radix", "GPU NPJ", "GPU Triton"]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.m_tuples.to_string(),
+            crate::f3(r.cpu_p9),
+            crate::f3(r.npj_perfect),
+            crate::f3(r.triton_perfect),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        let hw = HwConfig::ac922().scaled(2048);
+        run(&hw, &[128, 512, 1536, 2048])
+    }
+
+    #[test]
+    fn fig13_shapes_hold() {
+        let rows = rows();
+        let small = &rows[0];
+        let large = &rows[3];
+
+        // In-core: the GPU baselines beat the CPU.
+        assert!(small.npj_perfect > small.cpu_p9 * 1.5);
+        // Out-of-core: NPJ collapses, Triton prevails.
+        assert!(
+            large.npj_lp < small.npj_lp / 50.0,
+            "LP must collapse: {} vs {}",
+            large.npj_lp,
+            small.npj_lp
+        );
+        assert!(large.triton_bc > large.npj_perfect);
+        assert!(
+            large.triton_bc > large.cpu_p9 * 1.4,
+            "Triton {} vs P9 {}",
+            large.triton_bc,
+            large.cpu_p9
+        );
+        // Graceful degradation: Triton retains >= 60% of its peak.
+        let peak = rows.iter().map(|r| r.triton_bc).fold(0.0f64, f64::max);
+        assert!(large.triton_bc > 0.6 * peak);
+        // Hashing scheme matters little for the partitioned join...
+        assert!((large.triton_bc / large.triton_perfect - 1.0).abs() < 0.1);
+        // ...but enormously for the no-partitioning join (paper: 400x).
+        assert!(large.npj_perfect / large.npj_lp > 20.0);
+    }
+
+    #[test]
+    fn xeon_never_beats_power9() {
+        for r in rows() {
+            assert!(r.cpu_xeon <= r.cpu_p9 * 1.05, "{r:?}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Fig 14: interconnect usage of the join algorithms — (a) interconnect
+//! utilisation and (b) IOMMU translation requests per tuple.
+//!
+//! Explains *why* the Triton join outperforms no-partitioning joins
+//! (Section 6.2.2): partitioning bounds the translation working set, so
+//! Triton issues IOMMU requests orders of magnitude more rarely than a
+//! linear-probing NPJ whose table outgrows the TLB range.
+
+use triton_core::{NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+/// One bar group of Fig 14.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload size in modeled M tuples.
+    pub m_tuples: u64,
+    /// Operator label.
+    pub operator: &'static str,
+    /// Interconnect utilisation (0..1).
+    pub link_utilization: f64,
+    /// IOMMU translation requests per tuple.
+    pub iommu_requests_per_tuple: f64,
+}
+
+/// Run for the given workloads. The Triton join uses a GPU prefix sum so
+/// the whole profile is GPU-side, as in the paper.
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    let mut rows = Vec::new();
+    for &m in sizes {
+        let w = WorkloadSpec::paper_default(m, k).generate();
+        let lp = NoPartitioningJoin::linear_probing().run(&w, hw);
+        let pf = NoPartitioningJoin::perfect().run(&w, hw);
+        let triton = TritonJoin {
+            gpu_prefix_sum: true,
+            ..TritonJoin::default()
+        }
+        .run(&w, hw);
+        for (op, rep) in [
+            ("NPJ (Linear Probing)", &lp),
+            ("NPJ (Perfect)", &pf),
+            ("Triton (Bucket Chaining)", &triton),
+        ] {
+            rows.push(Row {
+                m_tuples: m,
+                operator: op,
+                link_utilization: rep.link_utilization(hw),
+                iommu_requests_per_tuple: rep.iommu_requests_per_tuple(hw),
+            });
+        }
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner(
+        "Fig 14",
+        "interconnect utilisation and IOMMU requests per tuple",
+    );
+    let mut t = crate::Table::new(["M tuples", "operator", "link util", "IOMMU req/tuple"]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.m_tuples.to_string(),
+            r.operator.to_string(),
+            crate::pct(r.link_utilization),
+            format!("{:.2e}", r.iommu_requests_per_tuple),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_out_of_core_walks_constantly_triton_rarely() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[2048]);
+        let lp = rows.iter().find(|r| r.operator.contains("Linear")).unwrap();
+        let triton = rows.iter().find(|r| r.operator.contains("Triton")).unwrap();
+        // Paper: 5.3 requests/tuple for LP vs ~1e-5 for Triton.
+        assert!(lp.iommu_requests_per_tuple > 1.0, "{lp:?}");
+        assert!(
+            triton.iommu_requests_per_tuple < lp.iommu_requests_per_tuple / 100.0,
+            "triton {triton:?} vs lp {lp:?}"
+        );
+    }
+
+    #[test]
+    fn lp_utilization_collapses_out_of_core() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[512, 2048]);
+        let lp_small = &rows[0];
+        let lp_large = &rows[3];
+        assert!(lp_small.operator.contains("Linear") && lp_large.operator.contains("Linear"));
+        // Paper Fig 14a: LP drops to 0.4% utilisation at 2048 M.
+        assert!(lp_large.link_utilization < 0.05, "{lp_large:?}");
+        assert!(lp_large.link_utilization < lp_small.link_utilization / 5.0);
+    }
+
+    #[test]
+    fn triton_utilization_grows_with_spill() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[128, 2048]);
+        let t_small = rows
+            .iter()
+            .find(|r| r.m_tuples == 128 && r.operator.contains("Triton"))
+            .unwrap();
+        let t_large = rows
+            .iter()
+            .find(|r| r.m_tuples == 2048 && r.operator.contains("Triton"))
+            .unwrap();
+        // More data -> smaller cached fraction -> higher link pressure.
+        assert!(t_large.link_utilization >= t_small.link_utilization * 0.9);
+        assert!(t_large.link_utilization > 0.35, "{t_large:?}");
+    }
+}

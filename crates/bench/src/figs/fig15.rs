@@ -1,0 +1,130 @@
+//! Fig 15: time breakdown of the Triton join — (a) execution time per
+//! kernel and (b) a microarchitectural stall analysis per kernel.
+//!
+//! Configured with a GPU prefix sum (as in the paper) so every phase is a
+//! GPU kernel with a full profile. The expected shape: the first
+//! partitioning pass dominates (~44%) and is interconnect bound, the
+//! first prefix sum takes ~19-23%, and the join phase is compute bound.
+
+use triton_core::TritonJoin;
+use triton_datagen::WorkloadSpec;
+use triton_hw::kernel::StallProfile;
+use triton_hw::HwConfig;
+
+/// Per-kernel share and stall profile.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload size in modeled M tuples.
+    pub m_tuples: u64,
+    /// Kernel name.
+    pub kernel: String,
+    /// Share of total kernel time (0..1).
+    pub share: f64,
+    /// Stall attribution.
+    pub stalls: Option<StallProfile>,
+}
+
+/// Run for the given workloads.
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    let mut rows = Vec::new();
+    for &m in sizes {
+        let w = WorkloadSpec::paper_default(m, k).generate();
+        let rep = TritonJoin {
+            gpu_prefix_sum: true,
+            ..TritonJoin::default()
+        }
+        .run(&w, hw);
+        let sum: f64 = rep.phases.iter().map(|p| p.time.0).sum();
+        for p in &rep.phases {
+            rows.push(Row {
+                m_tuples: m,
+                kernel: p.name.clone(),
+                share: if sum > 0.0 { p.time.0 / sum } else { 0.0 },
+                stalls: p.stalls,
+            });
+        }
+    }
+    rows
+}
+
+/// Print both panels.
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner("Fig 15", "Triton join time breakdown and stall analysis");
+    let mut t = crate::Table::new([
+        "M tuples",
+        "kernel",
+        "time share",
+        "issued",
+        "mem dep",
+        "exec dep",
+        "sync",
+        "other",
+    ]);
+    for r in run(hw, sizes) {
+        let s = r.stalls.unwrap_or_default();
+        t.row([
+            r.m_tuples.to_string(),
+            r.kernel,
+            crate::pct(r.share),
+            crate::f1(s.instr_issued),
+            crate::f1(s.memory_dep),
+            crate::f1(s.exec_dep),
+            crate::f1(s.sync),
+            crate::f1(s.other),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shares(m: u64) -> Vec<Row> {
+        let hw = HwConfig::ac922().scaled(2048);
+        run(&hw, &[m])
+    }
+
+    #[test]
+    fn part1_dominates() {
+        for m in [512u64, 2048] {
+            let rows = shares(m);
+            let part1 = rows.iter().find(|r| r.kernel == "Part 1").unwrap();
+            // Paper: 43.8-47.2% of total time.
+            assert!(
+                (0.25..=0.65).contains(&part1.share),
+                "{m} M: Part 1 share {}",
+                part1.share
+            );
+            for r in &rows {
+                if r.kernel != "Part 1" {
+                    assert!(part1.share >= r.share, "{m} M: {} > Part 1", r.kernel);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let rows = shares(512);
+        let sum: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn part1_memory_bound_join_compute_bound() {
+        let rows = shares(2048);
+        let part1 = rows.iter().find(|r| r.kernel == "Part 1").unwrap();
+        let join = rows.iter().find(|r| r.kernel == "Join").unwrap();
+        let p1 = part1.stalls.unwrap();
+        let j = join.stalls.unwrap();
+        // Part 1 stalls mostly on memory; the join issues instructions at
+        // a much higher rate (compute bound).
+        assert!(p1.memory_dep > p1.sync);
+        assert!(
+            j.instr_issued > p1.instr_issued * 1.4,
+            "join {j:?} vs part1 {p1:?}"
+        );
+    }
+}

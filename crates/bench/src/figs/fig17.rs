@@ -1,0 +1,93 @@
+//! Fig 17: effect of the first-pass partitioning algorithm on the radix
+//! join, with caching disabled to isolate the partitioner.
+//!
+//! Expected shape (Section 6.2.5): Shared leads up to ~1280 M tuples,
+//! then falls off as its flush granularity drops below one 128-byte line;
+//! Hierarchical stays flat and degrades gracefully; both dominate Linear
+//! and (by 3.6-4x) Standard.
+
+use triton_core::TritonJoin;
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+use triton_part::Algorithm;
+
+/// One size point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Relation size in modeled M tuples.
+    pub m_tuples: u64,
+    /// Throughput per algorithm (G tuples/s), in [`Algorithm::all`] order.
+    pub gtps: [f64; 4],
+}
+
+/// Run the sweep.
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    sizes
+        .iter()
+        .map(|&m| {
+            let w = WorkloadSpec::paper_default(m, k).generate();
+            let mut gtps = [0.0; 4];
+            for (i, alg) in Algorithm::all().into_iter().enumerate() {
+                let join = TritonJoin {
+                    pass1: alg,
+                    caching_enabled: false,
+                    ..TritonJoin::default()
+                };
+                gtps[i] = join.run(&w, hw).throughput_gtps();
+            }
+            Row { m_tuples: m, gtps }
+        })
+        .collect()
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner(
+        "Fig 17",
+        "partitioning algorithm effect on the radix join (no cache)",
+    );
+    let mut t = crate::Table::new(["M tuples", "Standard", "Linear", "Shared", "Hierarchical"]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.m_tuples.to_string(),
+            crate::f3(r.gtps[0]),
+            crate::f3(r.gtps[1]),
+            crate::f3(r.gtps[2]),
+            crate::f3(r.gtps[3]),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchical_dominates_standard_and_linear() {
+        let hw = HwConfig::ac922().scaled(2048);
+        for r in run(&hw, &[512, 2048]) {
+            let [standard, linear, _shared, hier] = r.gtps;
+            assert!(
+                hier > linear,
+                "{} M: hierarchical {hier} !> linear {linear}",
+                r.m_tuples
+            );
+            assert!(
+                hier > standard * 2.0,
+                "{} M: hierarchical {hier} vs standard {standard}",
+                r.m_tuples
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_degrades_gracefully() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[128, 2048]);
+        let ratio = rows[1].gtps[3] / rows[0].gtps[3];
+        // Paper: 1.4-1.5 G tuples/s over the whole range.
+        assert!(ratio > 0.6, "hierarchical retention {ratio}");
+    }
+}

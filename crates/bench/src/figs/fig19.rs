@@ -1,0 +1,135 @@
+//! Fig 19: scaling the GPU memory cache size from 0 to ~14.9 GiB for the
+//! no-partitioning join (caching part of the hash table) and the Triton
+//! join (caching part of the partitioned working set).
+//!
+//! Expected shape (Section 6.2.7): caching the whole NPJ table gives
+//! 4.6-4.8x for in-TLB workloads but nothing for 2048 M (the table
+//! exceeds the TLB range either way); Triton improves smoothly by
+//! 1.1-1.4x and robustly avoids cliffs — with a slight dip when *all*
+//! of the working set is cached, because GPU memory plus the interconnect
+//! together out-bandwidth GPU memory alone.
+
+use triton_core::{NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::units::Bytes;
+use triton_hw::HwConfig;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Operator label.
+    pub operator: &'static str,
+    /// Workload in modeled M tuples.
+    pub m_tuples: u64,
+    /// Cache size in modeled GiB (paper axis).
+    pub cache_gib: f64,
+    /// Throughput in G tuples/s.
+    pub gtps: f64,
+}
+
+/// The paper's cache-size axis in modeled GiB.
+pub const CACHE_AXIS: [f64; 7] = [0.0, 2.0, 4.0, 8.0, 10.0, 12.0, 14.9];
+
+/// Run the sweep for NPJ (perfect hashing) and Triton (bucket chaining).
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    let gib = 1u64 << 30;
+    let mut rows = Vec::new();
+    for &m in sizes {
+        let w = WorkloadSpec::paper_default(m, k).generate();
+        for &cache_gib in &CACHE_AXIS {
+            let cache = Bytes(((cache_gib * gib as f64) as u64) / k);
+            let npj = NoPartitioningJoin {
+                cache_bytes: Some(cache),
+                ..NoPartitioningJoin::perfect()
+            };
+            rows.push(Row {
+                operator: "NPJ (Perfect)",
+                m_tuples: m,
+                cache_gib,
+                gtps: npj.run(&w, hw).throughput_gtps(),
+            });
+            let triton = TritonJoin {
+                cache_bytes: Some(cache),
+                ..TritonJoin::default()
+            };
+            rows.push(Row {
+                operator: "Triton (BC)",
+                m_tuples: m,
+                cache_gib,
+                gtps: triton.run(&w, hw).throughput_gtps(),
+            });
+        }
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner("Fig 19", "scaling the GPU memory cache size");
+    let mut t = crate::Table::new(["operator", "M tuples", "cache (GiB)", "G tuples/s"]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.operator.to_string(),
+            r.m_tuples.to_string(),
+            format!("{:.1}", r.cache_gib),
+            crate::f3(r.gtps),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(rows: &[Row], op: &str, m: u64) -> Vec<f64> {
+        rows.iter()
+            .filter(|r| r.operator == op && r.m_tuples == m)
+            .map(|r| r.gtps)
+            .collect()
+    }
+
+    #[test]
+    fn npj_caching_pays_off_for_small_workloads() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[512]);
+        let s = series(&rows, "NPJ (Perfect)", 512);
+        // Full cache vs no cache: large gain (paper: 4.6-4.8x for
+        // perfect hashing on in-TLB workloads).
+        let gain = s.last().unwrap() / s.first().unwrap();
+        assert!(gain > 2.0, "NPJ cache gain {gain}");
+    }
+
+    #[test]
+    fn triton_robust_across_cache_sizes() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[512, 2048]);
+        for m in [512u64, 2048] {
+            let s = series(&rows, "Triton (BC)", m);
+            let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = s.iter().copied().fold(0.0f64, f64::max);
+            // Paper: 1.1-1.4x smooth improvement, no cliffs.
+            assert!(max / min < 2.0, "{m} M: Triton spread {}", max / min);
+            // Larger cache should never be catastrophically worse.
+            assert!(s.last().unwrap() / max > 0.8, "{m} M");
+        }
+    }
+
+    #[test]
+    fn triton_gains_more_at_smaller_sizes() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[512, 2048]);
+        let gain = |m: u64| {
+            let s = series(&rows, "Triton (BC)", m);
+            s.last().unwrap() / s.first().unwrap()
+        };
+        // Paper: 1.4x for 128/512 M vs 1.1x for 2048 M.
+        assert!(
+            gain(512) >= gain(2048) * 0.95,
+            "{} vs {}",
+            gain(512),
+            gain(2048)
+        );
+    }
+}

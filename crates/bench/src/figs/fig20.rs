@@ -1,0 +1,122 @@
+//! Fig 20: computing the prefix sum on the CPU vs on the GPU — (a) the
+//! effect on the end-to-end Triton join and (b) the prefix-sum
+//! throughput itself.
+//!
+//! Expected shape (Section 6.2.8): the CPU nearly saturates its memory
+//! bandwidth (up to ~129.6 GiB/s) while the GPU is pinned at the
+//! unidirectional link bandwidth (~63 GiB/s), making the CPU variant of
+//! the join ~1.1x faster.
+
+use triton_core::TritonJoin;
+use triton_datagen::{WorkloadSpec, KEY_BYTES};
+use triton_hw::HwConfig;
+use triton_part::{cpu_prefix_sum_cost, gpu_prefix_sum, PassConfig, Span};
+
+/// One workload group.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload in modeled M tuples.
+    pub m_tuples: u64,
+    /// Join throughput with a CPU prefix sum (G tuples/s).
+    pub join_cpu_ps: f64,
+    /// Join throughput with a GPU prefix sum.
+    pub join_gpu_ps: f64,
+    /// CPU prefix-sum scan throughput (GiB/s).
+    pub ps_cpu_gibs: f64,
+    /// GPU prefix-sum scan throughput (GiB/s).
+    pub ps_gpu_gibs: f64,
+}
+
+/// Run for the given workloads.
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    let gib = (1u64 << 30) as f64;
+    sizes
+        .iter()
+        .map(|&m| {
+            let w = WorkloadSpec::paper_default(m, k).generate();
+            let n = w.r.len() as u64;
+            let bytes = (n * KEY_BYTES) as f64;
+
+            let cpu_join = TritonJoin::default().run(&w, hw).throughput_gtps();
+            let gpu_join = TritonJoin {
+                gpu_prefix_sum: true,
+                ..TritonJoin::default()
+            }
+            .run(&w, hw)
+            .throughput_gtps();
+
+            let t_cpu = cpu_prefix_sum_cost(n, hw);
+            let pass = PassConfig::new(9, 0);
+            let (_, c) = gpu_prefix_sum(&w.r.keys, &Span::cpu(0), &pass, hw, false);
+            let t_gpu = c.timing(hw).total;
+
+            Row {
+                m_tuples: m,
+                join_cpu_ps: cpu_join,
+                join_gpu_ps: gpu_join,
+                ps_cpu_gibs: bytes / gib / t_cpu.as_secs(),
+                ps_gpu_gibs: bytes / gib / t_gpu.as_secs(),
+            }
+        })
+        .collect()
+}
+
+/// Print both panels.
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner("Fig 20", "prefix sum on the CPU vs on the GPU");
+    let mut t = crate::Table::new([
+        "M tuples",
+        "join w/ CPU PS (G/s)",
+        "join w/ GPU PS (G/s)",
+        "CPU PS (GiB/s)",
+        "GPU PS (GiB/s)",
+    ]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.m_tuples.to_string(),
+            crate::f3(r.join_cpu_ps),
+            crate::f3(r.join_gpu_ps),
+            crate::f1(r.ps_cpu_gibs),
+            crate::f1(r.ps_gpu_gibs),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_prefix_sum_faster_than_gpu() {
+        let hw = HwConfig::ac922().scaled(2048);
+        for r in run(&hw, &[128, 2048]) {
+            // Paper: CPU 1.6-2.2x faster at the scan itself.
+            let ratio = r.ps_cpu_gibs / r.ps_gpu_gibs;
+            assert!(
+                (1.3..=2.6).contains(&ratio),
+                "{} M: ratio {ratio}",
+                r.m_tuples
+            );
+            // GPU pinned near the unidirectional link bandwidth.
+            assert!((50.0..=66.0).contains(&r.ps_gpu_gibs), "{r:?}");
+            // CPU near its scan bandwidth (paper: up to 129.6 GiB/s).
+            assert!((95.0..=135.0).contains(&r.ps_cpu_gibs), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn join_prefers_cpu_prefix_sum() {
+        let hw = HwConfig::ac922().scaled(2048);
+        for r in run(&hw, &[512, 2048]) {
+            let speedup = r.join_cpu_ps / r.join_gpu_ps;
+            // Paper: ~1.1x; the prefix sum is a small share of the join.
+            assert!(
+                (1.0..=1.35).contains(&speedup),
+                "{} M: speedup {speedup}",
+                r.m_tuples
+            );
+        }
+    }
+}

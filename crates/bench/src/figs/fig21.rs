@@ -1,0 +1,101 @@
+//! Fig 21: varying the build-to-probe ratio from 1:1 to 1:32 while
+//! keeping the total data volume constant.
+//!
+//! Expected shape (Section 6.2.9): the no-partitioning join is extremely
+//! ratio-sensitive (the 2048 M workload at 1:32 fits its hash table in
+//! GPU memory again — the paper measures a 3414x swing for linear
+//! probing), while the Triton join stays flat, because it partitions the
+//! large outer relation regardless.
+
+use triton_core::{NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload family in modeled M tuples (1:1 cardinality per side).
+    pub m_tuples: u64,
+    /// Probe-to-build ratio (1:x).
+    pub ratio: u64,
+    /// NPJ linear probing (G tuples/s).
+    pub npj_lp: f64,
+    /// NPJ perfect hashing.
+    pub npj_perfect: f64,
+    /// Triton bucket chaining.
+    pub triton: f64,
+}
+
+/// The ratio axis.
+pub const RATIOS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Run for the given workload families.
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    let mut rows = Vec::new();
+    for &m in sizes {
+        for &ratio in &RATIOS {
+            let w = WorkloadSpec::with_ratio(m, ratio, k).generate();
+            rows.push(Row {
+                m_tuples: m,
+                ratio,
+                npj_lp: NoPartitioningJoin::linear_probing()
+                    .run(&w, hw)
+                    .throughput_gtps(),
+                npj_perfect: NoPartitioningJoin::perfect().run(&w, hw).throughput_gtps(),
+                triton: TritonJoin::default().run(&w, hw).throughput_gtps(),
+            });
+        }
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner("Fig 21", "build-to-probe ratios at constant data volume");
+    let mut t = crate::Table::new(["M tuples", "R:S", "NPJ LP", "NPJ Perfect", "Triton"]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.m_tuples.to_string(),
+            format!("1:{}", r.ratio),
+            format!("{:.4}", r.npj_lp),
+            crate::f3(r.npj_perfect),
+            crate::f3(r.triton),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triton_insensitive_npj_very_sensitive() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[2048]);
+        let lp_1 = rows.iter().find(|r| r.ratio == 1).unwrap();
+        let lp_32 = rows.iter().find(|r| r.ratio == 32).unwrap();
+        // Paper: 1:32 is up to 3414x faster than 1:1 for linear probing.
+        assert!(
+            lp_32.npj_lp > lp_1.npj_lp * 20.0,
+            "LP swing {} -> {}",
+            lp_1.npj_lp,
+            lp_32.npj_lp
+        );
+        // Triton stays within a narrow band (paper: 1.66-1.88 G/s).
+        let t_min = rows.iter().map(|r| r.triton).fold(f64::INFINITY, f64::min);
+        let t_max = rows.iter().map(|r| r.triton).fold(0.0f64, f64::max);
+        assert!(t_max / t_min < 1.6, "Triton band {t_min}..{t_max}");
+    }
+
+    #[test]
+    fn npj_preferred_at_extreme_ratios() {
+        // Paper conclusion: a no-partitioning join should be preferred
+        // for high probe ratios (the small build side stays in-core).
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[2048]);
+        let at_32 = rows.iter().find(|r| r.ratio == 32).unwrap();
+        assert!(at_32.npj_perfect > at_32.triton, "{at_32:?}");
+    }
+}

@@ -1,0 +1,133 @@
+//! Fig 22: scaling the number of payload attributes (tuple width) with
+//! early vs late materialization.
+//!
+//! Expected shape (Section 6.2.10): the join index (no payload) matches
+//! the default setup (~1.5-2 G tuples/s); late materialization degrades
+//! towards ~86-88 M tuples/s at 16 payload attributes, because every
+//! attribute costs one random out-of-core access per result tuple.
+
+use triton_core::{run_with_materialization, Materialization};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+/// One measured point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload in modeled M tuples.
+    pub m_tuples: u64,
+    /// Payload attributes.
+    pub payloads: usize,
+    /// Strategy label.
+    pub strategy: &'static str,
+    /// Throughput in G tuples/s.
+    pub gtps: f64,
+}
+
+/// The payload-width axis.
+pub const WIDTHS: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Run for one workload family.
+pub fn run(hw: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw.scale;
+    let mut spec = WorkloadSpec::paper_default(m_tuples, k);
+    spec.payload_cols = 2; // functional columns; cost scales per strategy
+    let w = spec.generate();
+    let mut rows = vec![Row {
+        m_tuples,
+        payloads: 0,
+        strategy: "join index",
+        gtps: run_with_materialization(&w, Materialization::JoinIndex, hw).throughput_gtps(),
+    }];
+    for &p in &WIDTHS {
+        rows.push(Row {
+            m_tuples,
+            payloads: p,
+            strategy: "early",
+            gtps: run_with_materialization(&w, Materialization::Early { payloads: p }, hw)
+                .throughput_gtps(),
+        });
+        rows.push(Row {
+            m_tuples,
+            payloads: p,
+            strategy: "late",
+            gtps: run_with_materialization(&w, Materialization::Late { payloads: p }, hw)
+                .throughput_gtps(),
+        });
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig, m_tuples: u64) {
+    crate::banner(
+        "Fig 22",
+        "tuple width: payload attributes and materialization",
+    );
+    let mut t = crate::Table::new(["M tuples", "payloads", "strategy", "G tuples/s"]);
+    for r in run(hw, m_tuples) {
+        t.row([
+            r.m_tuples.to_string(),
+            r.payloads.to_string(),
+            r.strategy.to_string(),
+            crate::f3(r.gtps),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_materialization_collapses() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, 512);
+        let idx = rows.iter().find(|r| r.strategy == "join index").unwrap();
+        let late16 = rows
+            .iter()
+            .find(|r| r.strategy == "late" && r.payloads == 16)
+            .unwrap();
+        // Paper: ~2 G tuples/s for the index vs 86-88 M tuples/s at 16
+        // late payloads — a >10x collapse.
+        assert!(
+            late16.gtps < idx.gtps / 8.0,
+            "index {} vs late16 {}",
+            idx.gtps,
+            late16.gtps
+        );
+        assert!(late16.gtps < 0.4, "late16 absolute {}", late16.gtps);
+    }
+
+    #[test]
+    fn late_monotonically_degrades() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, 512);
+        let late: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.strategy == "late")
+            .map(|r| r.gtps)
+            .collect();
+        for w in late.windows(2) {
+            assert!(w[1] <= w[0] * 1.05, "late must not improve with width");
+        }
+    }
+
+    #[test]
+    fn early_degrades_more_gently() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, 512);
+        let early16 = rows
+            .iter()
+            .find(|r| r.strategy == "early" && r.payloads == 16)
+            .unwrap();
+        let late16 = rows
+            .iter()
+            .find(|r| r.strategy == "late" && r.payloads == 16)
+            .unwrap();
+        assert!(
+            early16.gtps > late16.gtps * 2.0,
+            "{early16:?} vs {late16:?}"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Fig 23: performance per Watt of the CPU vs the GPU joins.
+//!
+//! Expected shape (Section 6.2.11): the CPU radix join is the most
+//! power-efficient (7-9.4 M tuples/s/W after subtracting the idle GPUs),
+//! because the GPU cannot shed the host CPU's idle and I/O power.
+
+use triton_core::{CpuRadixJoin, HashScheme, NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+/// One bar of Fig 23.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Workload in modeled M tuples.
+    pub m_tuples: u64,
+    /// Operator label.
+    pub operator: &'static str,
+    /// Power efficiency in M tuples/s/W.
+    pub mtps_per_w: f64,
+}
+
+/// Run for the given workloads (perfect hashing, as in the paper).
+pub fn run(hw: &HwConfig, sizes: &[u64]) -> Vec<Row> {
+    let k = hw.scale;
+    let mut rows = Vec::new();
+    for &m in sizes {
+        let w = WorkloadSpec::paper_default(m, k).generate();
+        let cpu = CpuRadixJoin::power9(HashScheme::Perfect).run(&w, hw);
+        let npj = NoPartitioningJoin::perfect().run(&w, hw);
+        let triton = TritonJoin {
+            scheme: HashScheme::Perfect,
+            ..TritonJoin::default()
+        }
+        .run(&w, hw);
+        rows.push(Row {
+            m_tuples: m,
+            operator: "CPU Radix Join",
+            mtps_per_w: cpu.power_efficiency(hw),
+        });
+        rows.push(Row {
+            m_tuples: m,
+            operator: "GPU No-Partitioning Join",
+            mtps_per_w: npj.power_efficiency(hw),
+        });
+        rows.push(Row {
+            m_tuples: m,
+            operator: "GPU Triton Join",
+            mtps_per_w: triton.power_efficiency(hw),
+        });
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig, sizes: &[u64]) {
+    crate::banner("Fig 23", "performance per Watt");
+    let mut t = crate::Table::new(["M tuples", "operator", "M tuples/s/W"]);
+    for r in run(hw, sizes) {
+        t.row([
+            r.m_tuples.to_string(),
+            r.operator.to_string(),
+            crate::f1(r.mtps_per_w),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_wins_on_efficiency_for_large_joins() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[2048]);
+        let cpu = rows.iter().find(|r| r.operator.contains("CPU")).unwrap();
+        let triton = rows.iter().find(|r| r.operator.contains("Triton")).unwrap();
+        // Paper: the CPU is the most power-efficient processor
+        // (7-9.4 M tuples/s/W) because the GPU cannot shed its host's
+        // idle power.
+        assert!(
+            cpu.mtps_per_w > triton.mtps_per_w,
+            "cpu {} vs triton {}",
+            cpu.mtps_per_w,
+            triton.mtps_per_w
+        );
+        assert!((5.0..=11.0).contains(&cpu.mtps_per_w), "{cpu:?}");
+    }
+
+    #[test]
+    fn efficiency_tracks_throughput_within_an_executor() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[128, 2048]);
+        let t128 = rows
+            .iter()
+            .find(|r| r.m_tuples == 128 && r.operator.contains("Triton"))
+            .unwrap();
+        let t2048 = rows
+            .iter()
+            .find(|r| r.m_tuples == 2048 && r.operator.contains("Triton"))
+            .unwrap();
+        assert!(t128.mtps_per_w > t2048.mtps_per_w);
+    }
+}

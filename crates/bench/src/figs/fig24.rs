@@ -1,0 +1,108 @@
+//! Fig 24: compute power required for high throughput — Triton join
+//! throughput while scaling the number of streaming multiprocessors, plus
+//! the time breakdown explaining the scaling.
+//!
+//! Expected shape (Section 6.2.12): fast scaling up to ~25 SMs while the
+//! partitioning passes are compute bound, then the first pass becomes
+//! interconnect bound and the curve flattens; 28 SMs reach 75% and 55 SMs
+//! 95% of peak. Conclusion: the Triton join is interconnect bound — a
+//! faster GPU would not help, a faster interconnect would.
+
+use triton_core::TritonJoin;
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+/// One SM-count point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Number of SMs enabled.
+    pub sms: u32,
+    /// Workload in modeled M tuples.
+    pub m_tuples: u64,
+    /// Throughput as a percentage of the 80-SM throughput.
+    pub pct_of_max: f64,
+    /// Per-kernel time shares at this SM count.
+    pub breakdown: Vec<(String, f64)>,
+}
+
+/// The SM axis.
+pub const SM_AXIS: [u32; 9] = [5, 10, 15, 20, 28, 40, 55, 70, 80];
+
+/// Run the sweep for one workload.
+pub fn run(hw_base: &HwConfig, m_tuples: u64) -> Vec<Row> {
+    let k = hw_base.scale;
+    let w = WorkloadSpec::paper_default(m_tuples, k).generate();
+    let join = TritonJoin {
+        gpu_prefix_sum: true,
+        ..TritonJoin::default()
+    };
+    let full = join.run(&w, &hw_base.clone().with_sms(80));
+    let max_tput = full.throughput_gtps();
+    SM_AXIS
+        .iter()
+        .map(|&sms| {
+            let hw = hw_base.clone().with_sms(sms);
+            let rep = join.run(&w, &hw);
+            Row {
+                sms,
+                m_tuples,
+                pct_of_max: rep.throughput_gtps() / max_tput * 100.0,
+                breakdown: rep.time_breakdown(),
+            }
+        })
+        .collect()
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig, m_tuples: u64) {
+    crate::banner("Fig 24", "compute-power scaling (SM count)");
+    let mut t = crate::Table::new(["SMs", "% of max", "Part 1 share", "Join share"]);
+    for r in run(hw, m_tuples) {
+        let share = |name: &str| {
+            r.breakdown
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0)
+        };
+        t.row([
+            r.sms.to_string(),
+            crate::f1(r.pct_of_max),
+            crate::pct(share("Part 1")),
+            crate::pct(share("Join")),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_saturates_before_full_sm_count() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, 512);
+        let at = |sms: u32| rows.iter().find(|r| r.sms == sms).unwrap().pct_of_max;
+        // Paper: 28 SMs -> >= 75% of peak; 55 SMs -> >= 95%.
+        assert!(at(28) >= 70.0, "28 SMs at {}%", at(28));
+        assert!(at(55) >= 90.0, "55 SMs at {}%", at(55));
+        // Monotone (within noise).
+        for w in rows.windows(2) {
+            assert!(w[1].pct_of_max >= w[0].pct_of_max - 3.0);
+        }
+    }
+
+    #[test]
+    fn diminishing_returns_at_the_top() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, 512);
+        let at = |sms: u32| rows.iter().find(|r| r.sms == sms).unwrap().pct_of_max;
+        let low_gain = at(20) - at(10);
+        let high_gain = at(80) - at(70);
+        assert!(
+            low_gain > high_gain,
+            "scaling must flatten: +{low_gain} early vs +{high_gain} late"
+        );
+    }
+}

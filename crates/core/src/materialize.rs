@@ -1,0 +1,170 @@
+//! Tuple-width and materialization strategies (Section 6.2.10, Fig 22).
+//!
+//! The experiment partitions only the join key, generating row ids on the
+//! fly, so the join produces a *join index*. Payload attributes of the
+//! outer relation are then either:
+//!
+//! * **early-materialized** — carried through both partitioning passes
+//!   (the default setup carries one 8-byte payload), multiplying the
+//!   sequential traffic by the tuple width; or
+//! * **late-materialized** — gathered through the join index afterwards,
+//!   costing one *random* CPU-memory access per attribute per result
+//!   tuple. The paper measures a collapse to 86-88 M tuples/s at 16
+//!   payload attributes: the gather is transaction-rate bound.
+
+use triton_datagen::{Workload, PAYLOAD_BYTES, TUPLE_BYTES};
+use triton_hw::kernel::KernelCost;
+use triton_hw::link::LinkModel;
+use triton_hw::tlb::TlbSim;
+use triton_hw::units::Bytes;
+use triton_hw::HwConfig;
+use triton_part::{ChargeCtx, Span};
+
+use crate::report::{JoinReport, PhaseReport};
+use crate::triton::TritonJoin;
+
+/// Materialization strategy for the tuple-width experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Materialization {
+    /// Produce only the join index (key + row ids).
+    JoinIndex,
+    /// Carry `payloads` attributes through the partitioning passes.
+    Early {
+        /// Number of 8-byte payload attributes.
+        payloads: usize,
+    },
+    /// Gather `payloads` attributes through the join index afterwards.
+    Late {
+        /// Number of 8-byte payload attributes.
+        payloads: usize,
+    },
+}
+
+/// Run the Fig 22 experiment: a join-index Triton join followed by the
+/// chosen materialization.
+pub fn run_with_materialization(
+    w: &Workload,
+    strategy: Materialization,
+    hw: &HwConfig,
+) -> JoinReport {
+    let mut join = TritonJoin {
+        materialize: true, // the join index is written to CPU memory
+        ..TritonJoin::default()
+    };
+    if let Materialization::Early { .. } = strategy {
+        join.materialize = true;
+    }
+    let mut rep = join.run(w, hw);
+
+    match strategy {
+        Materialization::JoinIndex => {
+            rep.name = "Triton Join (join index)".into();
+        }
+        Materialization::Early { payloads } => {
+            // Payload columns ride along through every pass: input read,
+            // first-pass write (hybrid), second-pass read+write (GPU), and
+            // the join-phase read. Model the extra sequential traffic as a
+            // widened replica of those streams.
+            let extra = w.s.len() as u64 * payloads as u64 * PAYLOAD_BYTES;
+            if extra > 0 {
+                let mut c = KernelCost::new("Early materialization");
+                c.tuples_in = w.s.len() as u64;
+                c.link.seq_read += Bytes(extra); // first-pass input
+                c.link.seq_write += Bytes(extra / 2); // spilled share out
+                c.gpu_mem.write += Bytes(extra); // second-pass staging
+                c.gpu_mem.read += Bytes(extra); // join-phase read
+                c.link.seq_write += Bytes(rep.result.matches * payloads as u64 * PAYLOAD_BYTES);
+                let t = c.timing(hw).total;
+                rep.total += t;
+                rep.phases.push(PhaseReport {
+                    time: t,
+                    ..PhaseReport::gpu(c, hw)
+                });
+            }
+            rep.name = format!("Triton Join (early, {payloads} payloads)");
+        }
+        Materialization::Late { payloads } => {
+            // Gather kernel: one random 8-byte CPU-memory read per
+            // attribute per join-index entry, then aggregation.
+            if payloads > 0 {
+                let mut c = KernelCost::new("Late materialization");
+                c.tuples_in = rep.result.matches;
+                let link = LinkModel::new(&hw.link);
+                let mut tlb = TlbSim::new(hw);
+                let col_bytes = w.s.len() as u64 * PAYLOAD_BYTES;
+                {
+                    let mut ctx = ChargeCtx {
+                        cost: &mut c,
+                        link: &link,
+                        tlb: &mut tlb,
+                    };
+                    // The join index itself is re-read sequentially.
+                    let index_span = Span::cpu(1 << 50);
+                    ctx.seq_read(&index_span, 0, rep.result.matches * TUPLE_BYTES);
+                    for col in 0..payloads {
+                        let span = Span::cpu((1 << 51) + col as u64 * (col_bytes + (1 << 30)));
+                        // Row ids of the outer relation drive the gather;
+                        // they are uniformly scattered after partitioning.
+                        for (i, &srid) in w.s.rids.iter().enumerate() {
+                            let row = (srid as usize ^ i) % w.s.len();
+                            ctx.random_read(&span, row as u64 * PAYLOAD_BYTES, PAYLOAD_BYTES);
+                        }
+                    }
+                }
+                c.instructions = rep.result.matches * (6 * payloads as u64 + 4);
+                let t = c.timing(hw).total;
+                rep.total += t;
+                rep.phases.push(PhaseReport {
+                    time: t,
+                    ..PhaseReport::gpu(c, hw)
+                });
+            }
+            rep.name = format!("Triton Join (late, {payloads} payloads)");
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triton_datagen::WorkloadSpec;
+
+    fn setup() -> (HwConfig, Workload) {
+        let hw = HwConfig::ac922().scaled(2048);
+        let mut spec = WorkloadSpec::paper_default(8, 512);
+        spec.payload_cols = 4;
+        (hw, spec.generate())
+    }
+
+    #[test]
+    fn join_index_close_to_default() {
+        let (hw, w) = setup();
+        let idx = run_with_materialization(&w, Materialization::JoinIndex, &hw);
+        let early1 = run_with_materialization(&w, Materialization::Early { payloads: 1 }, &hw);
+        // Paper: join index and the 1-payload default perform similarly.
+        let ratio = idx.throughput_gtps() / early1.throughput_gtps();
+        assert!((0.9..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn late_materialization_collapses_with_width() {
+        let (hw, w) = setup();
+        let late1 = run_with_materialization(&w, Materialization::Late { payloads: 1 }, &hw);
+        let late16 = run_with_materialization(&w, Materialization::Late { payloads: 16 }, &hw);
+        assert!(
+            late16.throughput_gtps() < late1.throughput_gtps() / 4.0,
+            "late16 {} vs late1 {}",
+            late16.throughput_gtps(),
+            late1.throughput_gtps()
+        );
+    }
+
+    #[test]
+    fn early_beats_late_at_high_width() {
+        let (hw, w) = setup();
+        let early = run_with_materialization(&w, Materialization::Early { payloads: 8 }, &hw);
+        let late = run_with_materialization(&w, Materialization::Late { payloads: 8 }, &hw);
+        assert!(early.throughput_gtps() > late.throughput_gtps());
+    }
+}

@@ -1,0 +1,230 @@
+//! Join execution reports: per-kernel timing, profiling counters, and the
+//! derived metrics every figure of the evaluation reads.
+
+use serde::{Deserialize, Serialize};
+use triton_hw::kernel::{KernelCost, KernelTiming, StallProfile};
+use triton_hw::power::{efficiency_mtps_per_w, Executor};
+use triton_hw::units::{Bytes, Ns};
+use triton_hw::HwConfig;
+
+/// One executed kernel (or CPU phase) of a join.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Phase name (the paper's kernel labels: "PS 1", "Part 1", ...).
+    pub name: String,
+    /// Wall time contributed to the critical path.
+    pub time: Ns,
+    /// Timing decomposition (GPU kernels only).
+    pub timing: Option<KernelTiming>,
+    /// Resource counters (GPU kernels only).
+    pub cost: Option<KernelCost>,
+    /// Stall attribution (GPU kernels only).
+    pub stalls: Option<StallProfile>,
+}
+
+impl PhaseReport {
+    /// A GPU kernel phase: derives timing and stalls from the cost.
+    pub fn gpu(cost: KernelCost, hw: &HwConfig) -> Self {
+        let timing = cost.timing(hw);
+        let stalls = StallProfile::from_timing(&cost, &timing, hw);
+        PhaseReport {
+            name: cost.name.clone(),
+            time: timing.total,
+            timing: Some(timing),
+            cost: Some(cost),
+            stalls: Some(stalls),
+        }
+    }
+
+    /// A CPU phase with a precomputed time.
+    pub fn cpu(name: impl Into<String>, time: Ns) -> Self {
+        PhaseReport {
+            name: name.into(),
+            time,
+            timing: None,
+            cost: None,
+            stalls: None,
+        }
+    }
+}
+
+/// Functional result of a join: verifiable against a reference join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinResult {
+    /// Number of matching tuple pairs.
+    pub matches: u64,
+    /// Checksum: wrapping sum of `r_rid + s_rid` over all matches.
+    pub checksum: u64,
+}
+
+impl JoinResult {
+    /// Fold one match into the result.
+    #[inline]
+    pub fn add(&mut self, r_rid: u64, s_rid: u64) {
+        self.matches += 1;
+        self.checksum = self.checksum.wrapping_add(r_rid.wrapping_add(s_rid));
+    }
+
+    /// Empty result.
+    pub fn empty() -> Self {
+        JoinResult {
+            matches: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Merge a partial result.
+    pub fn merge(&mut self, o: &JoinResult) {
+        self.matches += o.matches;
+        self.checksum = self.checksum.wrapping_add(o.checksum);
+    }
+}
+
+/// Complete report of one join execution.
+#[derive(Debug, Clone)]
+pub struct JoinReport {
+    /// Operator name ("GPU Triton Join", "CPU Radix Join (POWER9)", ...).
+    pub name: String,
+    /// Phases in execution order. Phase times reflect each kernel in
+    /// isolation; `total` accounts for pipeline overlap.
+    pub phases: Vec<PhaseReport>,
+    /// End-to-end critical-path time.
+    pub total: Ns,
+    /// Actual tuples processed (|R| + |S| at simulation scale).
+    pub tuples_actual: u64,
+    /// Modeled tuples (|R| + |S| at paper scale).
+    pub tuples_modeled: u64,
+    /// Functional join result.
+    pub result: JoinResult,
+    /// Which processor ran the join (for the power model).
+    pub executor: Executor,
+}
+
+impl JoinReport {
+    /// Join throughput in G tuples/s, the paper's headline metric:
+    /// `(|R| + |S|) / runtime`. Computed over *actual* tuples and modeled
+    /// time, which the capacity-scaling argument makes directly comparable
+    /// to the paper's absolute numbers.
+    pub fn throughput_gtps(&self) -> f64 {
+        if self.total.0 <= 0.0 {
+            return 0.0;
+        }
+        self.tuples_actual as f64 / self.total.as_secs() / 1e9
+    }
+
+    /// Power efficiency in M tuples/s/W (Fig 23).
+    pub fn power_efficiency(&self, hw: &HwConfig) -> f64 {
+        efficiency_mtps_per_w(&hw.power, self.executor, self.throughput_gtps() * 1e9)
+    }
+
+    /// Sum of IOMMU page-table walks across all phases.
+    pub fn iommu_walks(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter_map(|p| p.cost.as_ref())
+            .map(|c| c.tlb.full_misses)
+            .sum()
+    }
+
+    /// IOMMU translation *requests* per tuple (Fig 14b): walks times the
+    /// multi-level request amplification of the POWER9 counter.
+    pub fn iommu_requests_per_tuple(&self, hw: &HwConfig) -> f64 {
+        self.iommu_walks() as f64 * hw.tlb.requests_per_walk / self.tuples_actual.max(1) as f64
+    }
+
+    /// Interconnect utilisation over the whole join: wire time of the
+    /// busier direction divided by total time (Fig 14a).
+    pub fn link_utilization(&self, hw: &HwConfig) -> f64 {
+        let link = triton_hw::LinkModel::new(&hw.link);
+        let mut up = Bytes(0);
+        let mut down = Bytes(0);
+        for p in &self.phases {
+            if let Some(c) = &p.cost {
+                up += c.link.wire_cpu_to_gpu(&link);
+                down += c.link.wire_gpu_to_cpu(&link);
+            }
+        }
+        let busy = up.0.max(down.0) as f64;
+        (busy / hw.link.raw_bw_per_dir.0 / self.total.as_secs()).min(1.0)
+    }
+
+    /// Group phase times by the paper's Fig 15 kernel categories,
+    /// returning `(label, fraction of total)` pairs.
+    pub fn time_breakdown(&self) -> Vec<(String, f64)> {
+        let mut groups: Vec<(String, f64)> = Vec::new();
+        let sum: f64 = self.phases.iter().map(|p| p.time.0).sum();
+        for p in &self.phases {
+            let frac = if sum > 0.0 { p.time.0 / sum } else { 0.0 };
+            if let Some(g) = groups.iter_mut().find(|(n, _)| *n == p.name) {
+                g.1 += frac;
+            } else {
+                groups.push((p.name.clone(), frac));
+            }
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_result_checksum_is_order_independent() {
+        let mut a = JoinResult::empty();
+        a.add(1, 2);
+        a.add(3, 4);
+        let mut b = JoinResult::empty();
+        b.add(3, 4);
+        b.add(1, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.matches, 2);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = JoinResult::empty();
+        a.add(1, 1);
+        let mut b = JoinResult::empty();
+        b.add(2, 2);
+        a.merge(&b);
+        assert_eq!(a.matches, 2);
+        assert_eq!(a.checksum, 6);
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = JoinReport {
+            name: "x".into(),
+            phases: vec![],
+            total: Ns::secs(2.0),
+            tuples_actual: 4_000_000_000,
+            tuples_modeled: 4_000_000_000,
+            result: JoinResult::empty(),
+            executor: Executor::Gpu,
+        };
+        assert!((r.throughput_gtps() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_fractions_sum_to_one() {
+        let r = JoinReport {
+            name: "x".into(),
+            phases: vec![
+                PhaseReport::cpu("a", Ns(30.0)),
+                PhaseReport::cpu("b", Ns(60.0)),
+                PhaseReport::cpu("a", Ns(10.0)),
+            ],
+            total: Ns(100.0),
+            tuples_actual: 1,
+            tuples_modeled: 1,
+            result: JoinResult::empty(),
+            executor: Executor::Cpu,
+        };
+        let bd = r.time_breakdown();
+        assert_eq!(bd.len(), 2);
+        let sum: f64 = bd.iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!((bd[0].1 - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,682 @@
+//! The Triton join (Section 5): a GPU-partitioned, hierarchical hybrid
+//! hash join for fast interconnects — the paper's primary contribution.
+//!
+//! Three stages (Fig 10):
+//!
+//! 1. **1st pass** — radix-partition R and S on the *GPU* by the low B1
+//!    bits of the hashed key, using the Hierarchical SWWC partitioner.
+//!    B1 is chosen so two partition pairs fit in half of GPU memory. The
+//!    partitioned output lands in a Section 5.3 hybrid array: pages
+//!    interleaved across GPU memory (the cached working set) and CPU
+//!    memory (the spill), keeping the interconnect busy in both phases.
+//! 2. **2nd pass** — per partition pair, refine by the next B2 bits into
+//!    GPU memory so each sub-partition's hash table fits the scratchpad.
+//! 3. **Join** — build a scratchpad bucket-chaining table from each
+//!    R sub-partition and probe it with the matching S sub-partition.
+//!
+//! Stages 2-3 run as *concurrent kernels* on disjoint halves of the SMs
+//! (Section 5.2, Fig 11): the second pass of pair *i+1* overlaps the join
+//! of pair *i*, hiding the spill reload behind compute.
+
+use triton_datagen::{Workload, TUPLE_BYTES};
+use triton_hw::kernel::{pipeline2, KernelCost};
+use triton_hw::power::Executor;
+use triton_hw::units::{Bytes, Ns};
+use triton_hw::HwConfig;
+use triton_mem::SimAllocator;
+use triton_part::{
+    compute_histogram, cpu_prefix_sum_cost, gpu_prefix_sum, make_partitioner, Algorithm,
+    PassConfig, Span,
+};
+
+use crate::bloom::BloomFilter;
+use crate::hash_table::{BucketChainTable, HashScheme, BUCKET_CHAIN_ENTRIES};
+use crate::report::{JoinReport, JoinResult, PhaseReport};
+
+/// Target tuples per second-pass sub-partition: the build side must fit a
+/// scratchpad bucket-chaining table (2048 buckets + chained tuples within
+/// 64 KiB).
+const PASS2_TARGET_TUPLES: u64 = 1536;
+
+/// Join-phase instruction costs (scratchpad tables are cheap; the join
+/// phase is compute-bound per Fig 15b).
+const JOIN_BUILD_INSTR: u64 = 14;
+const JOIN_PROBE_INSTR: u64 = 12;
+const JOIN_CHAIN_INSTR: u64 = 3;
+
+/// Configuration of the Triton join.
+#[derive(Debug, Clone)]
+pub struct TritonJoin {
+    /// First-pass (out-of-core) partitioning algorithm.
+    pub pass1: Algorithm,
+    /// Second-pass (in-GPU) partitioning algorithm.
+    pub pass2: Algorithm,
+    /// Explicit GPU cache budget for the partitioned working set;
+    /// `None` = everything left after the pipeline reservation (Fig 19
+    /// sweeps this).
+    pub cache_bytes: Option<Bytes>,
+    /// Disable caching entirely (Fig 17's pure two-pass radix join).
+    pub caching_enabled: bool,
+    /// Compute the first prefix sum on the GPU instead of the CPU
+    /// (Section 6.2.8: the CPU is 1.6-2.2x faster at it; Fig 15 uses the
+    /// GPU variant to obtain a full GPU profile).
+    pub gpu_prefix_sum: bool,
+    /// Hashing scheme of the join phase.
+    pub scheme: HashScheme,
+    /// Upper bound on second-pass radix bits (the paper uses 9).
+    pub max_pass2_bits: u32,
+    /// Materialize join results to CPU memory instead of aggregating in
+    /// registers (Section 5.1 supports both).
+    pub materialize: bool,
+    /// Enable the optional third partitioning pass (Section 5.1): when a
+    /// sub-partition still exceeds the scratchpad hash-table target after
+    /// the capped second pass, refine it once more within GPU memory.
+    pub third_pass: bool,
+    /// Pre-filter the outer relation with a Bloom filter over the build
+    /// keys before partitioning it (an extension along Section 7's
+    /// "filtering the outer relation" direction): non-matching probe
+    /// tuples are dropped in S's first pass, before they are partitioned,
+    /// spilled, and reloaded. Pays off for selective joins; the paper's
+    /// default workloads match 100%, where it is pure overhead.
+    pub bloom_prefilter: bool,
+    /// Interleave the cached pages evenly through the working set
+    /// (Section 5.3's design). `false` caches a prefix instead — the
+    /// classic hybrid hash join's policy the paper argues against, kept
+    /// for the ablation.
+    pub interleaved_cache: bool,
+    /// Overlap the second pass of pair *i+1* with the join of pair *i*
+    /// via concurrent kernels on split SM sets (Section 5.2). `false`
+    /// serialises the stages on the full GPU, for the ablation.
+    pub overlap: bool,
+}
+
+impl Default for TritonJoin {
+    fn default() -> Self {
+        TritonJoin {
+            pass1: Algorithm::Hierarchical,
+            pass2: Algorithm::Shared,
+            cache_bytes: None,
+            caching_enabled: true,
+            gpu_prefix_sum: false,
+            scheme: HashScheme::BucketChaining,
+            max_pass2_bits: 9,
+            materialize: false,
+            third_pass: true,
+            bloom_prefilter: false,
+            interleaved_cache: true,
+            overlap: true,
+        }
+    }
+}
+
+/// Build a scratchpad bucket-chaining table from one build sub-partition
+/// and probe it with the matching probe sub-partition, folding matches
+/// into `out`. Returns the chain steps traversed (for the instruction
+/// model). `skip_bits` are the hash bits already consumed by all prior
+/// partitioning passes.
+fn join_one(
+    rk: &[u64],
+    rr: &[u64],
+    sk: &[u64],
+    sr: &[u64],
+    skip_bits: u32,
+    out: &mut JoinResult,
+) -> u64 {
+    if rk.is_empty() || sk.is_empty() {
+        return 0;
+    }
+    let table = BucketChainTable::build(rk, rr, BUCKET_CHAIN_ENTRIES, skip_bits);
+    let mut chain_steps = 0u64;
+    for (&k, &srid) in sk.iter().zip(sr) {
+        let (_, steps) = table.probe(k);
+        chain_steps += steps.saturating_sub(2) as u64;
+        for rrid in table.probe_all(k) {
+            out.add(rrid, srid);
+        }
+    }
+    chain_steps
+}
+
+impl TritonJoin {
+    /// First-pass radix bits. The hard constraint is capacity — two
+    /// partition pairs must fit in half the GPU memory (Section 5.1) —
+    /// but the paper tunes beyond it (6-10 bits) so that each *build*
+    /// partition lands near 32 MiB, keeping the second pass short. The
+    /// tuning reproduces the paper's choices: 2^6 at 128 M tuples, 2^10
+    /// at 2048 M, and the fanout drop from 1024 to 64 at a 1:32
+    /// build-to-probe ratio that Section 6.2.9 credits for its speedup.
+    pub fn pass1_bits(r_bytes: u64, total_bytes: u64, hw: &HwConfig) -> u32 {
+        let quarter = (hw.gpu.mem_capacity.0 / 4).max(1);
+        let capacity_floor = (total_bytes.max(1) as f64 / quarter as f64).log2().ceil() as i64;
+        // 32 MiB modeled, at the current capacity scale.
+        let target = ((32u64 << 20) / hw.scale).max(1);
+        let tuned = (r_bytes.max(1) as f64 / target as f64).log2().ceil() as i64;
+        tuned.max(capacity_floor).clamp(6, 10) as u32
+    }
+
+    /// Second-pass radix bits for a partition of `tuples` build tuples.
+    pub fn pass2_bits(&self, tuples: usize) -> u32 {
+        if tuples == 0 {
+            return 0;
+        }
+        let need = (tuples as f64 / PASS2_TARGET_TUPLES as f64).log2().ceil() as i64;
+        need.clamp(0, self.max_pass2_bits as i64) as u32
+    }
+
+    /// Execute the join, panicking if the simulated CPU memory cannot
+    /// hold the partitioned copy. Library users embedding the join in a
+    /// larger planner should prefer [`Self::try_run`].
+    pub fn run(&self, w: &Workload, hw: &HwConfig) -> JoinReport {
+        self.try_run(w, hw)
+            .expect("simulated CPU memory exhausted for the partitioned copy")
+    }
+
+    /// Execute the join, surfacing simulated out-of-memory conditions as
+    /// errors instead of panicking.
+    pub fn try_run(
+        &self,
+        w: &Workload,
+        hw: &HwConfig,
+    ) -> Result<JoinReport, triton_mem::OutOfMemory> {
+        let n_r = w.r.len();
+
+        // --- Optional Bloom pre-filter over the outer relation: built
+        // from R's keys, probed while S streams through its first pass.
+        // Dropped tuples still cross the link once (they must be read to
+        // be tested) but are never partitioned, spilled, or reloaded.
+        let filtered;
+        let mut bloom_phase: Option<PhaseReport> = None;
+        let (s_keys, s_rids): (&[u64], &[u64]) = if self.bloom_prefilter {
+            let mut filter = BloomFilter::for_build_side(n_r);
+            for &k in &w.r.keys {
+                filter.insert(k);
+            }
+            let mut fk = Vec::with_capacity(w.s.len());
+            let mut fr = Vec::with_capacity(w.s.len());
+            for (&k, &r) in w.s.keys.iter().zip(&w.s.rids) {
+                if filter.may_contain(k) {
+                    fk.push(k);
+                    fr.push(r);
+                }
+            }
+            let dropped = (w.s.len() - fk.len()) as u64;
+            let mut c = KernelCost::new("Bloom");
+            c.tuples_in = (n_r + w.s.len()) as u64;
+            c.instructions = (n_r + w.s.len()) as u64 * 6;
+            // The filter array lives in GPU memory (a few MiB: cached).
+            c.gpu_mem.write += Bytes(filter.bytes());
+            c.gpu_mem.rand_read += Bytes(w.s.len() as u64 * 8);
+            // Dropped tuples are read over the link exactly once.
+            c.link.seq_read += Bytes(dropped * TUPLE_BYTES);
+            bloom_phase = Some(PhaseReport::gpu(c, hw));
+            filtered = (fk, fr);
+            (&filtered.0, &filtered.1)
+        } else {
+            (&w.s.keys, &w.s.rids)
+        };
+        let n_s = s_keys.len();
+
+        let r_bytes = n_r as u64 * TUPLE_BYTES;
+        let s_bytes = n_s as u64 * TUPLE_BYTES;
+        let total_bytes = r_bytes + s_bytes;
+        let b1 = Self::pass1_bits(r_bytes, total_bytes, hw);
+        let fanout1 = 1usize << b1;
+        // Concurrent kernels split the SMs; the serial ablation gives
+        // each stage the whole GPU instead.
+        let half_sms = if self.overlap {
+            (hw.gpu.num_sms / 2).max(1)
+        } else {
+            hw.gpu.num_sms
+        };
+
+        // --- GPU memory budget: reserve the pipeline working set (two
+        // second-pass output pairs) and the Hierarchical L2 buffers; the
+        // remainder caches the partitioned arrays.
+        let mut alloc = SimAllocator::new(hw);
+        let pair_bytes = (total_bytes / fanout1 as u64).max(1);
+        let reserve = 2 * pair_bytes + hw.gpu.mem_capacity.0 / 8;
+        let auto_cache = hw.gpu.mem_capacity.0.saturating_sub(reserve);
+        let cache = if self.caching_enabled {
+            self.cache_bytes
+                .map(|b| b.0)
+                .unwrap_or(auto_cache)
+                .min(auto_cache)
+        } else {
+            0
+        };
+
+        let r_cache = (cache as u128 * r_bytes as u128 / total_bytes.max(1) as u128) as u64;
+        let s_cache = cache - r_cache.min(cache);
+        let r_layout =
+            alloc.alloc_hybrid_with(Bytes(r_bytes), Bytes(r_cache), self.interleaved_cache)?;
+        let s_layout =
+            alloc.alloc_hybrid_with(Bytes(s_bytes), Bytes(s_cache), self.interleaved_cache)?;
+        let r_span = Span::hybrid(r_layout.clone());
+        let s_span = Span::hybrid(s_layout.clone());
+        let input_r = Span::cpu(0);
+        let input_s = Span::cpu(1 << 45);
+
+        let mut phases: Vec<PhaseReport> = Vec::new();
+        let bloom_time = bloom_phase.as_ref().map(|p| p.time).unwrap_or(Ns::ZERO);
+        if let Some(p) = bloom_phase {
+            phases.push(p);
+        }
+
+        // --- PS 1.
+        let pass1_cfg = PassConfig::new(b1, 0);
+        let (hist_r, hist_s, ps1_time) = if self.gpu_prefix_sum {
+            let (hr, mut c1) = gpu_prefix_sum(&w.r.keys, &input_r, &pass1_cfg, hw, false);
+            let (hs, c2) = gpu_prefix_sum(s_keys, &input_s, &pass1_cfg, hw, false);
+            let t = c1.timing(hw).total + c2.timing(hw).total;
+            c1.merge(&c2);
+            c1.name = "PS 1".into();
+            phases.push(PhaseReport {
+                time: t,
+                ..PhaseReport::gpu(c1, hw)
+            });
+            (hr, hs, t)
+        } else {
+            let hr = compute_histogram(&w.r.keys, 1, b1, 0);
+            let hs = compute_histogram(s_keys, 1, b1, 0);
+            let t = cpu_prefix_sum_cost(n_r as u64, hw) + cpu_prefix_sum_cost(n_s as u64, hw);
+            phases.push(PhaseReport::cpu("PS 1", t));
+            (hr, hs, t)
+        };
+
+        // --- Part 1 (out-of-core, Hierarchical by default).
+        let p1 = make_partitioner(self.pass1);
+        let (parts_r, mut c_p1r) = p1.partition(
+            &w.r.keys, &w.r.rids, &hist_r, &input_r, &r_span, &pass1_cfg, hw,
+        );
+        let (parts_s, c_p1s) =
+            p1.partition(s_keys, s_rids, &hist_s, &input_s, &s_span, &pass1_cfg, hw);
+        let part1_time = c_p1r.timing(hw).total + c_p1s.timing(hw).total;
+        c_p1r.merge(&c_p1s);
+        c_p1r.name = "Part 1".into();
+        phases.push(PhaseReport {
+            time: part1_time,
+            ..PhaseReport::gpu(c_p1r, hw)
+        });
+
+        // --- Per-partition second pass + join, pipelined on split SMs.
+        let p2 = make_partitioner(self.pass2);
+        let spilled = r_layout.cpu_bytes() + s_layout.cpu_bytes() > 0;
+        let mut result = JoinResult::empty();
+        let mut stage_a: Vec<Ns> = Vec::with_capacity(fanout1);
+        let mut stage_b: Vec<Ns> = Vec::with_capacity(fanout1);
+        let mut ps2_all = KernelCost::new("PS 2");
+        let mut part2_all = KernelCost::new("Part 2");
+        let mut part3_all = KernelCost::new("Part 3");
+        let mut sched_all = KernelCost::new("Sched");
+        let mut join_all = KernelCost::new("Join");
+        let (mut ps2_t, mut part2_t, mut part3_t, mut sched_t, mut join_t) =
+            (Ns::ZERO, Ns::ZERO, Ns::ZERO, Ns::ZERO, Ns::ZERO);
+
+        let mut pass2_cfg_proto = PassConfig::new(0, b1);
+        pass2_cfg_proto.sms = half_sms;
+
+        for i in 0..fanout1 {
+            let (rk, rr) = parts_r.partition(i);
+            let (sk, sr) = parts_s.partition(i);
+            if rk.is_empty() && sk.is_empty() {
+                continue;
+            }
+            let b2 = self.pass2_bits(rk.len());
+            let mut a_time = Ns::ZERO;
+
+            let r_off = hist_r.offsets[i] as u64 * TUPLE_BYTES;
+            let s_off = hist_s.offsets[i] as u64 * TUPLE_BYTES;
+            let r_slice = r_span.slice(r_off);
+            let s_slice = s_span.slice(s_off);
+
+            // Sub-histograms / sub-partitions of this pair.
+            let (sub_r, sub_s, joined_from_gpu) = if b2 > 0 {
+                let mut cfg = pass2_cfg_proto;
+                cfg.radix_bits = b2;
+                // PS 2: histogram over the pair, copying it into GPU
+                // memory when the array is (partially) spilled so the
+                // later kernels avoid a second interconnect pass.
+                let (h2r, mut cps_r) = gpu_prefix_sum(rk, &r_slice, &cfg, hw, spilled);
+                let (h2s, cps_s) = gpu_prefix_sum(sk, &s_slice, &cfg, hw, spilled);
+                let t = cps_r.timing(hw).total + cps_s.timing(hw).total;
+                cps_r.merge(&cps_s);
+                ps2_t += t;
+                a_time += t;
+                ps2_all.merge(&cps_r);
+
+                // Part 2: read the (now GPU-resident) pair, scatter into
+                // GPU memory.
+                let gpu_in = Span::gpu(1 << 46);
+                let gpu_out = Span::gpu(1 << 47);
+                let part2_in = if spilled { &gpu_in } else { &r_slice };
+                let (pr2, mut cp2r) = p2.partition(rk, rr, &h2r, part2_in, &gpu_out, &cfg, hw);
+                let part2_in_s = if spilled { &gpu_in } else { &s_slice };
+                let (ps2_parts, cp2s) = p2.partition(sk, sr, &h2s, part2_in_s, &gpu_out, &cfg, hw);
+                let t = cp2r.timing(hw).total + cp2s.timing(hw).total;
+                cp2r.merge(&cp2s);
+                part2_t += t;
+                a_time += t;
+                part2_all.merge(&cp2r);
+                (Some(pr2), Some(ps2_parts), true)
+            } else {
+                (None, None, !spilled)
+            };
+
+            // Sched: the join task scheduler pairing sub-partitions.
+            let mut sched = KernelCost::new("Sched");
+            sched.sms = half_sms;
+            sched.instructions = 4096 + (1u64 << self.pass2_bits(rk.len())) * 512;
+            sched.gpu_mem.read += Bytes((1u64 << b2) * 16);
+            let t = sched.timing(hw).total;
+            sched_t += t;
+            a_time += t;
+            sched_all.merge(&sched);
+
+            // Join kernel over the pair.
+            let mut join = KernelCost::new("Join");
+            join.sms = half_sms;
+            join.tuples_in = (rk.len() + sk.len()) as u64;
+            let mut pair_result = JoinResult::empty();
+            let charge_join_reads = |join: &mut KernelCost| {
+                let bytes_r = rk.len() as u64 * TUPLE_BYTES;
+                let bytes_s = sk.len() as u64 * TUPLE_BYTES;
+                if joined_from_gpu {
+                    join.gpu_mem.read += Bytes(bytes_r + bytes_s);
+                } else {
+                    // No second pass and the pair is (partially) spilled:
+                    // stream it over the interconnect.
+                    let (g, c) = r_slice.split_range(0, bytes_r);
+                    join.gpu_mem.read += Bytes(g);
+                    join.link.seq_read += Bytes(c);
+                    let (g, c) = s_slice.split_range(0, bytes_s);
+                    join.gpu_mem.read += Bytes(g);
+                    join.link.seq_read += Bytes(c);
+                }
+            };
+            charge_join_reads(&mut join);
+
+            let (build_i, probe_i) = match self.scheme {
+                HashScheme::Perfect => (JOIN_BUILD_INSTR - 5, JOIN_PROBE_INSTR - 4),
+                _ => (JOIN_BUILD_INSTR, JOIN_PROBE_INSTR),
+            };
+            let mut chain_steps = 0u64;
+            match (&sub_r, &sub_s) {
+                (Some(pr2), Some(ps2p)) => {
+                    for p in 0..pr2.fanout() {
+                        let (srk, srr) = pr2.partition(p);
+                        let (ssk, ssr) = ps2p.partition(p);
+                        if srk.is_empty() || ssk.is_empty() {
+                            continue;
+                        }
+                        // Optional third pass (Section 5.1): if the capped
+                        // second pass left this sub-partition too large for
+                        // the scratchpad table, refine it once more within
+                        // GPU memory.
+                        let b3 = if self.third_pass {
+                            self.pass2_bits(srk.len())
+                        } else {
+                            0
+                        };
+                        if b3 > 0 {
+                            let mut cfg3 = pass2_cfg_proto;
+                            cfg3.radix_bits = b3;
+                            cfg3.skip_bits = b1 + b2;
+                            let gpu_in = Span::gpu(1 << 48);
+                            let gpu_out = Span::gpu(1 << 49);
+                            let h3r = triton_part::compute_histogram(srk, 1, b3, b1 + b2);
+                            let h3s = triton_part::compute_histogram(ssk, 1, b3, b1 + b2);
+                            let (pr3, mut c3) =
+                                p2.partition(srk, srr, &h3r, &gpu_in, &gpu_out, &cfg3, hw);
+                            let (ps3, c3s) =
+                                p2.partition(ssk, ssr, &h3s, &gpu_in, &gpu_out, &cfg3, hw);
+                            c3.merge(&c3s);
+                            c3.name = "Part 3".into();
+                            let t3 = c3.timing(hw).total;
+                            part3_t += t3;
+                            a_time += t3;
+                            part3_all.merge(&c3);
+                            for q in 0..pr3.fanout() {
+                                let (qrk, qrr) = pr3.partition(q);
+                                let (qsk, qsr) = ps3.partition(q);
+                                chain_steps +=
+                                    join_one(qrk, qrr, qsk, qsr, b1 + b2 + b3, &mut pair_result);
+                            }
+                        } else {
+                            chain_steps += join_one(srk, srr, ssk, ssr, b1 + b2, &mut pair_result);
+                        }
+                    }
+                }
+                _ => {
+                    chain_steps += join_one(rk, rr, sk, sr, b1, &mut pair_result);
+                }
+            }
+            join.instructions = rk.len() as u64 * build_i
+                + sk.len() as u64 * probe_i
+                + chain_steps * JOIN_CHAIN_INSTR;
+            if self.materialize {
+                // Results stream to CPU memory via a linear allocator.
+                join.link.seq_write += Bytes(pair_result.matches * TUPLE_BYTES);
+                join.instructions += pair_result.matches * 2;
+            }
+            join.tuples_out = pair_result.matches;
+            result.merge(&pair_result);
+            let t = join.timing(hw).total;
+            join_t += t;
+            join_all.merge(&join);
+
+            stage_a.push(a_time);
+            stage_b.push(t);
+        }
+
+        // Assemble the merged per-kernel phases.
+        for (cost, t) in [
+            (ps2_all, ps2_t),
+            (part2_all, part2_t),
+            (part3_all, part3_t),
+            (sched_all, sched_t),
+            (join_all, join_t),
+        ] {
+            if cost.tuples_in > 0 || cost.instructions > 0 {
+                phases.push(PhaseReport {
+                    time: t,
+                    ..PhaseReport::gpu(cost, hw)
+                });
+            }
+        }
+
+        let pipeline_time = if self.overlap {
+            pipeline2(&stage_a, &stage_b)
+        } else {
+            stage_a.iter().copied().sum::<Ns>() + stage_b.iter().copied().sum::<Ns>()
+        };
+        let total = bloom_time + ps1_time + part1_time + pipeline_time;
+
+        Ok(JoinReport {
+            name: format!("GPU Triton Join ({})", self.scheme.name()),
+            phases,
+            total,
+            tuples_actual: w.total_tuples(),
+            tuples_modeled: w.total_tuples_modeled(),
+            result,
+            executor: Executor::Gpu,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_join;
+    use triton_datagen::WorkloadSpec;
+
+    #[test]
+    fn result_matches_reference() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let w = WorkloadSpec::paper_default(8, 512).generate();
+        let rep = TritonJoin::default().run(&w, &hw);
+        assert_eq!(rep.result, reference_join(&w));
+        assert_eq!(rep.result.matches, w.s.len() as u64);
+    }
+
+    #[test]
+    fn result_correct_without_caching_and_with_gpu_ps() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let w = WorkloadSpec::paper_default(8, 512).generate();
+        let j = TritonJoin {
+            caching_enabled: false,
+            gpu_prefix_sum: true,
+            materialize: true,
+            ..TritonJoin::default()
+        };
+        let rep = j.run(&w, &hw);
+        assert_eq!(rep.result, reference_join(&w));
+    }
+
+    #[test]
+    fn pass1_bits_follow_capacity_rule() {
+        let hw = HwConfig::ac922();
+        // Paper workloads: 128 M tuples (2 GiB build side) -> 2^6;
+        // 512 M -> 2^8; 2048 M (32 GiB) -> 2^10.
+        let t = |m: u64| m * 16_000_000 * 2;
+        assert_eq!(TritonJoin::pass1_bits(m(128), t(128), &hw), 6);
+        assert_eq!(TritonJoin::pass1_bits(m(512), t(512), &hw), 8);
+        assert_eq!(TritonJoin::pass1_bits(m(2048), t(2048), &hw), 10);
+        // The 1:32 ratio workload: small build side -> fanout drops to 64.
+        assert_eq!(TritonJoin::pass1_bits(m(124), t(2048), &hw), 6);
+        fn m(mt: u64) -> u64 {
+            mt * 16_000_000
+        }
+    }
+
+    #[test]
+    fn pass2_bits_bounded() {
+        let j = TritonJoin::default();
+        assert_eq!(j.pass2_bits(0), 0);
+        assert_eq!(j.pass2_bits(1000), 0);
+        assert_eq!(j.pass2_bits(10_000), 3);
+        assert_eq!(j.pass2_bits(100_000_000), 9); // clamped
+    }
+
+    #[test]
+    fn phases_cover_the_paper_kernels() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let w = WorkloadSpec::paper_default(16, 512).generate();
+        let rep = TritonJoin::default().run(&w, &hw);
+        let names: Vec<&str> = rep.phases.iter().map(|p| p.name.as_str()).collect();
+        for expected in ["PS 1", "Part 1", "Sched", "Join"] {
+            assert!(
+                names.contains(&expected),
+                "missing phase {expected}: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn third_pass_triggers_when_second_is_capped() {
+        let hw = HwConfig::ac922().scaled(512);
+        let w = WorkloadSpec::paper_default(512, 512).generate();
+        // Cap the second pass at 1 bit so partitions stay far above the
+        // scratchpad target and the third pass must refine them.
+        let j = TritonJoin {
+            max_pass2_bits: 1,
+            ..TritonJoin::default()
+        };
+        let rep = j.run(&w, &hw);
+        assert_eq!(rep.result, reference_join(&w));
+        assert!(
+            rep.phases.iter().any(|p| p.name == "Part 3"),
+            "expected a Part 3 phase: {:?}",
+            rep.phases
+                .iter()
+                .map(|p| p.name.clone())
+                .collect::<Vec<_>>()
+        );
+        // Disabling the third pass must still be correct (just slower
+        // chains), and must not emit the phase.
+        let j_off = TritonJoin {
+            max_pass2_bits: 1,
+            third_pass: false,
+            ..TritonJoin::default()
+        };
+        let rep_off = j_off.run(&w, &hw);
+        assert_eq!(rep_off.result, reference_join(&w));
+        assert!(rep_off.phases.iter().all(|p| p.name != "Part 3"));
+        // The third pass pays off in the join phase: shorter chains mean
+        // fewer instructions (at paper scale the gap is much larger; the
+        // pass-1 tuning keeps sub-partitions small at simulation scale).
+        let join_instr = |r: &crate::report::JoinReport| {
+            r.phases
+                .iter()
+                .find(|p| p.name == "Join")
+                .and_then(|p| p.cost.as_ref())
+                .map(|c| c.instructions)
+                .unwrap()
+        };
+        assert!(join_instr(&rep) <= join_instr(&rep_off));
+    }
+
+    #[test]
+    fn bloom_prefilter_correct_and_pays_on_selective_joins() {
+        let hw = HwConfig::ac922().scaled(512);
+        // Only 20% of probe tuples match: the filter drops most of S
+        // before it is partitioned and spilled.
+        let w = WorkloadSpec::selective(512, 0.2, 512).generate();
+        let plain = TritonJoin::default().run(&w, &hw);
+        let bloom = TritonJoin {
+            bloom_prefilter: true,
+            ..TritonJoin::default()
+        }
+        .run(&w, &hw);
+        assert_eq!(
+            bloom.result, plain.result,
+            "filtering must not change results"
+        );
+        assert_eq!(bloom.result, reference_join(&w));
+        assert!(
+            bloom.total.0 < plain.total.0 * 0.85,
+            "selective join: bloom {} vs plain {}",
+            bloom.total,
+            plain.total
+        );
+        assert!(bloom.phases.iter().any(|p| p.name == "Bloom"));
+    }
+
+    #[test]
+    fn bloom_prefilter_is_overhead_on_full_match_joins() {
+        let hw = HwConfig::ac922().scaled(512);
+        let w = WorkloadSpec::paper_default(128, 512).generate();
+        let plain = TritonJoin::default().run(&w, &hw);
+        let bloom = TritonJoin {
+            bloom_prefilter: true,
+            ..TritonJoin::default()
+        }
+        .run(&w, &hw);
+        assert_eq!(bloom.result, plain.result);
+        // 100% match rate: nothing to drop, the filter is pure overhead.
+        assert!(bloom.total.0 >= plain.total.0);
+    }
+
+    #[test]
+    fn try_run_surfaces_simulated_oom() {
+        // A workload larger than the scaled CPU memory cannot host its
+        // partitioned copy: the fallible API reports it.
+        let hw = HwConfig::ac922().scaled(65536);
+        let w = WorkloadSpec::paper_default(512, 64).generate();
+        let err = TritonJoin::default().try_run(&w, &hw).unwrap_err();
+        assert_eq!(err.side, triton_hw::MemSide::Cpu);
+    }
+
+    #[test]
+    fn materialization_writes_results_over_the_link() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let w = WorkloadSpec::paper_default(8, 512).generate();
+        let j = TritonJoin {
+            materialize: true,
+            ..TritonJoin::default()
+        };
+        let rep = j.run(&w, &hw);
+        let join_phase = rep.phases.iter().find(|p| p.name == "Join").unwrap();
+        let written = join_phase.cost.as_ref().unwrap().link.seq_write.0;
+        assert_eq!(written, rep.result.matches * TUPLE_BYTES);
+    }
+}

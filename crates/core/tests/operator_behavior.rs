@@ -1,0 +1,194 @@
+//! Crate-level behavioural tests for `triton-core`: cost-model effects of
+//! the join operators beyond functional correctness.
+
+use triton_core::{
+    npj_style_aggregate, reference_aggregate, reference_join, CpuRadixJoin, GpuAggregation,
+    HashScheme, NoPartitioningJoin, TritonJoin,
+};
+use triton_datagen::WorkloadSpec;
+use triton_hw::units::Bytes;
+use triton_hw::HwConfig;
+
+fn hw(k: u64) -> HwConfig {
+    HwConfig::ac922().scaled(k)
+}
+
+#[test]
+fn triton_spill_grows_with_data() {
+    // The spilled share (link writes in Part 1) grows once data outgrows
+    // the cache, and the cached share keeps GPU memory busy.
+    let hw = hw(512);
+    let spilled = |m: u64| {
+        let w = WorkloadSpec::paper_default(m, 512).generate();
+        let rep = TritonJoin::default().run(&w, &hw);
+        let part1 = rep.phases.iter().find(|p| p.name == "Part 1").unwrap();
+        let c = part1.cost.as_ref().unwrap();
+        let out = c.link.rand_write.payload.0 as f64;
+        out / (w.total_tuples() * 16) as f64
+    };
+    let small = spilled(128);
+    let large = spilled(2048);
+    assert!(
+        small < 0.05,
+        "128 M should cache nearly everything: {small}"
+    );
+    assert!(large > 0.6, "2048 M should spill most of the copy: {large}");
+}
+
+#[test]
+fn npj_probe_locality_follows_cache_budget() {
+    let hw = hw(512);
+    let w = WorkloadSpec::paper_default(1024, 512).generate();
+    let probes_over_link = |cache: u64| {
+        let npj = NoPartitioningJoin {
+            cache_bytes: Some(Bytes(cache)),
+            ..NoPartitioningJoin::perfect()
+        };
+        let rep = npj.run(&w, &hw);
+        let probe = rep.phases.iter().find(|p| p.name == "Probe").unwrap();
+        probe.cost.as_ref().unwrap().link.rand_read.transactions
+    };
+    let none = probes_over_link(0);
+    let half = probes_over_link(w.r.len() as u64 * 8);
+    let full = probes_over_link(u64::MAX >> 10);
+    assert!(none > half && half > full, "{none} > {half} > {full}");
+    assert_eq!(none, w.s.len() as u64, "no cache: every probe crosses");
+}
+
+#[test]
+fn xeon_partition_phase_slower_than_power9() {
+    let hw = hw(512);
+    let p9 = CpuRadixJoin::power9(HashScheme::BucketChaining);
+    let xeon = CpuRadixJoin::xeon(HashScheme::BucketChaining);
+    let t9 = p9.partition_phase_time(1_000_000, 13, &hw);
+    let tx = xeon.partition_phase_time(1_000_000, 13, &hw);
+    // 13 bits force the Xeon into two passes.
+    assert!(tx.0 > t9.0 * 1.5, "xeon {tx:?} vs p9 {t9:?}");
+}
+
+#[test]
+fn prefix_sum_bandwidth_reflects_cpu_class() {
+    let hw = hw(512);
+    let p9 = CpuRadixJoin::power9(HashScheme::Perfect).prefix_sum_bandwidth(10_000_000, &hw);
+    let xeon = CpuRadixJoin::xeon(HashScheme::Perfect).prefix_sum_bandwidth(10_000_000, &hw);
+    assert!(p9 > xeon, "POWER9 has more memory bandwidth");
+}
+
+#[test]
+fn report_metrics_are_sane() {
+    let hw = hw(512);
+    let w = WorkloadSpec::paper_default(512, 512).generate();
+    let rep = TritonJoin::default().run(&w, &hw);
+    let util = rep.link_utilization(&hw);
+    assert!((0.0..=1.0).contains(&util));
+    assert!(rep.power_efficiency(&hw) > 0.0);
+    let shares: f64 = rep.time_breakdown().iter().map(|(_, f)| f).sum();
+    assert!((shares - 1.0).abs() < 1e-9);
+    assert!(
+        rep.iommu_walks() < w.total_tuples(),
+        "partitioned joins walk rarely"
+    );
+}
+
+#[test]
+fn gpu_ps_variant_reports_gpu_phase() {
+    let hw = hw(512);
+    let w = WorkloadSpec::paper_default(128, 512).generate();
+    let cpu_ps = TritonJoin::default().run(&w, &hw);
+    let gpu_ps = TritonJoin {
+        gpu_prefix_sum: true,
+        ..TritonJoin::default()
+    }
+    .run(&w, &hw);
+    let ps = |r: &triton_core::JoinReport| {
+        r.phases
+            .iter()
+            .find(|p| p.name == "PS 1")
+            .unwrap()
+            .cost
+            .is_some()
+    };
+    assert!(!ps(&cpu_ps), "CPU prefix sum has no GPU kernel cost");
+    assert!(ps(&gpu_ps), "GPU prefix sum is a GPU kernel");
+}
+
+#[test]
+fn perfect_scheme_tracks_bucket_chaining_closely() {
+    // Section 6.2.1: the hashing scheme has only a 0-2% effect on the
+    // partitioned join (vs 400x on the NPJ).
+    let hw = hw(512);
+    for m in [256u64, 1024] {
+        let w = WorkloadSpec::paper_default(m, 512).generate();
+        let bc = TritonJoin::default().run(&w, &hw).throughput_gtps();
+        let pf = TritonJoin {
+            scheme: HashScheme::Perfect,
+            ..TritonJoin::default()
+        }
+        .run(&w, &hw)
+        .throughput_gtps();
+        assert!((pf / bc - 1.0).abs() < 0.05, "{m} M: {bc} vs {pf}");
+    }
+}
+
+#[test]
+fn aggregation_insensitive_to_duplication_factor() {
+    // More duplicates = fewer groups = smaller result writes: throughput
+    // must not degrade as duplication rises.
+    let hw = hw(512);
+    let flat = WorkloadSpec::paper_default(512, 512).generate().s;
+    let skewed = WorkloadSpec::skewed(512, 1.2, 512).generate().s;
+    let (ra, rep_a) = GpuAggregation::default().run(&flat, &hw);
+    let (rb, rep_b) = GpuAggregation::default().run(&skewed, &hw);
+    assert_eq!(ra, reference_aggregate(&flat));
+    assert_eq!(rb, reference_aggregate(&skewed));
+    assert!(rep_b.throughput_gtps() > rep_a.throughput_gtps() * 0.8);
+}
+
+#[test]
+fn npj_aggregate_collapses_out_of_core_like_the_join() {
+    let hw = hw(512);
+    let rel = WorkloadSpec::paper_default(1536, 512).generate().s;
+    let (_, npj) = npj_style_aggregate(&rel, &hw);
+    let (_, part) = GpuAggregation::default().run(&rel, &hw);
+    assert!(
+        part.total.0 * 2.0 < npj.total.0,
+        "{} vs {}",
+        part.total,
+        npj.total
+    );
+}
+
+#[test]
+fn cache_zero_equals_caching_disabled() {
+    let hw = hw(512);
+    let w = WorkloadSpec::paper_default(512, 512).generate();
+    let zero = TritonJoin {
+        cache_bytes: Some(Bytes(0)),
+        ..TritonJoin::default()
+    }
+    .run(&w, &hw);
+    let off = TritonJoin {
+        caching_enabled: false,
+        ..TritonJoin::default()
+    }
+    .run(&w, &hw);
+    assert_eq!(zero.result, off.result);
+    let ratio = zero.total.0 / off.total.0;
+    assert!((0.99..=1.01).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn materialized_and_aggregated_joins_agree_on_matches() {
+    let hw = hw(2048);
+    let w = WorkloadSpec::with_ratio(32, 8, 2048).generate();
+    let agg = TritonJoin::default().run(&w, &hw);
+    let mat = TritonJoin {
+        materialize: true,
+        ..TritonJoin::default()
+    }
+    .run(&w, &hw);
+    assert_eq!(agg.result, mat.result);
+    assert_eq!(agg.result, reference_join(&w));
+    // Materialization adds link writes, so it can only be slower.
+    assert!(mat.total.0 >= agg.total.0);
+}

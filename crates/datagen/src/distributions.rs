@@ -1,0 +1,120 @@
+//! Foreign-key distributions beyond uniform.
+//!
+//! The paper evaluates uniform foreign keys (Section 6.1) and motivates
+//! robustness with the observation that "cardinality estimates can be
+//! significantly wrong" (Section 1). A skewed probe side is the classic
+//! way such estimates go wrong in practice, so the reproduction also
+//! ships a Zipf generator: it exercises the Triton join's robustness the
+//! same way the paper's cache sweeps do — some partitions become much
+//! larger than planned.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `1..=n` using the classic CDF-inversion with a
+/// precomputed harmonic table for small `n` and rejection-free binary
+/// search.
+///
+/// ```
+/// use triton_datagen::Zipf;
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// let z = Zipf::new(100, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let v = z.sample(&mut rng);
+/// assert!((1..=100).contains(&v));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `1..=n` with exponent `theta` (0 = uniform,
+    /// ~1 = heavily skewed).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n >= 1, "domain must be non-empty");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample one value in `1..=n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // First index with cdf >= u.
+        let mut lo = 0usize;
+        let mut hi = self.cdf.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.cdf[mid] < u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u64 + 1
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_within_domain() {
+        let z = Zipf::new(100, 0.9);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = z.sample(&mut rng);
+            assert!((1..=100).contains(&v));
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut counts = [0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[(z.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for c in counts {
+            let dev = (c as f64 - n as f64 / 10.0).abs() / (n as f64 / 10.0);
+            assert!(dev < 0.05, "uniform deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_mass() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 100_000;
+        let head = (0..n).filter(|_| z.sample(&mut rng) <= 10).count();
+        // Zipf(1.0) over 1000 values puts ~39% of mass on the top 10.
+        let frac = head as f64 / n as f64;
+        assert!((0.3..0.5).contains(&frac), "head mass {frac}");
+    }
+
+    #[test]
+    fn singleton_domain() {
+        let z = Zipf::new(1, 1.2);
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert_eq!(z.sample(&mut rng), 1);
+    }
+}

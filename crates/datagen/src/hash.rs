@@ -1,0 +1,98 @@
+//! Hash functions used by the joins.
+//!
+//! Section 6.1: both hashing schemes use a multiply-shift hash function
+//! (Dietzfelbinger et al.), which the radix joins combine with radix-bit
+//! extraction — pass 1 partitions on the *lower* B1 bits of the hashed
+//! key, pass 2 on the next-higher B2 bits.
+
+/// The multiplicative constant of the multiply-shift family (a large odd
+/// 64-bit constant; the golden-ratio multiplier).
+pub const MS_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Multiply-shift hash of a 64-bit key: full 64-bit avalanche of the upper
+/// product bits. Deterministic across runs.
+#[inline]
+pub fn multiply_shift(key: u64) -> u64 {
+    key.wrapping_mul(MS_MULTIPLIER)
+}
+
+/// Extract `bits` radix bits from `hash`, skipping the lowest `skip` bits.
+/// `radix(h, 0, b)` is the pass-1 partition id; `radix(h, b1, b2)` the
+/// pass-2 sub-partition id.
+#[inline]
+pub fn radix(hash: u64, skip: u32, bits: u32) -> usize {
+    debug_assert!(skip + bits <= 64);
+    if bits == 0 {
+        return 0;
+    }
+    ((hash >> skip) & ((1u64 << bits) - 1)) as usize
+}
+
+/// Hash a key into a table of `1 << bits` slots (for the no-partitioning
+/// linear-probing table): multiply-shift, taking the *top* bits of the
+/// product as recommended for multiplicative hashing.
+#[inline]
+pub fn table_slot(key: u64, bits: u32) -> usize {
+    debug_assert!((1..=63).contains(&bits));
+    (multiply_shift(key) >> (64 - bits)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(multiply_shift(42), multiply_shift(42));
+        assert_ne!(multiply_shift(42), multiply_shift(43));
+    }
+
+    #[test]
+    fn radix_extracts_disjoint_bits() {
+        let h = 0b1111_0000_1010u64;
+        assert_eq!(radix(h, 0, 4), 0b1010);
+        assert_eq!(radix(h, 4, 4), 0b0000);
+        assert_eq!(radix(h, 8, 4), 0b1111);
+        assert_eq!(radix(h, 0, 0), 0);
+    }
+
+    #[test]
+    fn radix_within_fanout() {
+        for key in 0u64..10_000 {
+            let h = multiply_shift(key);
+            assert!(radix(h, 0, 9) < 512);
+            assert!(radix(h, 9, 6) < 64);
+        }
+    }
+
+    #[test]
+    fn table_slot_in_range_and_spread() {
+        let bits = 10;
+        let mut histogram = vec![0u32; 1 << bits];
+        for key in 1u64..=(1 << 14) {
+            let s = table_slot(key, bits);
+            histogram[s] += 1;
+        }
+        // Every slot within range; occupancy roughly uniform: expected 16
+        // per slot, no slot should exceed 4x that for multiply-shift over
+        // a dense key range.
+        let max = *histogram.iter().max().unwrap();
+        assert!(max < 64, "max bucket {max}");
+        let empties = histogram.iter().filter(|&&c| c == 0).count();
+        assert!(empties < 32, "{empties} empty buckets");
+    }
+
+    #[test]
+    fn pass1_pass2_consistency() {
+        // Pass 2 refines pass 1: tuples in the same (p1, p2) pair share
+        // the lower b1+b2 hash bits.
+        let (b1, b2) = (5u32, 4u32);
+        for key in 0u64..5_000 {
+            let h = multiply_shift(key);
+            let combined = radix(h, 0, b1 + b2);
+            let p1 = radix(h, 0, b1);
+            let p2 = radix(h, b1, b2);
+            assert_eq!(combined, p1 | (p2 << b1));
+        }
+    }
+}

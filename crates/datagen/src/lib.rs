@@ -1,0 +1,22 @@
+//! # triton-datagen
+//!
+//! Workload generation for the Triton-join reproduction, following the
+//! paper's Section 6.1: columnar relations of 16-byte `<key, record-id>`
+//! tuples, R carrying shuffled unique primary keys and S uniform foreign
+//! keys; build-to-probe ratio and wide-tuple variants; the multiply-shift
+//! hash family; and the full-period LCG driving the random-access
+//! microbenchmarks.
+
+#![warn(missing_docs)]
+
+pub mod distributions;
+pub mod hash;
+pub mod lcg;
+pub mod relation;
+pub mod workload;
+
+pub use distributions::Zipf;
+pub use hash::{multiply_shift, radix, table_slot};
+pub use lcg::Lcg;
+pub use relation::{Relation, KEY_BYTES, PAYLOAD_BYTES, TUPLE_BYTES};
+pub use workload::{Workload, WorkloadSpec, M};

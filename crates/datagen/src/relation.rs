@@ -1,0 +1,93 @@
+//! Columnar relations of 16-byte `<key, record-id>` tuples.
+//!
+//! Section 6.1 of the paper: two base relations R and S of 16-byte tuples
+//! stored column-oriented; R holds randomly shuffled unique primary keys,
+//! S references them with uniformly distributed foreign keys; record-ids
+//! are random values. Fig 22 additionally attaches up to 16 extra 8-byte
+//! payload attributes for the tuple-width experiment.
+
+/// Bytes per base tuple (8-byte key + 8-byte record id).
+pub const TUPLE_BYTES: u64 = 16;
+
+/// Bytes per key (one column entry).
+pub const KEY_BYTES: u64 = 8;
+
+/// Bytes per extra payload attribute.
+pub const PAYLOAD_BYTES: u64 = 8;
+
+/// A column-oriented relation.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    /// Join-key column.
+    pub keys: Vec<u64>,
+    /// Record-id column (the paper's second 8-byte attribute).
+    pub rids: Vec<u64>,
+    /// Optional wide-tuple payload columns (Fig 22).
+    pub payload_cols: Vec<Vec<u64>>,
+}
+
+impl Relation {
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Base bytes (key + rid columns).
+    pub fn base_bytes(&self) -> u64 {
+        self.len() as u64 * TUPLE_BYTES
+    }
+
+    /// Bytes including extra payload columns.
+    pub fn total_bytes(&self) -> u64 {
+        self.base_bytes() + self.payload_cols.len() as u64 * self.len() as u64 * PAYLOAD_BYTES
+    }
+
+    /// Build a relation from parallel key/rid vectors.
+    pub fn from_columns(keys: Vec<u64>, rids: Vec<u64>) -> Self {
+        assert_eq!(keys.len(), rids.len());
+        Relation {
+            keys,
+            rids,
+            payload_cols: Vec::new(),
+        }
+    }
+
+    /// Iterate `(key, rid)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.keys.iter().copied().zip(self.rids.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let mut r = Relation::from_columns(vec![1, 2, 3], vec![10, 20, 30]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.base_bytes(), 48);
+        assert_eq!(r.total_bytes(), 48);
+        r.payload_cols.push(vec![0; 3]);
+        r.payload_cols.push(vec![0; 3]);
+        assert_eq!(r.total_bytes(), 48 + 2 * 24);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let r = Relation::from_columns(vec![5, 6], vec![50, 60]);
+        let v: Vec<_> = r.iter().collect();
+        assert_eq!(v, vec![(5, 50), (6, 60)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_columns_panic() {
+        let _ = Relation::from_columns(vec![1], vec![]);
+    }
+}

@@ -1,0 +1,449 @@
+//! Hardware configuration: the AC922-class system the paper evaluates on,
+//! plus capacity scaling so experiments fit on a small host.
+//!
+//! Defaults follow Section 2.1 and Section 6.1 of the paper: an IBM AC922
+//! with POWER9 CPUs (16 cores, 3.8 GHz, 170 GB/s, 128 GiB/socket) and Nvidia
+//! V100 GPUs (80 SMs, 1.53 GHz, 16 GiB @ 900 GB/s) connected via NVLink 2.0
+//! (75 GB/s per direction). The Xeon baseline (Skylake-SP Gold 6126) is also
+//! provided.
+//!
+//! # Capacity scaling
+//!
+//! The paper's workloads reach 61 GiB (122 GiB with the partitioned copy),
+//! which cannot be executed functionally here. [`HwConfig::scaled`] divides
+//! every *capacity* (GPU memory, CPU memory, TLB coverage, caches) and the
+//! *page size* by a factor `K`, while leaving every *rate* (bandwidths,
+//! clock frequencies, latencies) and every *granularity tied to the wire*
+//! (packet sizes, memory transaction size, scratchpad size) untouched.
+//!
+//! Dividing data volumes and capacities by the same K preserves: throughput
+//! in tuples/s, interconnect utilisation, phase time fractions, and the
+//! position of every capacity-ratio cliff (GPU memory, TLB range) relative
+//! to the workload axis. Granularity effects (flush bytes vs the 128-byte
+//! transaction) remain at true scale. The one distortion is that the
+//! second-pass fanout shrinks by log2(K) because first-pass partitions are
+//! K-times smaller against an unscaled scratchpad; DESIGN.md discusses this.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Bytes, BytesPerSec};
+
+/// GPU (Nvidia V100-class) parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors. V100: 80.
+    pub num_sms: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// SM clock in GHz.
+    pub clock_ghz: f64,
+    /// Scratchpad (shared memory) per thread block in bytes. Unscaled.
+    pub scratchpad: Bytes,
+    /// On-board memory capacity (scaled).
+    pub mem_capacity: Bytes,
+    /// On-board memory bandwidth.
+    pub mem_bandwidth: BytesPerSec,
+    /// Memory transaction granularity within GPU memory (an L2 sector).
+    pub gpu_mem_txn: Bytes,
+    /// Warp instructions issued per cycle per SM (a V100 SM has four
+    /// warp schedulers).
+    pub issue_per_cycle: f64,
+    /// Resident warps per SM used to hide latency.
+    pub warps_per_sm: u32,
+    /// Independent random *reads* the GPU memory subsystem retires per
+    /// second (MSHR/L2-sector limited). Section 6.2.9 dissects the
+    /// no-partitioning join into a 4.3 G tuples/s probe rate.
+    pub rand_read_rate: f64,
+    /// Independent random *writes* per second; the paper measures random
+    /// GPU-memory writes 3.2-6x slower than reads (1.8 G tuples/s build).
+    pub rand_write_rate: f64,
+}
+
+/// CPU parameters (POWER9 or Xeon class).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Human-readable name used in experiment output.
+    pub name: String,
+    /// Physical cores per socket.
+    pub cores: u32,
+    /// SMT ways per core.
+    pub smt: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Memory bandwidth per socket.
+    pub mem_bandwidth: BytesPerSec,
+    /// Memory capacity per socket (scaled).
+    pub mem_capacity: Bytes,
+    /// Last-level cache capacity available per core. POWER9: 5 MiB/core;
+    /// Xeon Gold 6126: 1.25 MiB/core allocatable L3 slice.
+    pub llc_per_core: Bytes,
+    /// Fraction of peak sequential bandwidth a tuned scan kernel achieves
+    /// (the paper measures 129.6 GiB/s of 170 GB/s on POWER9).
+    pub seq_scan_efficiency: f64,
+    /// Effective tuples partitioned per core-cycle for a tuned SWWC
+    /// partitioner (covers hash, histogram-offset lookup, buffered store).
+    pub partition_cycles_per_tuple: f64,
+    /// Cycles per tuple for the in-cache build+probe phase of a radix join.
+    pub join_cycles_per_tuple: f64,
+}
+
+/// NVLink 2.0 interconnect parameters (Sections 2.1 and 3.4.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Electrical bandwidth per direction. NVLink 2.0 (3 bricks): 75 GB/s.
+    pub raw_bw_per_dir: BytesPerSec,
+    /// Packet header size.
+    pub header: Bytes,
+    /// Extra "byte enable" header extension for small/partial writes.
+    pub byte_enable: Bytes,
+    /// Maximum payload an SM-originated packet carries (one L1 cacheline).
+    pub max_payload: Bytes,
+    /// Small reads are padded to this payload size.
+    pub min_read_payload: Bytes,
+    /// Interconnect transactions per second the GPU sustains for independent
+    /// random *reads* (empirically ~0.70e9/s; Fig 6a shows bandwidth growing
+    /// linearly with granularity, i.e. an access-rate limit).
+    pub read_txn_rate: f64,
+    /// Same limit for random *writes* (~0.45e9/s, Fig 6a).
+    pub write_txn_rate: f64,
+    /// Round-trip base latency of a CPU-memory access over the link with all
+    /// translations hit (the paper measures 449.7 ns pointer-chase latency).
+    pub base_latency_ns: f64,
+    /// Efficiency factor for symmetric read+write streams: request/response
+    /// traffic shares the wire with payload in both directions, capping the
+    /// bidirectional rate below 2x unidirectional (Fig 18a: 55.9 GiB/s).
+    pub bidir_efficiency: f64,
+    /// Extra cost factor for partial-line (sub-128 B or misaligned) writes,
+    /// modelling read-modify-write at the home node (Fig 6b: a 16-byte
+    /// misalignment costs writes 56%).
+    pub partial_write_penalty: f64,
+}
+
+/// Address-translation hierarchy parameters (Section 3.4.2, Fig 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Page size backing large allocations (2 MiB huge pages; scaled).
+    pub page_size: Bytes,
+    /// Physically adjacent pages coalesced into one TLB entry on a walk
+    /// (16 x 2 MiB = 32 MiB reach per entry).
+    pub coalesced_pages: u64,
+    /// GPU L2 TLB entry count. With 32 MiB reach per entry, 256 entries
+    /// give the paper's measured 8 GiB coverage.
+    pub gpu_l2_entries: usize,
+    /// Entry count of the intermediate translation layer for CPU memory
+    /// that the paper calls "L3 TLB*" (1024 x 32 MiB = 32 GiB coverage).
+    pub l3_star_entries: usize,
+    /// Latency of a CPU-memory access when the GPU L2 TLB hits.
+    pub cpu_l2_hit_ns: f64,
+    /// Latency when the GPU L2 TLB misses but the L3*/IOTLB layer hits.
+    pub l3_star_hit_ns: f64,
+    /// Latency of a full translation miss serviced by the IOMMU page-table
+    /// walkers ("Miss*").
+    pub full_miss_ns: f64,
+    /// Latency of a GPU-memory access when the GPU L2 TLB hits.
+    pub gpu_l2_hit_ns: f64,
+    /// Latency of a GPU-memory access on a GPU L2 TLB miss.
+    pub gpu_l2_miss_ns: f64,
+    /// Parallel page-table walkers in the IOMMU.
+    pub iommu_walkers: u32,
+    /// Translations returned per walk (coalesced page-table walk).
+    pub translations_per_walk: u32,
+    /// Effective service occupancy of one walker per walk, in ns
+    /// (including request queuing ahead of the walkers). Calibrated so
+    /// that a fully TLB-miss-bound kernel reproduces the paper's ~1.1
+    /// M tuples/s linear-probing floor (Section 6.2.2).
+    pub walk_service_ns: f64,
+    /// IOMMU translation *requests* observed per page-table walk: the
+    /// POWER9 counter the paper reads counts the multi-level radix-tree
+    /// accesses of a walk, not just the walk itself (it reports 5.3
+    /// requests per tuple for a probe stream that misses about twice per
+    /// tuple). Used when reporting Fig 14(b)/18(d) request rates.
+    pub requests_per_walk: f64,
+}
+
+/// Static power model (Section 6.2.11).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Whole-system idle draw in watts (AC922: 290 W).
+    pub system_idle_w: f64,
+    /// Idle draw of one GPU.
+    pub gpu_idle_w: f64,
+    /// Idle draw of one CPU package (the paper: 58-62 W).
+    pub cpu_idle_w: f64,
+    /// Additional draw of a GPU under join load (62-80 W total).
+    pub gpu_load_w: f64,
+    /// Additional draw of the CPU under join load (178-206 W).
+    pub cpu_load_w: f64,
+    /// CPU I/O facility draw while serving GPU interconnect transfers.
+    pub cpu_io_w: f64,
+}
+
+/// Complete system configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HwConfig {
+    /// GPU parameters.
+    pub gpu: GpuConfig,
+    /// Primary CPU (the socket hosting the GPU).
+    pub cpu: CpuConfig,
+    /// GPU-CPU interconnect.
+    pub link: LinkConfig,
+    /// Address translation hierarchy.
+    pub tlb: TlbConfig,
+    /// Power model.
+    pub power: PowerConfig,
+    /// Capacity scale factor K this config was scaled by (1 = paper scale).
+    pub scale: u64,
+}
+
+impl Default for HwConfig {
+    fn default() -> Self {
+        Self::ac922()
+    }
+}
+
+impl HwConfig {
+    /// The paper's evaluation platform at full scale: IBM AC922 with a
+    /// POWER9 CPU and a Tesla V100 connected by NVLink 2.0.
+    pub fn ac922() -> Self {
+        HwConfig {
+            gpu: GpuConfig {
+                num_sms: 80,
+                warp_size: 32,
+                clock_ghz: 1.53,
+                scratchpad: Bytes::kib(64),
+                mem_capacity: Bytes::gib(16),
+                mem_bandwidth: BytesPerSec::gb(900.0),
+                gpu_mem_txn: Bytes(32),
+                issue_per_cycle: 4.0,
+                warps_per_sm: 64,
+                rand_read_rate: 4.3e9,
+                rand_write_rate: 1.8e9,
+            },
+            cpu: CpuConfig::power9(),
+            link: LinkConfig {
+                raw_bw_per_dir: BytesPerSec::gb(75.0),
+                header: Bytes(16),
+                byte_enable: Bytes(16),
+                max_payload: Bytes(128),
+                min_read_payload: Bytes(32),
+                read_txn_rate: 0.70e9,
+                write_txn_rate: 0.45e9,
+                base_latency_ns: 449.7,
+                bidir_efficiency: 0.90,
+                partial_write_penalty: 1.8,
+            },
+            tlb: TlbConfig {
+                page_size: Bytes::mib(2),
+                coalesced_pages: 16,
+                gpu_l2_entries: 256,
+                l3_star_entries: 1024,
+                cpu_l2_hit_ns: 449.7,
+                l3_star_hit_ns: 532.9,
+                full_miss_ns: 3186.4,
+                gpu_l2_hit_ns: 151.9,
+                gpu_l2_miss_ns: 226.7,
+                iommu_walkers: 12,
+                translations_per_walk: 16,
+                walk_service_ns: 6800.0,
+                requests_per_walk: 3.0,
+            },
+            power: PowerConfig {
+                system_idle_w: 290.0,
+                gpu_idle_w: 32.0,
+                cpu_idle_w: 60.0,
+                gpu_load_w: 71.0,
+                cpu_load_w: 192.0,
+                cpu_io_w: 10.5,
+            },
+            scale: 1,
+        }
+    }
+
+    /// Scale all capacities and the page size down by `k`, keeping rates,
+    /// latencies, packet/transaction granularities, and the scratchpad
+    /// unchanged. See the module docs for why this preserves the paper's
+    /// figure shapes.
+    pub fn scaled(mut self, k: u64) -> Self {
+        assert!(k >= 1, "scale factor must be >= 1");
+        let div = |b: Bytes| Bytes((b.0 / k).max(1));
+        self.gpu.mem_capacity = div(self.gpu.mem_capacity);
+        self.cpu.mem_capacity = div(self.cpu.mem_capacity);
+        // The CPU LLC stays unscaled: like the scratchpad, it interacts
+        // with unscaled granularities (SWWC cachelines), and the CPU cost
+        // model's capacity decisions are made on scale-invariant ratios.
+        // TLB *coverages* scale implicitly: entry counts are hardware
+        // constants and the per-entry reach follows the page size.
+        self.tlb.page_size = div(self.tlb.page_size);
+        self.scale *= k;
+        self
+    }
+
+    /// Replace the CPU model (e.g. with the Xeon baseline).
+    pub fn with_cpu(mut self, cpu: CpuConfig) -> Self {
+        // Re-apply the accumulated scale to the fresh CPU's capacities.
+        let k = self.scale;
+        self.cpu = cpu;
+        self.cpu.mem_capacity = Bytes((self.cpu.mem_capacity.0 / k).max(1));
+        self
+    }
+
+    /// Restrict the GPU to `n` SMs (compute-power scaling, Fig 24).
+    pub fn with_sms(mut self, n: u32) -> Self {
+        assert!(n >= 1);
+        self.gpu.num_sms = n;
+        self
+    }
+
+    /// Use a different huge-page size, given in *modeled* bytes (the
+    /// paper's Section 2.1 lists 4 KiB, 64 KiB, 2 MiB and 1 GiB as the
+    /// supported sizes; Section 6.1 preallocates 2 MiB pages). Smaller
+    /// pages shrink every TLB level's reach proportionally — the
+    /// page-size ablation quantifies how much the huge-page setting
+    /// matters.
+    pub fn with_page_size_modeled(mut self, bytes: u64) -> Self {
+        assert!(bytes >= 1);
+        self.tlb.page_size = Bytes((bytes / self.scale).max(1));
+        self
+    }
+
+    /// Place the base relations on the *far* NUMA node (the paper
+    /// allocates "on the NUMA node closest to the GPU"; this models the
+    /// mistake). Traffic crosses the inter-socket X-bus: the effective
+    /// link bandwidth drops to the X-bus rate (64 GB/s on the AC922,
+    /// shared with the remote socket's own traffic) and the base access
+    /// latency grows by an inter-socket hop.
+    pub fn with_far_numa(mut self) -> Self {
+        self.link.raw_bw_per_dir = BytesPerSec(self.link.raw_bw_per_dir.0.min(38e9));
+        self.link.base_latency_ns += 180.0;
+        self.tlb.cpu_l2_hit_ns += 180.0;
+        self.tlb.l3_star_hit_ns += 180.0;
+        self.tlb.full_miss_ns += 180.0;
+        self
+    }
+
+    /// Coverage of one coalesced TLB entry (page size x coalesced pages).
+    pub fn tlb_entry_reach(&self) -> Bytes {
+        Bytes(self.tlb.page_size.0 * self.tlb.coalesced_pages)
+    }
+
+    /// Number of entries in the GPU L2 TLB.
+    pub fn gpu_l2_tlb_entries(&self) -> usize {
+        self.tlb.gpu_l2_entries.max(1)
+    }
+
+    /// Number of entries in the intermediate (L3*/IOTLB) layer.
+    pub fn l3_star_entries(&self) -> usize {
+        self.tlb.l3_star_entries.max(1)
+    }
+
+    /// GPU L2 TLB coverage (entries x reach): 8 GiB at paper defaults.
+    pub fn gpu_l2_coverage(&self) -> Bytes {
+        Bytes(self.gpu_l2_tlb_entries() as u64 * self.tlb_entry_reach().0)
+    }
+
+    /// L3*/IOTLB coverage (entries x reach): 32 GiB at paper defaults.
+    pub fn l3_star_coverage(&self) -> Bytes {
+        Bytes(self.l3_star_entries() as u64 * self.tlb_entry_reach().0)
+    }
+}
+
+impl CpuConfig {
+    /// IBM POWER9 "Monza": 16 cores @ 3.8 GHz, SMT4, 170 GB/s, 5 MiB/core.
+    ///
+    /// Cycle costs are calibrated against Section 6.2.1: the POWER9 radix
+    /// join runs at 1.1 G tuples/s (fanout 2^12) declining to 0.9 (2^14),
+    /// and Fig 4: ~29 GiB/s CPU partitioning throughput.
+    pub fn power9() -> Self {
+        CpuConfig {
+            name: "POWER9".into(),
+            cores: 16,
+            smt: 4,
+            clock_ghz: 3.8,
+            mem_bandwidth: BytesPerSec::gb(170.0),
+            mem_capacity: Bytes::gib(128),
+            llc_per_core: Bytes::mib(5),
+            seq_scan_efficiency: 0.78,
+            partition_cycles_per_tuple: 36.0,
+            join_cycles_per_tuple: 31.0,
+        }
+    }
+
+    /// Intel Xeon Gold 6126 "Skylake-SP": 12 cores @ 2.6 GHz, 1.25 MiB/core
+    /// allocatable L3. Switches to two-pass partitioning once the SWWC
+    /// buffers outgrow the L3 (Section 6.2.1).
+    pub fn xeon_gold_6126() -> Self {
+        CpuConfig {
+            name: "Xeon".into(),
+            cores: 12,
+            smt: 2,
+            clock_ghz: 2.6,
+            mem_bandwidth: BytesPerSec::gb(128.0),
+            mem_capacity: Bytes::gib(128),
+            llc_per_core: Bytes((1.25 * (1 << 20) as f64) as u64),
+            seq_scan_efficiency: 0.75,
+            partition_cycles_per_tuple: 17.0,
+            join_cycles_per_tuple: 13.5,
+        }
+    }
+
+    /// Total last-level cache capacity.
+    pub fn llc_total(&self) -> Bytes {
+        Bytes(self.llc_per_core.0 * self.cores as u64)
+    }
+
+    /// Effective sequential scan bandwidth (tuned kernel).
+    pub fn scan_bandwidth(&self) -> BytesPerSec {
+        BytesPerSec(self.mem_bandwidth.0 * self.seq_scan_efficiency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_platform() {
+        let hw = HwConfig::default();
+        assert_eq!(hw.gpu.num_sms, 80);
+        assert_eq!(hw.gpu.mem_capacity, Bytes::gib(16));
+        assert_eq!(hw.cpu.cores, 16);
+        assert_eq!(hw.scale, 1);
+    }
+
+    #[test]
+    fn scaling_divides_capacities_not_rates() {
+        let hw = HwConfig::ac922().scaled(64);
+        assert_eq!(hw.gpu.mem_capacity.0, Bytes::gib(16).0 / 64);
+        assert_eq!(hw.tlb.page_size.0, Bytes::mib(2).0 / 64);
+        assert_eq!(hw.gpu_l2_coverage().0, Bytes::gib(8).0 / 64);
+        assert_eq!(hw.gpu.scratchpad, Bytes::kib(64));
+        assert_eq!(hw.link.raw_bw_per_dir.0, 75e9);
+        assert_eq!(hw.scale, 64);
+    }
+
+    #[test]
+    fn tlb_entry_counts_invariant_under_scaling() {
+        let a = HwConfig::ac922();
+        let b = HwConfig::ac922().scaled(256);
+        assert_eq!(a.gpu_l2_tlb_entries(), b.gpu_l2_tlb_entries());
+        assert_eq!(a.l3_star_entries(), b.l3_star_entries());
+        assert_eq!(a.gpu_l2_tlb_entries(), 256);
+        assert_eq!(a.l3_star_entries(), 1024);
+    }
+
+    #[test]
+    fn scaling_composes() {
+        let hw = HwConfig::ac922().scaled(4).scaled(16);
+        assert_eq!(hw.scale, 64);
+        assert_eq!(hw.gpu.mem_capacity.0, Bytes::gib(16).0 / 64);
+    }
+
+    #[test]
+    fn with_cpu_reapplies_scale() {
+        let hw = HwConfig::ac922()
+            .scaled(128)
+            .with_cpu(CpuConfig::xeon_gold_6126());
+        assert_eq!(hw.cpu.mem_capacity.0, Bytes::gib(128).0 / 128);
+        assert_eq!(hw.cpu.name, "Xeon");
+    }
+}

@@ -1,0 +1,120 @@
+//! CPU cost model for the baseline joins.
+//!
+//! The CPU baselines (radix join on POWER9/Xeon, the CPU side of the
+//! CPU-partitioned strategy, and the CPU prefix sum) execute functionally
+//! like the GPU kernels but are timed with a simpler two-term model: a
+//! memory-bandwidth term for streaming passes and a core-throughput term
+//! for per-tuple work. The per-tuple cycle constants in [`CpuConfig`] are
+//! calibrated against Section 6.2.1 (POWER9 radix join at 1.1 declining to
+//! 0.9 G tuples/s; Xeon 1.0 to 0.6) and Fig 4 (~29 GiB/s CPU partitioning).
+//!
+//! [`CpuConfig`]: crate::config::CpuConfig
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::CpuConfig;
+use crate::units::{Bytes, Ns};
+
+/// Resource demand of one CPU phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuPhaseCost {
+    /// Bytes streamed from memory.
+    pub bytes_read: Bytes,
+    /// Bytes streamed to memory.
+    pub bytes_written: Bytes,
+    /// Tuples processed.
+    pub tuples: u64,
+    /// Cycles of per-tuple work per core (hashing, buffering, probing).
+    pub cycles_per_tuple: f64,
+    /// Multiplier > 1 when the working set spills out of the LLC and
+    /// per-tuple work stalls on memory (e.g. out-of-cache histograms).
+    pub cache_spill_factor: f64,
+}
+
+impl CpuPhaseCost {
+    /// Streaming phase over `bytes_read`/`bytes_written` with `cpt` cycles
+    /// of work per tuple.
+    pub fn new(bytes_read: Bytes, bytes_written: Bytes, tuples: u64, cpt: f64) -> Self {
+        CpuPhaseCost {
+            bytes_read,
+            bytes_written,
+            tuples,
+            cycles_per_tuple: cpt,
+            cache_spill_factor: 1.0,
+        }
+    }
+
+    /// Time of this phase on `cpu`: max of the bandwidth term (reads and
+    /// writes share the memory controllers) and the compute term across
+    /// all cores (SMT contributes ~30% extra issue throughput).
+    pub fn time(&self, cpu: &CpuConfig) -> Ns {
+        let bw = cpu.scan_bandwidth().0;
+        let t_mem = Ns((self.bytes_read.as_f64() + self.bytes_written.as_f64()) / bw * 1e9);
+        let smt_boost = 1.0 + 0.3 * (cpu.smt.saturating_sub(1) as f64 / 3.0);
+        let core_rate = cpu.cores as f64 * cpu.clock_ghz * smt_boost; // cycles/ns
+        let spill = self.cache_spill_factor.max(1.0);
+        let t_cpu = Ns(self.tuples as f64 * self.cycles_per_tuple * spill / core_rate);
+        t_mem.max(t_cpu)
+    }
+}
+
+/// Timing report of a multi-phase CPU operator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CpuReport {
+    /// (phase name, time) pairs in execution order.
+    pub phases: Vec<(String, Ns)>,
+}
+
+impl CpuReport {
+    /// Record a phase.
+    pub fn push(&mut self, name: impl Into<String>, t: Ns) {
+        self.phases.push((name.into(), t));
+    }
+
+    /// Total serial time.
+    pub fn total(&self) -> Ns {
+        self.phases.iter().map(|(_, t)| *t).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CpuConfig;
+
+    #[test]
+    fn bandwidth_bound_phase() {
+        let cpu = CpuConfig::power9();
+        // Pure scan of 13.26 GB at ~132.6 GB/s effective -> ~100 ms.
+        let c = CpuPhaseCost::new(Bytes(13_260_000_000), Bytes(0), 0, 0.0);
+        let t = c.time(&cpu);
+        assert!((t.as_millis() - 100.0).abs() < 5.0, "{t}");
+    }
+
+    #[test]
+    fn compute_bound_phase() {
+        let cpu = CpuConfig::power9();
+        // 1 G tuples x 60.8 cycles at 16 cores x 3.8 GHz x 1.3 SMT = 79 G
+        // cycles/s -> ~0.77 s, far above the trivial memory term.
+        let c = CpuPhaseCost::new(Bytes(1), Bytes(0), 1_000_000_000, 60.8);
+        let t = c.time(&cpu);
+        assert!((0.7..0.85).contains(&t.as_secs()), "{t}");
+    }
+
+    #[test]
+    fn spill_factor_slows_compute() {
+        let cpu = CpuConfig::power9();
+        let mut c = CpuPhaseCost::new(Bytes(0), Bytes(0), 1_000_000, 30.0);
+        let base = c.time(&cpu);
+        c.cache_spill_factor = 2.0;
+        assert!((c.time(&cpu).0 / base.0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut r = CpuReport::default();
+        r.push("partition", Ns(100.0));
+        r.push("join", Ns(50.0));
+        assert_eq!(r.total(), Ns(150.0));
+    }
+}

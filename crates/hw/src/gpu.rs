@@ -1,0 +1,124 @@
+//! GPU execution geometry: thread blocks, warps, and chunk assignment.
+//!
+//! The simulator executes kernels functionally at warp granularity. This
+//! module provides the launch geometry helpers every kernel shares: how
+//! many thread blocks a kernel launches, which contiguous input chunk each
+//! block owns, and how items within a chunk group into warp-sized batches.
+
+use crate::config::GpuConfig;
+
+/// Launch geometry for a data-parallel kernel.
+#[derive(Debug, Clone, Copy)]
+pub struct LaunchGeometry {
+    /// Thread blocks launched.
+    pub blocks: u32,
+    /// Warps per block.
+    pub warps_per_block: u32,
+    /// Threads per warp.
+    pub warp_size: u32,
+}
+
+impl LaunchGeometry {
+    /// The default occupancy-oriented launch used by the partitioning and
+    /// join kernels: `blocks_per_sm` blocks on each available SM.
+    pub fn for_gpu(gpu: &GpuConfig, sms: u32, blocks_per_sm: u32, warps_per_block: u32) -> Self {
+        let sms = if sms == 0 {
+            gpu.num_sms
+        } else {
+            sms.min(gpu.num_sms)
+        };
+        LaunchGeometry {
+            blocks: sms * blocks_per_sm,
+            warps_per_block,
+            warp_size: gpu.warp_size,
+        }
+    }
+
+    /// Total threads in the launch.
+    pub fn threads(&self) -> u64 {
+        self.blocks as u64 * self.warps_per_block as u64 * self.warp_size as u64
+    }
+
+    /// Split `n` items into one contiguous chunk per block. Returns
+    /// `(start, end)` ranges; blocks beyond the item count get empty
+    /// ranges. Chunks differ in size by at most one item.
+    pub fn block_chunks(&self, n: usize) -> Vec<(usize, usize)> {
+        split_chunks(n, self.blocks as usize)
+    }
+}
+
+/// Split `n` items into `parts` contiguous ranges differing by at most one.
+pub fn split_chunks(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    assert!(parts > 0);
+    let base = n / parts;
+    let rem = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < rem);
+        out.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Iterate `range` in warp-sized batches, calling `f(batch_start, batch_len)`.
+pub fn for_each_warp_batch(
+    range: (usize, usize),
+    warp_size: usize,
+    mut f: impl FnMut(usize, usize),
+) {
+    let (start, end) = range;
+    let mut i = start;
+    while i < end {
+        let len = warp_size.min(end - i);
+        f(i, len);
+        i += len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwConfig;
+
+    #[test]
+    fn chunks_cover_input_exactly() {
+        for n in [0usize, 1, 7, 160, 1000, 1001] {
+            let chunks = split_chunks(n, 160);
+            assert_eq!(chunks.len(), 160);
+            assert_eq!(chunks[0].0, 0);
+            assert_eq!(chunks.last().unwrap().1, n);
+            let total: usize = chunks.iter().map(|(s, e)| e - s).sum();
+            assert_eq!(total, n);
+            for w in chunks.windows(2) {
+                assert_eq!(w[0].1, w[1].0, "chunks must be contiguous");
+                assert!(w[0].1 - w[0].0 <= w[1].1 - w[1].0 + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn warp_batches_cover_range() {
+        let mut seen = 0usize;
+        let mut batches = 0;
+        for_each_warp_batch((10, 75), 32, |start, len| {
+            assert!(start >= 10 && start + len <= 75);
+            seen += len;
+            batches += 1;
+        });
+        assert_eq!(seen, 65);
+        assert_eq!(batches, 3); // 32 + 32 + 1
+    }
+
+    #[test]
+    fn geometry_respects_sm_cap() {
+        let gpu = HwConfig::ac922().gpu;
+        let g = LaunchGeometry::for_gpu(&gpu, 200, 2, 8);
+        assert_eq!(g.blocks, 160); // capped at 80 SMs x 2
+        let g = LaunchGeometry::for_gpu(&gpu, 0, 1, 8);
+        assert_eq!(g.blocks, 80);
+        assert_eq!(g.threads(), 80 * 8 * 32);
+    }
+}

@@ -1,0 +1,516 @@
+//! Kernel cost accounting and roofline timing.
+//!
+//! Every simulated kernel (GPU or CPU) executes *functionally* over real
+//! data while accumulating resource demand into a [`KernelCost`]:
+//! interconnect traffic (split into sequential streams and random accesses,
+//! because only the latter are transaction-rate limited), GPU memory bytes,
+//! issued warp instructions, and TLB outcomes. [`KernelCost::timing`]
+//! converts demand into time as the maximum over overlappable resources —
+//! the same reasoning the paper applies in Sections 6.2.3 and 6.2.12 when
+//! it attributes phases to the interconnect or to compute.
+//!
+//! The module also provides the pipeline combinators used to model
+//! concurrent kernel execution (Section 5.2): overlapped stages on split SM
+//! sets where the transfer of partition pair *i* hides behind the join of
+//! pair *i-1*.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::HwConfig;
+use crate::link::{LinkModel, WireCost};
+use crate::tlb::TlbStats;
+use crate::units::{Bytes, Ns};
+
+/// Interconnect demand of one kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkTraffic {
+    /// Payload streamed CPU -> GPU with perfect coalescing (input scans).
+    pub seq_read: Bytes,
+    /// Payload streamed GPU -> CPU with perfect coalescing (aligned
+    /// 128-byte-multiple flushes, result writes).
+    pub seq_write: Bytes,
+    /// Random reads from CPU memory (wire cost includes padding/headers).
+    pub rand_read: WireCost,
+    /// Random/partial writes to CPU memory.
+    pub rand_write: WireCost,
+}
+
+impl LinkTraffic {
+    /// Merge another kernel's traffic into this one.
+    pub fn merge(&mut self, o: &LinkTraffic) {
+        self.seq_read += o.seq_read;
+        self.seq_write += o.seq_write;
+        self.rand_read.merge(&o.rand_read);
+        self.rand_write.merge(&o.rand_write);
+    }
+
+    /// Total payload bytes moved in either direction.
+    pub fn payload(&self) -> Bytes {
+        self.seq_read + self.seq_write + self.rand_read.payload + self.rand_write.payload
+    }
+
+    /// Wire bytes on the CPU -> GPU direction (read data + write control).
+    /// Writes are posted, so sequential writes add no return traffic.
+    pub fn wire_cpu_to_gpu(&self, link: &LinkModel) -> Bytes {
+        let line = link.config().max_payload.0;
+        let hdr = link.config().header.0;
+        let seq_read_wire = self.seq_read.0 + self.seq_read.div_ceil(line) * hdr;
+        Bytes(seq_read_wire + self.rand_read.wire_data_dir.0 + self.rand_write.wire_ctrl_dir.0)
+    }
+
+    /// Wire bytes on the GPU -> CPU direction (write data + read control).
+    pub fn wire_gpu_to_cpu(&self, link: &LinkModel) -> Bytes {
+        let line = link.config().max_payload.0;
+        let hdr = link.config().header.0;
+        let seq_write_wire = self.seq_write.0 + self.seq_write.div_ceil(line) * hdr;
+        let seq_read_ctrl = Bytes(self.seq_read.0).div_ceil(line) * hdr;
+        Bytes(
+            seq_write_wire
+                + self.rand_write.wire_data_dir.0
+                + self.rand_read.wire_ctrl_dir.0
+                + seq_read_ctrl,
+        )
+    }
+}
+
+/// GPU memory demand of one kernel.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuMemTraffic {
+    /// Sequential/coalesced reads.
+    pub read: Bytes,
+    /// Sequential/coalesced writes.
+    pub write: Bytes,
+    /// Random writes (pay `random_write_penalty`).
+    pub rand_write: Bytes,
+    /// Random reads.
+    pub rand_read: Bytes,
+}
+
+impl GpuMemTraffic {
+    /// Merge another kernel's traffic.
+    pub fn merge(&mut self, o: &GpuMemTraffic) {
+        self.read += o.read;
+        self.write += o.write;
+        self.rand_write += o.rand_write;
+        self.rand_read += o.rand_read;
+    }
+
+    /// Total bytes.
+    pub fn total(&self) -> Bytes {
+        self.read + self.write + self.rand_write + self.rand_read
+    }
+}
+
+/// Resource demand accumulated by one kernel launch.
+#[derive(Debug, Clone, Default)]
+pub struct KernelCost {
+    /// Kernel name (appears in time breakdowns, e.g. "Part 1").
+    pub name: String,
+    /// Interconnect traffic.
+    pub link: LinkTraffic,
+    /// GPU on-board memory traffic.
+    pub gpu_mem: GpuMemTraffic,
+    /// Warp instructions issued (drives issue-slot utilisation).
+    pub instructions: u64,
+    /// Address-translation outcomes.
+    pub tlb: TlbStats,
+    /// Tuples consumed by the kernel (for per-tuple metrics).
+    pub tuples_in: u64,
+    /// Tuples produced/written (for tuples-per-transaction metrics).
+    pub tuples_out: u64,
+    /// SMs this kernel runs on (0 = all configured SMs).
+    pub sms: u32,
+    /// Extra synchronisation overhead cycles (barriers, lock spinning);
+    /// attributed to the "sync" stall bucket.
+    pub sync_cycles: u64,
+}
+
+impl KernelCost {
+    /// New empty cost for a named kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelCost {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Merge another cost block (same logical kernel, e.g. per-chunk).
+    pub fn merge(&mut self, o: &KernelCost) {
+        self.link.merge(&o.link);
+        self.gpu_mem.merge(&o.gpu_mem);
+        self.instructions += o.instructions;
+        self.tlb.merge(&o.tlb);
+        self.tuples_in += o.tuples_in;
+        self.tuples_out += o.tuples_out;
+        self.sync_cycles += o.sync_cycles;
+        if self.sms == 0 {
+            self.sms = o.sms;
+        }
+    }
+
+    /// Average tuples written per interconnect memory transaction
+    /// (Fig 18b). Falls back to GPU-memory transactions when the kernel
+    /// never touches the link.
+    pub fn tuples_per_txn(&self) -> f64 {
+        // Interconnect transactions when the kernel writes over the link
+        // (Fig 18 measures the out-of-core case); GPU-memory transactions
+        // otherwise. Staging traffic (e.g. Hierarchical's second tier)
+        // does not count against the output coalescing metric.
+        let link_txns =
+            self.link.rand_write.transactions + Bytes(self.link.seq_write.0).div_ceil(128);
+        let txns = if link_txns > 0 {
+            link_txns
+        } else {
+            Bytes(self.gpu_mem.write.0 + self.gpu_mem.rand_write.0).div_ceil(128)
+        };
+        if txns == 0 {
+            return 0.0;
+        }
+        self.tuples_out as f64 / txns as f64
+    }
+
+    /// IOMMU translation requests per input tuple (Fig 14b / Fig 18d).
+    pub fn iommu_requests_per_tuple(&self) -> f64 {
+        if self.tuples_in == 0 {
+            return 0.0;
+        }
+        self.tlb.full_misses as f64 / self.tuples_in as f64
+    }
+
+    /// Compute the roofline timing of this kernel under `hw`.
+    pub fn timing(&self, hw: &HwConfig) -> KernelTiming {
+        let link = LinkModel::new(&hw.link);
+        let sms = if self.sms == 0 {
+            hw.gpu.num_sms
+        } else {
+            self.sms.min(hw.gpu.num_sms)
+        };
+
+        // --- Interconnect: per-direction wire time, with a bidirectional
+        // efficiency derating when both directions are loaded.
+        let up = self.link.wire_cpu_to_gpu(&link).as_f64();
+        let down = self.link.wire_gpu_to_cpu(&link).as_f64();
+        let balance = if up + down > 0.0 {
+            2.0 * up.min(down) / (up + down)
+        } else {
+            0.0
+        };
+        let eff = 1.0 - (1.0 - hw.link.bidir_efficiency) * balance;
+        let bw = hw.link.raw_bw_per_dir.0 * eff;
+        let t_link_up = Ns(up / bw * 1e9);
+        let t_link_down = Ns(down / bw * 1e9);
+        let t_link = t_link_up.max(t_link_down);
+
+        // Random-access transaction-rate limit (Fig 6a): all random-read
+        // lines, but only partial-line writes.
+        let t_txn =
+            Ns(self.link.rand_read.transactions as f64 / hw.link.read_txn_rate * 1e9).max(Ns(self
+                .link
+                .rand_write
+                .partial_txns
+                as f64
+                / hw.link.write_txn_rate
+                * 1e9));
+        let t_link = t_link.max(t_txn);
+
+        // --- GPU memory: a bandwidth term for streams plus an
+        // access-rate term for random sectors (MSHR-limited; reproduces
+        // the paper's 4.3 G/s probe vs 1.8 G/s build dissection).
+        let gm = &self.gpu_mem;
+        let gm_bytes = gm.total().as_f64();
+        let t_gpu_bw = Ns(gm_bytes / hw.gpu.mem_bandwidth.0 * 1e9);
+        let sector = hw.gpu.gpu_mem_txn.as_f64().max(1.0);
+        let t_gpu_rand = Ns((gm.rand_read.as_f64() / sector / hw.gpu.rand_read_rate
+            + gm.rand_write.as_f64() / sector / hw.gpu.rand_write_rate)
+            * 1e9);
+        let t_gpu_mem = t_gpu_bw.max(t_gpu_rand);
+
+        // --- Compute: issue-throughput bound.
+        let issue_rate = sms as f64 * hw.gpu.issue_per_cycle * hw.gpu.clock_ghz; // instr/ns
+        let t_compute = Ns(self.instructions as f64 / issue_rate);
+        let t_sync = Ns(self.sync_cycles as f64 / (sms as f64 * hw.gpu.clock_ghz));
+
+        // --- TLB miss service: walks triggered by *dependent random
+        // reads* stall execution and serialise on the IOMMU's page-table
+        // walkers (the no-partitioning join's collapse); posted writes
+        // and sequential scans miss without stalling the pipeline.
+        let t_tlb =
+            Ns(self.tlb.serialized_walks as f64 * hw.tlb.walk_service_ns
+                / hw.tlb.iommu_walkers as f64);
+
+        let total = t_link.max(t_gpu_mem).max(t_compute).max(t_tlb) + t_sync;
+        KernelTiming {
+            total,
+            t_link,
+            t_link_up,
+            t_link_down,
+            t_gpu_mem,
+            t_compute,
+            t_tlb,
+            t_sync,
+            sms,
+        }
+    }
+}
+
+/// Timing decomposition of one kernel.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// End-to-end kernel time.
+    pub total: Ns,
+    /// Interconnect-bound time (max direction, incl. txn-rate limit).
+    pub t_link: Ns,
+    /// CPU -> GPU direction wire time.
+    pub t_link_up: Ns,
+    /// GPU -> CPU direction wire time.
+    pub t_link_down: Ns,
+    /// GPU memory time.
+    pub t_gpu_mem: Ns,
+    /// Issue-throughput (compute) time.
+    pub t_compute: Ns,
+    /// IOMMU walker service time.
+    pub t_tlb: Ns,
+    /// Barrier/lock overhead.
+    pub t_sync: Ns,
+    /// SMs used.
+    pub sms: u32,
+}
+
+impl KernelTiming {
+    /// Which resource binds this kernel.
+    pub fn bound(&self) -> Bound {
+        let m = self
+            .t_link
+            .max(self.t_gpu_mem)
+            .max(self.t_compute)
+            .max(self.t_tlb);
+        if m == self.t_tlb && self.t_tlb.0 > 0.0 {
+            Bound::TlbService
+        } else if m == self.t_link && self.t_link.0 > 0.0 {
+            Bound::Interconnect
+        } else if m == self.t_gpu_mem && self.t_gpu_mem.0 > 0.0 {
+            Bound::GpuMemory
+        } else {
+            Bound::Compute
+        }
+    }
+
+    /// Interconnect utilisation: the busier direction's wire time over the
+    /// kernel's total time (the paper reports measured bandwidth over the
+    /// 75 GB/s electrical limit, which is the same ratio).
+    pub fn link_utilization(&self) -> f64 {
+        if self.total.0 == 0.0 {
+            return 0.0;
+        }
+        (self.t_link_up.max(self.t_link_down).0 / self.total.0).min(1.0)
+    }
+}
+
+/// The binding resource of a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Bound {
+    /// NVLink wire or transaction rate.
+    Interconnect,
+    /// GPU on-board memory bandwidth.
+    GpuMemory,
+    /// Instruction issue throughput.
+    Compute,
+    /// IOMMU page-table-walk service rate.
+    TlbService,
+}
+
+/// GPU stall-reason attribution (Fig 15b / Fig 18f). Percentages of GPU
+/// cycles, summing to ~100.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StallProfile {
+    /// Cycles issuing instructions.
+    pub instr_issued: f64,
+    /// Stalled on memory dependencies (outstanding loads/stores).
+    pub memory_dep: f64,
+    /// Stalled on execution dependencies (includes translation latency).
+    pub exec_dep: f64,
+    /// Stalled on synchronisation (barriers, locks).
+    pub sync: f64,
+    /// Pipe busy / not selected and other reasons.
+    pub other: f64,
+}
+
+impl StallProfile {
+    /// Attribute stall reasons from a kernel's demand and timing.
+    ///
+    /// Issue-slot utilisation is exact (`instructions / (SMs x cycles)`);
+    /// the non-issuing remainder is split across stall buckets in
+    /// proportion to the timing components that forced the wait.
+    pub fn from_timing(cost: &KernelCost, timing: &KernelTiming, hw: &HwConfig) -> StallProfile {
+        let cycles = timing.total.0 * hw.gpu.clock_ghz * timing.sms as f64 * hw.gpu.issue_per_cycle;
+        if cycles <= 0.0 {
+            return StallProfile::default();
+        }
+        let issued = (cost.instructions as f64 / cycles).min(1.0) * 100.0;
+        let stall = 100.0 - issued;
+        // Weights for the stall split.
+        let mem_w = timing.t_link.max(timing.t_gpu_mem).0;
+        let tlb_w = timing.t_tlb.0;
+        let sync_w = timing.t_sync.0;
+        let sum = (mem_w + tlb_w + sync_w).max(1e-12);
+        StallProfile {
+            instr_issued: issued,
+            memory_dep: stall * mem_w / sum * 0.9,
+            exec_dep: stall * tlb_w / sum * 0.8 + stall * mem_w / sum * 0.1,
+            sync: stall * sync_w / sum,
+            other: stall * tlb_w / sum * 0.2,
+        }
+    }
+}
+
+/// Sum kernel times sequentially (barrier between each).
+pub fn serial(times: &[Ns]) -> Ns {
+    times.iter().copied().sum()
+}
+
+/// Two-stage software pipeline over per-item times: stage B of item *i*
+/// overlaps stage A of item *i+1* (the Triton join's concurrent-kernel
+/// scheme, Fig 11). Returns total time.
+pub fn pipeline2(a: &[Ns], b: &[Ns]) -> Ns {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return Ns::ZERO;
+    }
+    // a_0, then steady state max(a_{i+1}, b_i), then b_last.
+    let mut total = a[0];
+    for i in 0..a.len() - 1 {
+        total += a[i + 1].max(b[i]);
+    }
+    total += b[a.len() - 1];
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::Alignment;
+
+    fn hw() -> HwConfig {
+        HwConfig::ac922()
+    }
+
+    #[test]
+    fn seq_read_kernel_is_link_bound() {
+        let mut k = KernelCost::new("scan");
+        k.link.seq_read = Bytes::gib(4);
+        k.instructions = 1000;
+        let t = k.timing(&hw());
+        assert_eq!(t.bound(), Bound::Interconnect);
+        // ~4 GiB / 66.7 GB/s effective.
+        let expect = Bytes::gib(4).as_f64() / 66.7e9;
+        assert!(
+            (t.total.as_secs() / expect - 1.0).abs() < 0.1,
+            "{}",
+            t.total
+        );
+    }
+
+    #[test]
+    fn compute_kernel_scales_with_sms() {
+        let mut k = KernelCost::new("compute");
+        k.instructions = 1_000_000_000;
+        let t80 = k.timing(&hw());
+        let t20 = k.timing(&hw().with_sms(20));
+        assert!((t20.total.0 / t80.total.0 - 4.0).abs() < 0.05);
+        assert_eq!(t80.bound(), Bound::Compute);
+    }
+
+    #[test]
+    fn tlb_bound_kernel() {
+        let h = hw();
+        let mut k = KernelCost::new("probe");
+        k.tuples_in = 1_000_000;
+        k.tlb.full_misses = 1_600_000; // ~1.6 walks/tuple (5.3 requests)
+        k.tlb.serialized_walks = 1_600_000;
+        let t = k.timing(&h);
+        assert_eq!(t.bound(), Bound::TlbService);
+        // Throughput floor near the paper's ~1.1 M tuples/s.
+        let tput = 1_000_000.0 / t.total.as_secs();
+        assert!((0.6e6..2.4e6).contains(&tput), "tput {tput}");
+    }
+
+    #[test]
+    fn bidirectional_streams_derated() {
+        let h = hw();
+        let mut k = KernelCost::new("partition");
+        k.link.seq_read = Bytes::gib(8);
+        k.link.seq_write = Bytes::gib(8);
+        let t = k.timing(&h);
+        // Effective per-direction bandwidth should be below unidirectional
+        // effective bw and around the paper's 55.9 GiB/s bidirectional.
+        let gibs = Bytes::gib(8).as_gib() / t.total.as_secs();
+        assert!((48.0..=60.0).contains(&gibs), "got {gibs} GiB/s");
+    }
+
+    #[test]
+    fn random_gpu_writes_slower_than_reads() {
+        // Section 6.2.9: random GPU-memory reads are 3.2-6x faster than
+        // writes.
+        let h = hw();
+        let mut r = KernelCost::new("r");
+        r.gpu_mem.rand_read = Bytes::gib(1);
+        let mut w = KernelCost::new("w");
+        w.gpu_mem.rand_write = Bytes::gib(1);
+        let ratio = w.timing(&h).total.0 / r.timing(&h).total.0;
+        assert!((2.0..=6.5).contains(&ratio), "ratio {ratio}");
+        // And both are slower than a sequential stream of the same size.
+        let mut s = KernelCost::new("s");
+        s.gpu_mem.write = Bytes::gib(1);
+        assert!(w.timing(&h).total.0 > s.timing(&h).total.0 * 3.0);
+    }
+
+    #[test]
+    fn pipeline2_overlaps() {
+        let a = [Ns(10.0), Ns(10.0), Ns(10.0)];
+        let b = [Ns(4.0), Ns(4.0), Ns(4.0)];
+        // a0 + max(a1,b0) + max(a2,b1) + b2 = 10+10+10+4.
+        assert_eq!(pipeline2(&a, &b), Ns(34.0));
+        let b2 = [Ns(20.0), Ns(20.0), Ns(20.0)];
+        // a0 + b chain dominates: 10 + 20 + 20 + 20 = 70.
+        assert_eq!(pipeline2(&a, &b2), Ns(70.0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let h = hw();
+        let link = LinkModel::new(&h.link);
+        let mut k = KernelCost::new("x");
+        k.link
+            .rand_write
+            .merge(&link.write(Bytes(128), Alignment::Natural));
+        let mut k2 = KernelCost::new("x");
+        k2.link
+            .rand_write
+            .merge(&link.write(Bytes(128), Alignment::Natural));
+        k.merge(&k2);
+        assert_eq!(k.link.rand_write.transactions, 2);
+    }
+
+    #[test]
+    fn stall_profile_sums_to_100() {
+        let h = hw();
+        let mut k = KernelCost::new("p");
+        k.link.seq_read = Bytes::gib(1);
+        k.instructions = 50_000_000;
+        k.tuples_in = 1;
+        let t = k.timing(&h);
+        let s = StallProfile::from_timing(&k, &t, &h);
+        let sum = s.instr_issued + s.memory_dep + s.exec_dep + s.sync + s.other;
+        assert!((85.0..=100.5).contains(&sum), "sum {sum}");
+        assert!(s.memory_dep > s.sync);
+    }
+
+    #[test]
+    fn link_utilization_of_pure_transfer_is_high() {
+        let h = hw();
+        let mut k = KernelCost::new("scan");
+        k.link.seq_read = Bytes::gib(2);
+        let t = k.timing(&h);
+        assert!(t.link_utilization() > 0.95);
+    }
+}

@@ -1,0 +1,41 @@
+//! # triton-hw
+//!
+//! Hardware model of an AC922-class system: an Nvidia V100 GPU connected to
+//! an IBM POWER9 CPU via NVLink 2.0. This crate is the substrate every
+//! other crate of the Triton-join reproduction builds on.
+//!
+//! The original system's hardware does not exist here, so the join
+//! algorithms execute *functionally* (producing verifiable results on real
+//! data) while this crate accounts for every memory access against models
+//! of:
+//!
+//! * the NVLink 2.0 packet format and its overheads ([`link`]),
+//! * the GPU/IOMMU address-translation hierarchy ([`tlb`]),
+//! * SM/warp geometry ([`gpu`]) and issue throughput,
+//! * kernel roofline timing and concurrent-kernel pipelines ([`kernel`]),
+//! * the CPU baselines' bandwidth/core throughput ([`cpu`]),
+//! * the system power envelope ([`power`]).
+//!
+//! All model parameters live in [`config::HwConfig`], whose defaults are
+//! the values the paper reports or measures. [`config::HwConfig::scaled`]
+//! shrinks capacities so experiments fit on a small host while preserving
+//! the paper's figure shapes (see the module docs in [`config`]).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cpu;
+pub mod gpu;
+pub mod kernel;
+pub mod link;
+pub mod power;
+pub mod timeline;
+pub mod tlb;
+pub mod units;
+
+pub use config::{CpuConfig, GpuConfig, HwConfig, LinkConfig, PowerConfig, TlbConfig};
+pub use kernel::{Bound, KernelCost, KernelTiming, StallProfile};
+pub use link::{Alignment, Dir, LinkModel, WireCost};
+pub use timeline::Timeline;
+pub use tlb::{MemSide, TlbLevel, TlbSim, TlbStats};
+pub use units::{Bytes, BytesPerSec, Cycles, Ns};

@@ -1,0 +1,447 @@
+//! NVLink 2.0 transfer cost model.
+//!
+//! Section 2.1 of the paper describes the packet format: every packet
+//! carries a 16-byte header and 1-256 bytes of payload; small reads are
+//! padded to a 32-byte payload; small writes carry an extra 16-byte "byte
+//! enable" header extension; SM-originated packets carry at most 128 bytes
+//! (one L1 cacheline). Section 3.4.1 measures the achieved bandwidth of
+//! random accesses: it grows linearly with the access granularity until a
+//! 128-byte access matches sequential throughput, i.e. the GPU coalesces
+//! CPU-memory accesses into 128-byte cacheline transactions and sustains a
+//! bounded *transaction rate* below the saturation point.
+//!
+//! This module turns those observations into a cost model with two limits:
+//!
+//! 1. **Wire bytes**: payload plus per-packet overhead divided by the raw
+//!    per-direction bandwidth.
+//! 2. **Transaction rate**: independent random accesses are issued at a
+//!    bounded rate (reads faster than writes, matching Fig 6a).
+//!
+//! The model is exercised directly by the Fig 6 reproduction and indirectly
+//! by every out-of-core kernel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::LinkConfig;
+use crate::units::{Bytes, Ns};
+
+/// Transfer direction over the interconnect, named from the GPU's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dir {
+    /// GPU reads CPU memory (payload flows CPU -> GPU).
+    CpuToGpu,
+    /// GPU writes CPU memory (payload flows GPU -> CPU).
+    GpuToCpu,
+}
+
+/// Alignment classes of Section 3.4.1 / Fig 6(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Alignment {
+    /// Access aligned to its own granularity (the paper's default).
+    Natural,
+    /// Aligned only to the 128-byte cacheline.
+    Cacheline,
+    /// Misaligned by a sub-cacheline amount (the paper uses 16 bytes).
+    None,
+}
+
+/// Wire cost of a batch of accesses: payload, total wire bytes per
+/// direction, and the number of cacheline transactions issued.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WireCost {
+    /// Useful payload bytes.
+    pub payload: Bytes,
+    /// Bytes on the wire in the direction that carries the payload
+    /// (includes headers, padding, byte-enable extensions).
+    pub wire_data_dir: Bytes,
+    /// Bytes on the wire in the opposite direction (read requests or write
+    /// acknowledgements).
+    pub wire_ctrl_dir: Bytes,
+    /// 128-byte-granule interconnect transactions issued.
+    pub transactions: u64,
+    /// Transactions that carry a *partial* cacheline (sub-128-byte or
+    /// misaligned writes). These pay the byte-enable extension and are
+    /// subject to the write transaction-rate limit.
+    pub partial_txns: u64,
+}
+
+impl WireCost {
+    /// Accumulate another cost into this one.
+    pub fn merge(&mut self, other: &WireCost) {
+        self.payload += other.payload;
+        self.wire_data_dir += other.wire_data_dir;
+        self.wire_ctrl_dir += other.wire_ctrl_dir;
+        self.transactions += other.transactions;
+        self.partial_txns += other.partial_txns;
+    }
+
+    /// Protocol overhead as a fraction of payload (Fig 18c reports overhead
+    /// reaching 156% of the transfer volume for poorly coalesced writes).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.payload.0 == 0 {
+            return 0.0;
+        }
+        (self.wire_data_dir.0 + self.wire_ctrl_dir.0).saturating_sub(self.payload.0) as f64
+            / self.payload.0 as f64
+    }
+}
+
+/// The NVLink cost model. Cheap to copy; all methods are pure.
+///
+/// ```
+/// use triton_hw::{HwConfig, LinkModel};
+/// let link = LinkModel::new(&HwConfig::ac922().link);
+/// // A 16-byte write lands in one partial 128-byte line...
+/// let wc = link.write_at(0, 16);
+/// assert_eq!((wc.transactions, wc.partial_txns), (1, 1));
+/// // ...while an aligned 256-byte flush fills two whole lines.
+/// let wc = link.write_at(256, 256);
+/// assert_eq!((wc.transactions, wc.partial_txns), (2, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkModel {
+    cfg: LinkConfig,
+}
+
+impl LinkModel {
+    /// Build a model from the configuration.
+    pub fn new(cfg: &LinkConfig) -> Self {
+        LinkModel { cfg: cfg.clone() }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Maximum effective sequential bandwidth per direction: payload share
+    /// of the wire once every 128-byte packet pays its 16-byte header.
+    /// The paper calculates 62-65.7 GiB/s.
+    pub fn effective_seq_bw(&self) -> f64 {
+        let p = self.cfg.max_payload.as_f64();
+        self.cfg.raw_bw_per_dir.0 * p / (p + self.cfg.header.as_f64())
+    }
+
+    /// Wire cost of one *read* of `granularity` bytes at `alignment`.
+    ///
+    /// Reads occupy full cachelines on the response path (the GPU fetches
+    /// whole 128-byte lines from CPU memory over NVLink); requests cost one
+    /// header in the opposite direction per line.
+    pub fn read(&self, granularity: Bytes, alignment: Alignment) -> WireCost {
+        let lines = self.lines_spanned(granularity, alignment);
+        let line = self.cfg.max_payload;
+        let header = self.cfg.header;
+        WireCost {
+            payload: granularity,
+            wire_data_dir: Bytes(lines * (line.0 + header.0)),
+            wire_ctrl_dir: Bytes(lines * header.0),
+            transactions: lines,
+            partial_txns: 0,
+        }
+    }
+
+    /// Wire cost of one *write* of `granularity` bytes at `alignment`.
+    ///
+    /// Full aligned lines carry header + payload. Partial lines additionally
+    /// carry the byte-enable extension and (in the model) trigger a
+    /// read-modify-write at the home node, accounted as extra control
+    /// traffic via `partial_write_penalty`.
+    pub fn write(&self, granularity: Bytes, alignment: Alignment) -> WireCost {
+        let line = self.cfg.max_payload.0;
+        let lines = self.lines_spanned(granularity, alignment);
+        // Line-aligned writes fill whole cachelines; a misaligned write
+        // shifts the data against every cacheline it touches, so *all* of
+        // its lines are partial and pay the read-modify-write cost.
+        let full_lines = match alignment {
+            Alignment::Natural | Alignment::Cacheline => granularity.0 / line,
+            Alignment::None => 0,
+        }
+        .min(lines);
+        let partial_lines = lines - full_lines;
+        let header = self.cfg.header.0;
+        let be = self.cfg.byte_enable.0;
+        // Partial lines move a padded payload slot (at least
+        // `min_read_payload`) plus the byte-enable extension, and pay the
+        // RMW penalty as additional wire occupancy at the home node.
+        let mut data_dir = full_lines * (line + header);
+        let mut remaining_partial = granularity.0 - full_lines * line;
+        for i in 0..partial_lines {
+            // Distribute the remaining payload over the partial lines:
+            // middle lines of a misaligned span still carry near-full
+            // payloads, edge lines carry the remainder.
+            let lines_left = partial_lines - i;
+            let chunk = if lines_left == 1 {
+                remaining_partial
+            } else {
+                remaining_partial.min(line)
+            };
+            let slot = chunk.max(1).max(self.cfg.min_read_payload.0).min(line);
+            let rmw_extra = ((self.cfg.partial_write_penalty - 1.0) * (slot + be) as f64) as u64;
+            data_dir += slot + header + be + rmw_extra;
+            remaining_partial = remaining_partial.saturating_sub(chunk);
+        }
+        WireCost {
+            payload: granularity,
+            wire_data_dir: Bytes(data_dir),
+            wire_ctrl_dir: Bytes(lines * header),
+            transactions: lines,
+            partial_txns: partial_lines,
+        }
+    }
+
+    /// Wire cost of one read of `len` bytes at the exact byte `offset`
+    /// (lines spanned computed from the offset, not an alignment class).
+    pub fn read_at(&self, offset: u64, len: u64) -> WireCost {
+        if len == 0 {
+            return WireCost::default();
+        }
+        let line = self.cfg.max_payload.0;
+        let lines = (offset % line + len).div_ceil(line);
+        let header = self.cfg.header.0;
+        WireCost {
+            payload: Bytes(len),
+            wire_data_dir: Bytes(lines * (line + header)),
+            wire_ctrl_dir: Bytes(lines * header),
+            transactions: lines,
+            partial_txns: 0,
+        }
+    }
+
+    /// Wire cost of one write of `len` bytes at the exact byte `offset`.
+    /// Lines that the write does not fully cover are partial (byte-enable
+    /// plus read-modify-write penalty).
+    pub fn write_at(&self, offset: u64, len: u64) -> WireCost {
+        if len == 0 {
+            return WireCost::default();
+        }
+        let line = self.cfg.max_payload.0;
+        let first = offset / line;
+        let last = (offset + len - 1) / line;
+        let header = self.cfg.header.0;
+        let be = self.cfg.byte_enable.0;
+        let mut data_dir = 0u64;
+        let mut partials = 0u64;
+        for l in first..=last {
+            let lo = offset.max(l * line);
+            let hi = (offset + len).min((l + 1) * line);
+            let chunk = hi - lo;
+            if chunk == line {
+                data_dir += line + header;
+            } else {
+                let slot = chunk.max(self.cfg.min_read_payload.0).min(line);
+                let rmw = ((self.cfg.partial_write_penalty - 1.0) * (slot + be) as f64) as u64;
+                data_dir += slot + header + be + rmw;
+                partials += 1;
+            }
+        }
+        WireCost {
+            payload: Bytes(len),
+            wire_data_dir: Bytes(data_dir),
+            wire_ctrl_dir: Bytes((last - first + 1) * header),
+            transactions: last - first + 1,
+            partial_txns: partials,
+        }
+    }
+
+    /// 128-byte cachelines spanned by one access.
+    fn lines_spanned(&self, granularity: Bytes, alignment: Alignment) -> u64 {
+        let line = self.cfg.max_payload.0;
+        if granularity.0 == 0 {
+            return 0;
+        }
+        match alignment {
+            Alignment::Natural | Alignment::Cacheline => granularity.0.div_ceil(line),
+            // Misaligned by a sub-line amount: one extra line is touched
+            // whenever the access does not already end exactly at a line
+            // boundary after the shift.
+            Alignment::None => granularity.0.div_ceil(line) + 1,
+        }
+    }
+
+    /// Time for `n` independent random accesses of `granularity` bytes in
+    /// `dir` at `alignment`: the max of the wire-byte limit and the
+    /// transaction-rate limit.
+    pub fn random_access_time(
+        &self,
+        n: u64,
+        granularity: Bytes,
+        dir: Dir,
+        alignment: Alignment,
+    ) -> Ns {
+        let per = match dir {
+            Dir::CpuToGpu => self.read(granularity, alignment),
+            Dir::GpuToCpu => self.write(granularity, alignment),
+        };
+        let wire_bytes = per.wire_data_dir.0 * n;
+        // Reads are rate-limited per line fetched; writes only per partial
+        // line (full aligned lines stream at wire speed; Fig 6a shows
+        // writes matching reads at 128 bytes).
+        let (txns, rate) = match dir {
+            Dir::CpuToGpu => (per.transactions * n, self.cfg.read_txn_rate),
+            Dir::GpuToCpu => (per.partial_txns * n, self.cfg.write_txn_rate),
+        };
+        let t_wire = Ns(wire_bytes as f64 / self.cfg.raw_bw_per_dir.0 * 1e9);
+        let t_txn = Ns(txns as f64 / rate * 1e9);
+        t_wire.max(t_txn)
+    }
+
+    /// Achieved bandwidth (payload bytes/s) of the random-access pattern of
+    /// Fig 6: `n` accesses of `granularity` bytes.
+    pub fn random_access_bandwidth(
+        &self,
+        granularity: Bytes,
+        dir: Dir,
+        alignment: Alignment,
+    ) -> f64 {
+        let n = 1_000_000;
+        let t = self.random_access_time(n, granularity, dir, alignment);
+        (granularity.0 * n) as f64 / t.as_secs()
+    }
+
+    /// Time to stream `bytes` sequentially in one direction (perfectly
+    /// coalesced 128-byte packets).
+    pub fn seq_transfer_time(&self, bytes: Bytes) -> Ns {
+        if bytes.0 == 0 {
+            return Ns::ZERO;
+        }
+        Ns(bytes.as_f64() / self.effective_seq_bw() * 1e9)
+    }
+
+    /// Effective bandwidth ceiling when both directions stream
+    /// simultaneously (read input + write output), per direction.
+    pub fn bidir_seq_bw(&self) -> f64 {
+        self.effective_seq_bw() * self.cfg.bidir_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwConfig;
+    const GIB: f64 = (1u64 << 30) as f64;
+
+    fn model() -> LinkModel {
+        LinkModel::new(&HwConfig::ac922().link)
+    }
+
+    #[test]
+    fn effective_seq_bw_matches_paper_range() {
+        // Paper: 62-65.7 GiB/s effective per direction.
+        let bw = model().effective_seq_bw() / GIB;
+        assert!((62.0..=65.7).contains(&bw), "got {bw}");
+    }
+
+    #[test]
+    fn fig6a_read_bandwidth_shape() {
+        // Fig 6(a) read series: (granularity, GiB/s) =
+        // (4, 2.6) (8, 5.1) (16, 10.4) (32, 22.1) (64, 44.1) (128, 63.8).
+        let m = model();
+        let expect = [
+            (4u64, 2.6),
+            (8, 5.1),
+            (16, 10.4),
+            (32, 22.1),
+            (64, 44.1),
+            (128, 63.8),
+        ];
+        for (g, paper) in expect {
+            let got = m.random_access_bandwidth(Bytes(g), Dir::CpuToGpu, Alignment::Natural) / GIB;
+            let ratio = got / paper;
+            assert!(
+                (0.7..=1.35).contains(&ratio),
+                "read g={g}: got {got:.1} GiB/s vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6a_write_bandwidth_shape() {
+        // Fig 6(a) write series: (4, 1.8) (8, 3.6) (16, 5.9) (32, 12.5)
+        // (64, 25.3) (128, 63.6).
+        let m = model();
+        let expect = [(4u64, 1.8), (8, 3.6), (16, 5.9), (32, 12.5), (64, 25.3)];
+        for (g, paper) in expect {
+            let got = m.random_access_bandwidth(Bytes(g), Dir::GpuToCpu, Alignment::Natural) / GIB;
+            let ratio = got / paper;
+            assert!(
+                (0.55..=1.6).contains(&ratio),
+                "write g={g}: got {got:.1} GiB/s vs paper {paper}"
+            );
+        }
+        // At 128 bytes writes saturate like reads.
+        let got = m.random_access_bandwidth(Bytes(128), Dir::GpuToCpu, Alignment::Natural) / GIB;
+        assert!(
+            got > 55.0,
+            "128B writes should approach saturation, got {got}"
+        );
+    }
+
+    #[test]
+    fn reads_faster_than_writes_at_small_granularity() {
+        let m = model();
+        for g in [4u64, 8, 16, 32, 64] {
+            let r = m.random_access_bandwidth(Bytes(g), Dir::CpuToGpu, Alignment::Natural);
+            let w = m.random_access_bandwidth(Bytes(g), Dir::GpuToCpu, Alignment::Natural);
+            assert!(r > w, "g={g}: read {r} !> write {w}");
+        }
+    }
+
+    #[test]
+    fn fig6b_misalignment_penalty() {
+        // Paper: misaligning a 512-byte access by 16 bytes costs reads 20%
+        // and writes 56%.
+        let m = model();
+        let g = Bytes(512);
+        let r_al = m.random_access_bandwidth(g, Dir::CpuToGpu, Alignment::Natural);
+        let r_mis = m.random_access_bandwidth(g, Dir::CpuToGpu, Alignment::None);
+        let read_drop = 1.0 - r_mis / r_al;
+        assert!(
+            (0.1..=0.3).contains(&read_drop),
+            "read misalignment drop {read_drop}"
+        );
+        let w_al = m.random_access_bandwidth(g, Dir::GpuToCpu, Alignment::Natural);
+        let w_mis = m.random_access_bandwidth(g, Dir::GpuToCpu, Alignment::None);
+        let write_drop = 1.0 - w_mis / w_al;
+        assert!(
+            (0.4..=0.7).contains(&write_drop),
+            "write misalignment drop {write_drop}"
+        );
+    }
+
+    #[test]
+    fn misaligned_access_spans_extra_line() {
+        let m = model();
+        assert_eq!(m.read(Bytes(512), Alignment::Natural).transactions, 4);
+        assert_eq!(m.read(Bytes(512), Alignment::None).transactions, 5);
+    }
+
+    #[test]
+    fn wirecost_merge_and_overhead() {
+        let m = model();
+        let mut acc = WireCost::default();
+        acc.merge(&m.write(Bytes(128), Alignment::Natural));
+        acc.merge(&m.write(Bytes(128), Alignment::Natural));
+        assert_eq!(acc.payload, Bytes(256));
+        assert_eq!(acc.transactions, 2);
+        // 16B header per 128B line + 16B ctrl header -> 25% overhead.
+        assert!((acc.overhead_ratio() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_sized_access_is_free() {
+        let m = model();
+        assert_eq!(m.read(Bytes(0), Alignment::Natural), WireCost::default());
+        assert_eq!(
+            m.random_access_time(0, Bytes(16), Dir::CpuToGpu, Alignment::Natural),
+            Ns::ZERO
+        );
+    }
+
+    #[test]
+    fn seq_transfer_time_linear() {
+        let m = model();
+        let t1 = m.seq_transfer_time(Bytes::gib(1));
+        let t2 = m.seq_transfer_time(Bytes::gib(2));
+        assert!((t2.0 / t1.0 - 2.0).abs() < 1e-9);
+    }
+}

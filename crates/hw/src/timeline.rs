@@ -1,0 +1,163 @@
+//! ASCII timeline rendering for kernel pipelines.
+//!
+//! The paper's Fig 11 sketches how the second partitioning pass of pair
+//! *i+1* overlaps the join of pair *i* on disjoint SM halves. This module
+//! renders the same picture from simulated phase times, so examples and
+//! debugging sessions can *see* the overlap instead of inferring it from
+//! totals.
+
+use crate::units::Ns;
+
+/// One lane of the timeline (e.g. one CUDA stream / SM half).
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// Lane label (left margin).
+    pub name: String,
+    /// `(label, start, duration)` segments. Overlapping segments within a
+    /// lane are rendered in submission order.
+    pub segments: Vec<(String, Ns, Ns)>,
+}
+
+/// A multi-lane timeline.
+///
+/// ```
+/// use triton_hw::{Timeline, Ns};
+/// let mut t = Timeline::new();
+/// t.lane("part").seg("P", Ns(0.0), Ns(60.0));
+/// t.lane("join").seg("J", Ns(30.0), Ns(60.0));
+/// let art = t.render(40);
+/// assert_eq!(art.lines().count(), 3); // two lanes + axis
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    lanes: Vec<Lane>,
+}
+
+impl Timeline {
+    /// Create an empty timeline.
+    pub fn new() -> Self {
+        Timeline::default()
+    }
+
+    /// Add a lane.
+    pub fn lane(&mut self, name: impl Into<String>) -> &mut Lane {
+        self.lanes.push(Lane {
+            name: name.into(),
+            segments: Vec::new(),
+        });
+        self.lanes.last_mut().unwrap()
+    }
+
+    /// Total span of the timeline.
+    pub fn span(&self) -> Ns {
+        self.lanes
+            .iter()
+            .flat_map(|l| l.segments.iter())
+            .map(|(_, s, d)| *s + *d)
+            .fold(Ns::ZERO, Ns::max)
+    }
+
+    /// Render as fixed-width ASCII, `width` characters of time axis.
+    pub fn render(&self, width: usize) -> String {
+        let span = self.span().0.max(1e-9);
+        let name_w = self
+            .lanes
+            .iter()
+            .map(|l| l.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = String::new();
+        for lane in &self.lanes {
+            let mut row = vec![' '; width];
+            for (label, start, dur) in &lane.segments {
+                let a = ((start.0 / span) * width as f64).floor() as usize;
+                let b = (((start.0 + dur.0) / span) * width as f64).ceil() as usize;
+                let b = b.clamp(a + 1, width);
+                for (idx, cell) in row[a..b].iter_mut().enumerate() {
+                    let chars: Vec<char> = label.chars().collect();
+                    *cell = if idx == 0 {
+                        '['
+                    } else if idx == b - a - 1 {
+                        ']'
+                    } else if idx - 1 < chars.len() {
+                        chars[idx - 1]
+                    } else {
+                        '='
+                    };
+                }
+            }
+            out.push_str(&format!(
+                "{:>name_w$} |{}|\n",
+                lane.name,
+                row.iter().collect::<String>()
+            ));
+        }
+        out.push_str(&format!(
+            "{:>name_w$} 0{:>w$}\n",
+            "",
+            format!("{}", Ns(span)),
+            w = width
+        ));
+        out
+    }
+}
+
+impl Lane {
+    /// Append a segment starting at `start` for `dur`.
+    pub fn seg(&mut self, label: impl Into<String>, start: Ns, dur: Ns) -> &mut Self {
+        self.segments.push((label.into(), start, dur));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_overlapping_lanes() {
+        let mut t = Timeline::new();
+        t.lane("part")
+            .seg("P0", Ns(0.0), Ns(50.0))
+            .seg("P1", Ns(50.0), Ns(50.0));
+        t.lane("join").seg("J0", Ns(50.0), Ns(50.0));
+        let s = t.render(40);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains('['));
+        // The join lane starts around the middle of the axis.
+        let join_line = lines[1];
+        let bracket = join_line.find('[').unwrap();
+        assert!(bracket > join_line.len() / 3, "{s}");
+    }
+
+    #[test]
+    fn span_is_latest_end() {
+        let mut t = Timeline::new();
+        t.lane("a").seg("x", Ns(10.0), Ns(5.0));
+        t.lane("b").seg("y", Ns(2.0), Ns(20.0));
+        assert_eq!(t.span(), Ns(22.0));
+    }
+
+    #[test]
+    fn empty_timeline_renders_axis_only() {
+        let t = Timeline::new();
+        assert_eq!(t.span(), Ns::ZERO);
+        let s = t.render(20);
+        assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn segments_clamped_to_width() {
+        let mut t = Timeline::new();
+        t.lane("a")
+            .seg("very-long-label-overflowing", Ns(0.0), Ns(1.0));
+        let s = t.render(10);
+        // |...| frame of exactly the requested width.
+        let inner = s.lines().next().unwrap();
+        let open = inner.find('|').unwrap();
+        let close = inner.rfind('|').unwrap();
+        assert_eq!(close - open - 1, 10);
+    }
+}

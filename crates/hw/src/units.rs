@@ -1,0 +1,281 @@
+//! Unit newtypes used throughout the simulator.
+//!
+//! The hardware model mixes quantities in very different units (wire bytes,
+//! payload bytes, nanoseconds, GPU cycles, tuples). Thin newtypes keep the
+//! arithmetic honest without getting in the way: each wraps a primitive,
+//! supports the arithmetic the model needs, and converts explicitly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A byte count (payload, wire, or capacity).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(pub u64);
+
+/// A duration in nanoseconds. Fractional, because modeled rates rarely divide
+/// evenly.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Ns(pub f64);
+
+/// A count of processor clock cycles (GPU or CPU depending on context).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Cycles(pub f64);
+
+pub(crate) const KIB: u64 = 1 << 10;
+pub(crate) const MIB: u64 = 1 << 20;
+pub(crate) const GIB: u64 = 1 << 30;
+
+impl Bytes {
+    /// Construct from KiB.
+    pub const fn kib(n: u64) -> Self {
+        Bytes(n * KIB)
+    }
+    /// Construct from MiB.
+    pub const fn mib(n: u64) -> Self {
+        Bytes(n * MIB)
+    }
+    /// Construct from GiB.
+    pub const fn gib(n: u64) -> Self {
+        Bytes(n * GIB)
+    }
+    /// Value as `f64` for rate arithmetic.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+    /// Value in GiB as `f64` (for reporting).
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / GIB as f64
+    }
+    /// Value in MiB as `f64` (for reporting).
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_sub(rhs.0))
+    }
+    /// Integer division rounding up (e.g. bytes per transaction).
+    pub fn div_ceil(self, unit: u64) -> u64 {
+        debug_assert!(unit > 0);
+        self.0.div_ceil(unit)
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Bytes {
+    type Output = Bytes;
+    fn sub(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 - rhs.0)
+    }
+}
+impl SubAssign for Bytes {
+    fn sub_assign(&mut self, rhs: Bytes) {
+        self.0 -= rhs.0;
+    }
+}
+impl Mul<u64> for Bytes {
+    type Output = Bytes;
+    fn mul(self, rhs: u64) -> Bytes {
+        Bytes(self.0 * rhs)
+    }
+}
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= GIB {
+            write!(f, "{:.2} GiB", self.as_gib())
+        } else if self.0 >= MIB {
+            write!(f, "{:.2} MiB", self.as_mib())
+        } else if self.0 >= KIB {
+            write!(f, "{:.2} KiB", self.0 as f64 / KIB as f64)
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+impl Ns {
+    /// Construct from microseconds.
+    pub fn micros(us: f64) -> Self {
+        Ns(us * 1e3)
+    }
+    /// Construct from milliseconds.
+    pub fn millis(ms: f64) -> Self {
+        Ns(ms * 1e6)
+    }
+    /// Construct from seconds.
+    pub fn secs(s: f64) -> Self {
+        Ns(s * 1e9)
+    }
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 / 1e9
+    }
+    /// Value in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 / 1e6
+    }
+    /// Component-wise max.
+    pub fn max(self, rhs: Ns) -> Ns {
+        Ns(self.0.max(rhs.0))
+    }
+    /// Component-wise min.
+    pub fn min(self, rhs: Ns) -> Ns {
+        Ns(self.0.min(rhs.0))
+    }
+    /// Zero duration.
+    pub const ZERO: Ns = Ns(0.0);
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+impl Mul<f64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: f64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+impl Div<f64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: f64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        Ns(iter.map(|n| n.0).sum())
+    }
+}
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e9 {
+            write!(f, "{:.3} s", self.as_secs())
+        } else if self.0 >= 1e6 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} us", self.0 / 1e3)
+        } else {
+            write!(f, "{:.1} ns", self.0)
+        }
+    }
+}
+
+impl Cycles {
+    /// Convert to time at a clock frequency in GHz.
+    pub fn at_ghz(self, ghz: f64) -> Ns {
+        Ns(self.0 / ghz)
+    }
+}
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+/// Bandwidth expressed in bytes per second; converts byte volumes to time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct BytesPerSec(pub f64);
+
+impl BytesPerSec {
+    /// Construct from decimal GB/s (vendor convention, e.g. NVLink 75 GB/s).
+    pub fn gb(gb_per_s: f64) -> Self {
+        BytesPerSec(gb_per_s * 1e9)
+    }
+    /// Construct from binary GiB/s (measurement convention in the paper).
+    pub fn gib(gib_per_s: f64) -> Self {
+        BytesPerSec(gib_per_s * GIB as f64)
+    }
+    /// Time to move `bytes` at this rate.
+    pub fn time_for(self, bytes: Bytes) -> Ns {
+        if bytes.0 == 0 {
+            return Ns::ZERO;
+        }
+        Ns(bytes.as_f64() / self.0 * 1e9)
+    }
+    /// Value in GiB/s for reporting.
+    pub fn as_gib(self) -> f64 {
+        self.0 / GIB as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_constructors_and_display() {
+        assert_eq!(Bytes::kib(2).0, 2048);
+        assert_eq!(Bytes::mib(1).0, 1 << 20);
+        assert_eq!(Bytes::gib(1).0, 1 << 30);
+        assert_eq!(format!("{}", Bytes(512)), "512 B");
+        assert_eq!(format!("{}", Bytes::kib(4)), "4.00 KiB");
+    }
+
+    #[test]
+    fn bytes_div_ceil() {
+        assert_eq!(Bytes(129).div_ceil(128), 2);
+        assert_eq!(Bytes(128).div_ceil(128), 1);
+        assert_eq!(Bytes(0).div_ceil(128), 0);
+    }
+
+    #[test]
+    fn ns_conversions() {
+        assert!((Ns::secs(1.5).0 - 1.5e9).abs() < 1.0);
+        assert!((Ns::millis(2.0).as_secs() - 0.002).abs() < 1e-12);
+        assert_eq!(Ns(3.0).max(Ns(5.0)), Ns(5.0));
+    }
+
+    #[test]
+    fn bandwidth_time() {
+        let bw = BytesPerSec::gb(75.0);
+        let t = bw.time_for(Bytes(75_000_000_000));
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+        assert_eq!(bw.time_for(Bytes(0)), Ns::ZERO);
+    }
+
+    #[test]
+    fn cycles_at_clock() {
+        let t = Cycles(1.53e9).at_ghz(1.53);
+        assert!((t.as_secs() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,295 @@
+//! Capacity-tracked simulated allocator for GPU and CPU memory.
+//!
+//! The simulator never allocates real device memory; this allocator hands
+//! out *virtual address ranges* while enforcing the (scaled) capacities of
+//! each physical memory, so that algorithms experience the same "does it
+//! fit in GPU memory?" decisions the paper's system faces. Allocations are
+//! page-aligned huge pages (Section 6.1 preallocates 2 MiB pages at boot).
+
+use std::fmt;
+
+use triton_hw::{Bytes, HwConfig, MemSide};
+
+use crate::interleave::{HybridLayout, InterleavePattern, Placement};
+
+/// Error returned when a device cannot satisfy an allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// The device that ran out.
+    pub side: MemSide,
+    /// Requested bytes.
+    pub requested: Bytes,
+    /// Bytes still available.
+    pub available: Bytes,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of {:?} memory: requested {}, available {}",
+            self.side, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A page-aligned virtual allocation on one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Base virtual address.
+    pub base: u64,
+    /// Usable length in bytes.
+    pub len: u64,
+    /// Device holding the physical pages.
+    pub side: MemSide,
+}
+
+impl Allocation {
+    /// Virtual address of byte `offset`.
+    pub fn vaddr(&self, offset: u64) -> u64 {
+        debug_assert!(offset < self.len.max(1));
+        self.base + offset
+    }
+}
+
+/// The simulated allocator. Tracks per-device usage against the scaled
+/// capacities in [`HwConfig`] and assigns non-overlapping virtual ranges.
+///
+/// ```
+/// use triton_mem::SimAllocator;
+/// use triton_hw::{Bytes, HwConfig, MemSide};
+/// let hw = HwConfig::ac922().scaled(1024);
+/// let mut alloc = SimAllocator::new(&hw);
+/// // A hybrid array caching half its pages in GPU memory (Section 5.3).
+/// let layout = alloc.alloc_hybrid(Bytes::mib(4), Bytes::mib(2)).unwrap();
+/// assert!(layout.gpu_bytes() <= Bytes::mib(2).0);
+/// assert_eq!(layout.gpu_bytes() + layout.cpu_bytes(), Bytes::mib(4).0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimAllocator {
+    page_size: u64,
+    gpu_capacity: u64,
+    cpu_capacity: u64,
+    gpu_used: u64,
+    cpu_used: u64,
+    next_vaddr: u64,
+}
+
+impl SimAllocator {
+    /// Build from a hardware configuration.
+    pub fn new(hw: &HwConfig) -> Self {
+        SimAllocator {
+            page_size: hw.tlb.page_size.0.max(1),
+            gpu_capacity: hw.gpu.mem_capacity.0,
+            cpu_capacity: hw.cpu.mem_capacity.0,
+            gpu_used: 0,
+            cpu_used: 0,
+            // Start away from zero so "null" never aliases an allocation.
+            next_vaddr: 1 << 20,
+        }
+    }
+
+    /// Bytes still available on `side`.
+    pub fn available(&self, side: MemSide) -> Bytes {
+        match side {
+            MemSide::Gpu => Bytes(self.gpu_capacity - self.gpu_used),
+            MemSide::Cpu => Bytes(self.cpu_capacity - self.cpu_used),
+        }
+    }
+
+    /// Bytes in use on `side`.
+    pub fn used(&self, side: MemSide) -> Bytes {
+        match side {
+            MemSide::Gpu => Bytes(self.gpu_used),
+            MemSide::Cpu => Bytes(self.cpu_used),
+        }
+    }
+
+    /// The page size allocations are rounded to.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// Allocate `len` bytes on `side`.
+    pub fn alloc(&mut self, side: MemSide, len: Bytes) -> Result<Allocation, OutOfMemory> {
+        let pages = len.0.div_ceil(self.page_size);
+        let phys = pages * self.page_size;
+        let avail = self.available(side).0;
+        if phys > avail {
+            return Err(OutOfMemory {
+                side,
+                requested: Bytes(phys),
+                available: Bytes(avail),
+            });
+        }
+        match side {
+            MemSide::Gpu => self.gpu_used += phys,
+            MemSide::Cpu => self.cpu_used += phys,
+        }
+        let base = self.next_vaddr;
+        self.next_vaddr += phys;
+        Ok(Allocation {
+            base,
+            len: len.0,
+            side,
+        })
+    }
+
+    /// Free an allocation (returns its pages to the device budget).
+    pub fn free(&mut self, alloc: Allocation) {
+        let phys = alloc.len.div_ceil(self.page_size) * self.page_size;
+        match alloc.side {
+            MemSide::Gpu => self.gpu_used = self.gpu_used.saturating_sub(phys),
+            MemSide::Cpu => self.cpu_used = self.cpu_used.saturating_sub(phys),
+        }
+    }
+
+    /// Allocate a hybrid array of `len` bytes, caching up to
+    /// `gpu_budget` bytes in GPU memory (clamped to what is free) and the
+    /// remainder in CPU memory, interleaved per Section 5.3.
+    ///
+    /// Returns the layout; fails only if *CPU* memory cannot hold the
+    /// spilled share — GPU shortfall simply lowers the cached fraction,
+    /// which is exactly the graceful degradation the paper designs for.
+    pub fn alloc_hybrid(
+        &mut self,
+        len: Bytes,
+        gpu_budget: Bytes,
+    ) -> Result<HybridLayout, OutOfMemory> {
+        self.alloc_hybrid_with(len, gpu_budget, true)
+    }
+
+    /// Like [`Self::alloc_hybrid`], but selecting the placement policy:
+    /// `interleaved = false` caches a *prefix* instead (the Section 5.3
+    /// strawman, available for ablations).
+    pub fn alloc_hybrid_with(
+        &mut self,
+        len: Bytes,
+        gpu_budget: Bytes,
+        interleaved: bool,
+    ) -> Result<HybridLayout, OutOfMemory> {
+        let total_pages = len.0.div_ceil(self.page_size).max(1);
+        let gpu_avail = self.available(MemSide::Gpu).0;
+        let budget_pages = gpu_budget.0.min(gpu_avail) / self.page_size;
+        let pattern = if interleaved {
+            Placement::Interleaved(InterleavePattern::from_budget(budget_pages, total_pages))
+        } else {
+            // Round down to the same granularity the interleave achieves.
+            let pages = InterleavePattern::from_budget(budget_pages, total_pages)
+                .gpu_pages_among(total_pages);
+            Placement::Prefix { gpu_pages: pages }
+        };
+        let gpu_pages = pattern.gpu_pages_among(total_pages);
+        let cpu_pages = total_pages - gpu_pages;
+        let cpu_bytes = cpu_pages * self.page_size;
+        let cpu_avail = self.available(MemSide::Cpu).0;
+        if cpu_bytes > cpu_avail {
+            return Err(OutOfMemory {
+                side: MemSide::Cpu,
+                requested: Bytes(cpu_bytes),
+                available: Bytes(cpu_avail),
+            });
+        }
+        self.gpu_used += gpu_pages * self.page_size;
+        self.cpu_used += cpu_bytes;
+        let base = self.next_vaddr;
+        self.next_vaddr += total_pages * self.page_size;
+        Ok(HybridLayout::with_placement(
+            base,
+            len.0,
+            self.page_size,
+            pattern,
+        ))
+    }
+
+    /// Free a hybrid layout.
+    pub fn free_hybrid(&mut self, layout: &HybridLayout) {
+        let total_pages = layout.len().div_ceil(self.page_size).max(1);
+        let gpu_pages = layout.pattern().gpu_pages_among(total_pages);
+        self.gpu_used = self.gpu_used.saturating_sub(gpu_pages * self.page_size);
+        self.cpu_used = self
+            .cpu_used
+            .saturating_sub((total_pages - gpu_pages) * self.page_size);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triton_hw::HwConfig;
+
+    fn small_alloc() -> SimAllocator {
+        SimAllocator::new(&HwConfig::ac922().scaled(1024))
+    }
+
+    #[test]
+    fn alloc_respects_capacity() {
+        let mut a = small_alloc();
+        let cap = a.available(MemSide::Gpu);
+        let x = a.alloc(MemSide::Gpu, Bytes(cap.0 / 2)).unwrap();
+        assert_eq!(x.side, MemSide::Gpu);
+        let err = a.alloc(MemSide::Gpu, Bytes(cap.0)).unwrap_err();
+        assert_eq!(err.side, MemSide::Gpu);
+        a.free(x);
+        assert_eq!(a.available(MemSide::Gpu), cap);
+    }
+
+    #[test]
+    fn allocations_do_not_overlap() {
+        let mut a = small_alloc();
+        let x = a.alloc(MemSide::Cpu, Bytes(1000)).unwrap();
+        let y = a.alloc(MemSide::Cpu, Bytes(1000)).unwrap();
+        assert!(x.base + x.len <= y.base);
+    }
+
+    #[test]
+    fn alloc_rounds_to_pages() {
+        let mut a = small_alloc();
+        let ps = a.page_size();
+        let before = a.available(MemSide::Cpu).0;
+        a.alloc(MemSide::Cpu, Bytes(1)).unwrap();
+        assert_eq!(a.available(MemSide::Cpu).0, before - ps);
+    }
+
+    #[test]
+    fn hybrid_clamps_gpu_budget() {
+        let mut a = small_alloc();
+        let gpu_cap = a.available(MemSide::Gpu).0;
+        // Ask to cache twice the GPU capacity: the layout must clamp.
+        let layout = a
+            .alloc_hybrid(Bytes(gpu_cap * 4), Bytes(gpu_cap * 2))
+            .unwrap();
+        assert!(layout.gpu_bytes() <= gpu_cap);
+        assert!(a.used(MemSide::Gpu).0 <= gpu_cap);
+        assert_eq!(layout.len(), gpu_cap * 4);
+    }
+
+    #[test]
+    fn hybrid_zero_budget_is_all_cpu() {
+        let mut a = small_alloc();
+        let layout = a.alloc_hybrid(Bytes(1 << 20), Bytes(0)).unwrap();
+        assert_eq!(layout.gpu_bytes(), 0);
+        assert_eq!(layout.cpu_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn hybrid_free_restores_budgets() {
+        let mut a = small_alloc();
+        let g0 = a.used(MemSide::Gpu);
+        let c0 = a.used(MemSide::Cpu);
+        let layout = a.alloc_hybrid(Bytes(1 << 22), Bytes(1 << 21)).unwrap();
+        a.free_hybrid(&layout);
+        assert_eq!(a.used(MemSide::Gpu), g0);
+        assert_eq!(a.used(MemSide::Cpu), c0);
+    }
+
+    #[test]
+    fn hybrid_fails_when_cpu_full() {
+        let mut a = small_alloc();
+        let cpu_cap = a.available(MemSide::Cpu).0;
+        let err = a.alloc_hybrid(Bytes(cpu_cap * 2), Bytes(0)).unwrap_err();
+        assert_eq!(err.side, MemSide::Cpu);
+    }
+}

@@ -1,0 +1,316 @@
+//! Interleaved GPU/CPU page mapping (Section 5.3 of the paper).
+//!
+//! The Triton join caches part of its intermediate state in GPU memory by
+//! allocating pages physically in GPU *and* CPU memory and mapping them
+//! into one contiguous virtual array. Pages are interleaved in proportion
+//! to the physical allocation sizes — e.g. one GPU page after every two
+//! CPU pages — so that during execution the GPU touches both memories in
+//! parallel and keeps the interconnect consistently busy instead of
+//! draining the cached prefix first.
+//!
+//! [`InterleavePattern`] realises the proportional spacing with a Bresenham
+//! distribution over a repeating period: the GPU pages within a period are
+//! spread as evenly as integer arithmetic allows.
+
+use triton_hw::MemSide;
+
+/// Resolution of the repeating interleave period, in pages. 64 gives
+/// better than 2% granularity on the cached fraction.
+pub const PERIOD: u64 = 64;
+
+/// A proportional GPU/CPU page interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterleavePattern {
+    gpu_per_period: u64,
+}
+
+impl InterleavePattern {
+    /// Build a pattern placing `fraction` (0.0..=1.0) of pages in GPU
+    /// memory. The fraction is rounded to 1/[`PERIOD`] granularity.
+    pub fn from_fraction(fraction: f64) -> Self {
+        let f = fraction.clamp(0.0, 1.0);
+        InterleavePattern {
+            gpu_per_period: (f * PERIOD as f64).round() as u64,
+        }
+    }
+
+    /// Exact pattern from a page budget: at most `gpu_pages` of
+    /// `total_pages` land in GPU memory.
+    pub fn from_budget(gpu_pages: u64, total_pages: u64) -> Self {
+        if total_pages == 0 {
+            return InterleavePattern { gpu_per_period: 0 };
+        }
+        // Round *down* so the GPU budget is never exceeded.
+        let g = (gpu_pages.min(total_pages) * PERIOD) / total_pages;
+        InterleavePattern { gpu_per_period: g }
+    }
+
+    /// The effective GPU fraction of this pattern.
+    pub fn gpu_fraction(&self) -> f64 {
+        self.gpu_per_period as f64 / PERIOD as f64
+    }
+
+    /// Which memory the `page_index`-th page of the array resides in.
+    ///
+    /// Bresenham distribution: page `i` is a GPU page iff the running
+    /// count `floor((i+1) * g / P)` advances at `i`. This spreads the `g`
+    /// GPU pages evenly through every period of `P` pages.
+    pub fn side_of_page(&self, page_index: u64) -> MemSide {
+        let i = page_index % PERIOD;
+        let g = self.gpu_per_period;
+        if (i + 1) * g / PERIOD > i * g / PERIOD {
+            MemSide::Gpu
+        } else {
+            MemSide::Cpu
+        }
+    }
+
+    /// Count of GPU pages among the first `n` pages.
+    pub fn gpu_pages_among(&self, n: u64) -> u64 {
+        let full = n / PERIOD;
+        let rem = n % PERIOD;
+        full * self.gpu_per_period + rem * self.gpu_per_period / PERIOD
+    }
+}
+
+/// How the GPU-resident pages of a hybrid array are placed.
+///
+/// The paper's design (Section 5.3) interleaves them evenly so the
+/// interconnect stays busy throughout execution; the strawman it argues
+/// against caches a *prefix* (the classic hybrid hash join's R0), which
+/// leaves the interconnect idle while the GPU works on the cached share.
+/// Both are available so the ablation can measure the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Evenly interleaved GPU pages (the Triton join's scheme).
+    Interleaved(InterleavePattern),
+    /// The first `gpu_pages` pages in GPU memory, the rest in CPU memory.
+    Prefix {
+        /// Number of leading pages resident in GPU memory.
+        gpu_pages: u64,
+    },
+}
+
+impl Placement {
+    /// Which memory holds the `page_index`-th page.
+    pub fn side_of_page(&self, page_index: u64) -> MemSide {
+        match self {
+            Placement::Interleaved(p) => p.side_of_page(page_index),
+            Placement::Prefix { gpu_pages } => {
+                if page_index < *gpu_pages {
+                    MemSide::Gpu
+                } else {
+                    MemSide::Cpu
+                }
+            }
+        }
+    }
+
+    /// GPU pages among the first `n` pages.
+    pub fn gpu_pages_among(&self, n: u64) -> u64 {
+        match self {
+            Placement::Interleaved(p) => p.gpu_pages_among(n),
+            Placement::Prefix { gpu_pages } => n.min(*gpu_pages),
+        }
+    }
+}
+
+/// A contiguous virtual array whose pages are split across GPU and CPU
+/// memory: the physical realisation of the Triton join's working-set
+/// cache.
+#[derive(Debug, Clone)]
+pub struct HybridLayout {
+    base_vaddr: u64,
+    len: u64,
+    page_size: u64,
+    pattern: Placement,
+}
+
+impl HybridLayout {
+    /// Create a layout of `len` bytes at `base_vaddr` with `page_size`
+    /// pages and the given interleave pattern.
+    pub fn new(base_vaddr: u64, len: u64, page_size: u64, pattern: InterleavePattern) -> Self {
+        Self::with_placement(base_vaddr, len, page_size, Placement::Interleaved(pattern))
+    }
+
+    /// Create a layout with an explicit placement policy.
+    pub fn with_placement(base_vaddr: u64, len: u64, page_size: u64, pattern: Placement) -> Self {
+        assert!(page_size > 0);
+        HybridLayout {
+            base_vaddr,
+            len,
+            page_size,
+            pattern,
+        }
+    }
+
+    /// Array length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The page size.
+    pub fn page_size(&self) -> u64 {
+        self.page_size
+    }
+
+    /// The placement policy.
+    pub fn pattern(&self) -> Placement {
+        self.pattern
+    }
+
+    /// Number of pages backing the array.
+    pub fn num_pages(&self) -> u64 {
+        self.len.div_ceil(self.page_size)
+    }
+
+    /// Bytes resident in GPU memory.
+    pub fn gpu_bytes(&self) -> u64 {
+        let full_pages = self.len / self.page_size;
+        let mut bytes = self.pattern.gpu_pages_among(full_pages) * self.page_size;
+        let tail = self.len % self.page_size;
+        if tail > 0 && self.pattern.side_of_page(full_pages) == MemSide::Gpu {
+            bytes += tail;
+        }
+        bytes
+    }
+
+    /// Bytes resident in CPU memory.
+    pub fn cpu_bytes(&self) -> u64 {
+        self.len - self.gpu_bytes()
+    }
+
+    /// Which memory the byte at `offset` resides in.
+    pub fn side_of(&self, offset: u64) -> MemSide {
+        debug_assert!(offset < self.len.max(1));
+        self.pattern.side_of_page(offset / self.page_size)
+    }
+
+    /// Virtual address of the byte at `offset`.
+    pub fn vaddr(&self, offset: u64) -> u64 {
+        self.base_vaddr + offset
+    }
+
+    /// Split a byte range `[offset, offset+bytes)` into per-side byte
+    /// volumes `(gpu, cpu)` — the quantity kernels need when charging a
+    /// sequential access over the array.
+    pub fn split_range(&self, offset: u64, bytes: u64) -> (u64, u64) {
+        if bytes == 0 {
+            return (0, 0);
+        }
+        let end = offset + bytes;
+        let first_page = offset / self.page_size;
+        let last_page = (end - 1) / self.page_size;
+        let mut gpu = 0;
+        for p in first_page..=last_page {
+            let page_start = p * self.page_size;
+            let page_end = page_start + self.page_size;
+            let lo = offset.max(page_start);
+            let hi = end.min(page_end);
+            if self.pattern.side_of_page(p) == MemSide::Gpu {
+                gpu += hi - lo;
+            }
+        }
+        (gpu, bytes - gpu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_cpu_and_all_gpu_extremes() {
+        let cpu = InterleavePattern::from_fraction(0.0);
+        let gpu = InterleavePattern::from_fraction(1.0);
+        for p in 0..1000 {
+            assert_eq!(cpu.side_of_page(p), MemSide::Cpu);
+            assert_eq!(gpu.side_of_page(p), MemSide::Gpu);
+        }
+    }
+
+    #[test]
+    fn one_gpu_after_every_two_cpu_pages() {
+        // The paper's example: 1/3 of pages in GPU memory.
+        let pat = InterleavePattern::from_fraction(1.0 / 3.0);
+        let gpu_count: u64 = (0..PERIOD)
+            .filter(|&p| pat.side_of_page(p) == MemSide::Gpu)
+            .count() as u64;
+        assert_eq!(gpu_count, (PERIOD as f64 / 3.0).round() as u64);
+        // Evenly spaced: no window of 6 consecutive pages without a GPU page.
+        for start in 0..3 * PERIOD {
+            let any_gpu = (start..start + 6).any(|p| pat.side_of_page(p) == MemSide::Gpu);
+            assert!(any_gpu, "GPU pages must be evenly spread");
+        }
+    }
+
+    #[test]
+    fn fraction_roundtrip() {
+        for f in [0.0, 0.1, 0.25, 0.5, 0.79, 1.0] {
+            let pat = InterleavePattern::from_fraction(f);
+            assert!((pat.gpu_fraction() - f).abs() <= 1.0 / PERIOD as f64);
+        }
+    }
+
+    #[test]
+    fn budget_never_exceeded() {
+        for (g, t) in [(0u64, 10u64), (3, 10), (10, 10), (7, 64), (100, 64)] {
+            let pat = InterleavePattern::from_budget(g, t);
+            let used = pat.gpu_pages_among(t);
+            assert!(used <= g.min(t), "budget {g}/{t}: used {used}");
+        }
+    }
+
+    #[test]
+    fn gpu_pages_among_matches_enumeration() {
+        let pat = InterleavePattern::from_fraction(0.37);
+        for n in [0u64, 1, 5, 63, 64, 65, 200, 1000] {
+            let exact = (0..n)
+                .filter(|&p| pat.side_of_page(p) == MemSide::Gpu)
+                .count() as u64;
+            assert_eq!(pat.gpu_pages_among(n), exact, "n={n}");
+        }
+    }
+
+    #[test]
+    fn layout_byte_accounting() {
+        let pat = InterleavePattern::from_fraction(0.5);
+        let l = HybridLayout::new(0x1000, 64 * 1024, 1024, pat);
+        assert_eq!(l.num_pages(), 64);
+        assert_eq!(l.gpu_bytes() + l.cpu_bytes(), 64 * 1024);
+        assert_eq!(l.gpu_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    fn split_range_consistent_with_side_of() {
+        let pat = InterleavePattern::from_fraction(0.3);
+        let l = HybridLayout::new(0, 10_000, 64, pat);
+        for (off, len) in [
+            (0u64, 10_000u64),
+            (100, 500),
+            (63, 2),
+            (64, 64),
+            (9_990, 10),
+        ] {
+            let (gpu, cpu) = l.split_range(off, len);
+            let exact: u64 = (off..off + len)
+                .filter(|&b| l.side_of(b) == MemSide::Gpu)
+                .count() as u64;
+            assert_eq!(gpu, exact, "off={off} len={len}");
+            assert_eq!(gpu + cpu, len);
+        }
+    }
+
+    #[test]
+    fn tail_page_counted_once() {
+        let pat = InterleavePattern::from_fraction(1.0);
+        let l = HybridLayout::new(0, 1000, 512, pat); // 1 full + 1 partial page
+        assert_eq!(l.gpu_bytes(), 1000);
+        assert_eq!(l.cpu_bytes(), 0);
+    }
+}

@@ -1,0 +1,19 @@
+//! # triton-mem
+//!
+//! Simulated memory substrate for the Triton-join reproduction:
+//!
+//! * [`alloc::SimAllocator`] — a capacity-tracked allocator over the
+//!   (scaled) GPU and CPU memories, handing out page-aligned virtual
+//!   ranges so algorithms face the same fit/spill decisions as on the real
+//!   machine;
+//! * [`interleave`] — the paper's Section 5.3 scheme that maps GPU and CPU
+//!   pages, interleaved in proportion to the cached fraction, into one
+//!   contiguous virtual array.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod interleave;
+
+pub use alloc::{Allocation, OutOfMemory, SimAllocator};
+pub use interleave::{HybridLayout, InterleavePattern, Placement};

@@ -1,0 +1,175 @@
+//! CPU software write-combining radix partitioning (the baseline of
+//! Sections 2.2 and 3.1).
+//!
+//! CPUs avoid TLB misses during partitioning by buffering one cacheline
+//! per partition in the L3 cache and flushing buffers with (on x86)
+//! non-temporal stores — classic SWWC. The technique has a capacity wall:
+//! the buffers occupy `fanout x cacheline` bytes *per core*, so once they
+//! outgrow the per-core last-level cache share the partitioner must split
+//! the fanout over two passes. Section 6.2.1 observes exactly this on the
+//! Xeon (1.25 MiB/core) above 1408 M tuples, while the POWER9
+//! (5 MiB/core) stays single-pass.
+//!
+//! The partitioner is functional (it produces the same partition-major
+//! output as the GPU algorithms); its time comes from the calibrated CPU
+//! cost model.
+
+use triton_datagen::{multiply_shift, radix, KEY_BYTES, TUPLE_BYTES};
+use triton_hw::cpu::CpuPhaseCost;
+use triton_hw::units::{Bytes, Ns};
+use triton_hw::{CpuConfig, HwConfig};
+
+use crate::common::Partitioned;
+use crate::prefix_sum::compute_histogram;
+
+/// Bytes of SWWC buffer state per partition per core (a 128-byte buffer
+/// plus offset bookkeeping in the micro-row layout).
+pub const SWWC_BUFFER_BYTES: u64 = 256;
+
+/// How many partitioning passes the CPU needs for `radix_bits` of fanout.
+pub fn plan_passes(radix_bits: u32, cpu: &CpuConfig) -> u32 {
+    let fanout = 1u64 << radix_bits;
+    if fanout * SWWC_BUFFER_BYTES > cpu.llc_per_core.0 {
+        2
+    } else {
+        1
+    }
+}
+
+/// Result of a CPU partitioning run.
+#[derive(Debug, Clone)]
+pub struct CpuPartitionResult {
+    /// The partition-major output.
+    pub parts: Partitioned,
+    /// Modeled time of all passes (histogram + scatter per pass).
+    pub time: Ns,
+    /// Number of passes used.
+    pub passes: u32,
+}
+
+/// Partition `(keys, rids)` by `radix_bits` bits (after `skip_bits`) on the
+/// CPU. `tuples_modeled` is the paper-scale cardinality driving the cost
+/// model; the data itself is at simulation scale.
+pub fn cpu_swwc_partition(
+    keys: &[u64],
+    rids: &[u64],
+    radix_bits: u32,
+    skip_bits: u32,
+    tuples_modeled: u64,
+    hw: &HwConfig,
+) -> CpuPartitionResult {
+    let passes = plan_passes(radix_bits, &hw.cpu);
+    let time = cpu_partition_time(tuples_modeled, radix_bits, passes, hw);
+
+    // Functional scatter (single combined pass; multi-pass execution
+    // produces the identical partition-major output).
+    let fanout = 1usize << radix_bits;
+    let hist = compute_histogram(keys, 1, radix_bits, skip_bits);
+    let mut out_keys = vec![0u64; keys.len()];
+    let mut out_rids = vec![0u64; keys.len()];
+    let mut cursors: Vec<usize> = hist.offsets[..fanout].to_vec();
+    for (&k, &r) in keys.iter().zip(rids) {
+        let p = radix(multiply_shift(k), skip_bits, radix_bits);
+        out_keys[cursors[p]] = k;
+        out_rids[cursors[p]] = r;
+        cursors[p] += 1;
+    }
+    CpuPartitionResult {
+        parts: Partitioned {
+            keys: out_keys,
+            rids: out_rids,
+            offsets: hist.offsets,
+            radix_bits,
+            skip_bits,
+        },
+        time,
+        passes,
+    }
+}
+
+/// Modeled time of `passes` CPU partitioning passes over
+/// `tuples_modeled` tuples, including the histogram scan of each pass.
+pub fn cpu_partition_time(tuples_modeled: u64, radix_bits: u32, passes: u32, hw: &HwConfig) -> Ns {
+    let cpu = &hw.cpu;
+    let bits_per_pass = radix_bits.div_ceil(passes);
+    let fanout_per_pass = 1u64 << bits_per_pass;
+    // SWWC buffer pressure on the LLC slows the scatter as the buffers
+    // approach the per-core cache share.
+    let pressure = (fanout_per_pass * SWWC_BUFFER_BYTES) as f64 / cpu.llc_per_core.0 as f64;
+    let spill = 1.0 + 0.25 * pressure.min(1.0);
+
+    let mut total = Ns::ZERO;
+    for _ in 0..passes {
+        let hist = CpuPhaseCost::new(
+            Bytes(tuples_modeled * KEY_BYTES),
+            Bytes(0),
+            tuples_modeled,
+            1.5,
+        );
+        let mut scatter = CpuPhaseCost::new(
+            Bytes(tuples_modeled * TUPLE_BYTES),
+            Bytes(tuples_modeled * TUPLE_BYTES),
+            tuples_modeled,
+            cpu.partition_cycles_per_tuple,
+        );
+        scatter.cache_spill_factor = spill;
+        total += hist.time(cpu) + scatter.time(cpu);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triton_datagen::WorkloadSpec;
+    use triton_hw::CpuConfig;
+
+    #[test]
+    fn functional_partitions_correct() {
+        let hw = HwConfig::ac922().scaled(1024);
+        let w = WorkloadSpec::paper_default(1, 100).generate();
+        let res = cpu_swwc_partition(&w.r.keys, &w.r.rids, 6, 0, w.r.len() as u64, &hw);
+        assert_eq!(res.parts.len(), w.r.len());
+        for p in 0..res.parts.fanout() {
+            let (ks, _) = res.parts.partition(p);
+            for &k in ks {
+                assert_eq!(radix(multiply_shift(k), 0, 6), p);
+            }
+        }
+    }
+
+    #[test]
+    fn power9_stays_single_pass_at_paper_fanouts() {
+        let p9 = CpuConfig::power9();
+        assert_eq!(plan_passes(12, &p9), 1);
+        assert_eq!(plan_passes(14, &p9), 1);
+    }
+
+    #[test]
+    fn xeon_switches_to_two_passes() {
+        let xeon = CpuConfig::xeon_gold_6126();
+        // 1.25 MiB / 256 B = 5120 partitions: 2^12 fits, 2^13 does not.
+        assert_eq!(plan_passes(12, &xeon), 1);
+        assert_eq!(plan_passes(13, &xeon), 2);
+        assert_eq!(plan_passes(18, &xeon), 2);
+    }
+
+    #[test]
+    fn partition_throughput_near_paper_fig4() {
+        // Fig 4: CPU-to-CPU partitioning at roughly 29 GiB/s on POWER9.
+        let hw = HwConfig::ac922();
+        let tuples = 2_000_000_000u64; // 32 GB
+        let t = cpu_partition_time(tuples, 9, 1, &hw);
+        let gibs = (tuples * TUPLE_BYTES) as f64 / (1u64 << 30) as f64 / t.as_secs();
+        assert!((24.0..=36.0).contains(&gibs), "got {gibs} GiB/s");
+    }
+
+    #[test]
+    fn two_passes_cost_roughly_double() {
+        let hw = HwConfig::ac922();
+        let one = cpu_partition_time(1_000_000_000, 14, 1, &hw);
+        let two = cpu_partition_time(1_000_000_000, 14, 2, &hw);
+        let ratio = two.0 / one.0;
+        assert!((1.7..=2.1).contains(&ratio), "ratio {ratio}");
+    }
+}

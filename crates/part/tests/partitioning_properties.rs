@@ -1,0 +1,227 @@
+//! Crate-level behavioural tests for `triton-part`: cost-model effects the
+//! unit tests do not cover, exercised across algorithms, destinations, and
+//! placements.
+
+use triton_datagen::{WorkloadSpec, TUPLE_BYTES};
+use triton_hw::{Bytes, HwConfig, MemSide};
+use triton_mem::SimAllocator;
+use triton_part::{
+    compute_histogram, cpu_swwc_partition, gpu_prefix_sum, make_partitioner, partition_standalone,
+    Algorithm, PassConfig, Span,
+};
+
+fn hw() -> HwConfig {
+    HwConfig::ac922().scaled(2048)
+}
+
+fn workload(m: u64) -> triton_datagen::Workload {
+    WorkloadSpec::paper_default(m, 2048).generate()
+}
+
+#[test]
+fn all_algorithms_same_functional_output() {
+    let hw = hw();
+    let w = workload(8);
+    let bits = 6;
+    let hist = compute_histogram(&w.r.keys, 1, bits, 0);
+    let pass = PassConfig::new(bits, 0);
+    let input = Span::cpu(0);
+    let output = Span::cpu(1 << 40);
+    let mut outputs = Vec::new();
+    for alg in Algorithm::all() {
+        let (p, _) = make_partitioner(alg)
+            .partition(&w.r.keys, &w.r.rids, &hist, &input, &output, &pass, &hw);
+        // Same offsets always; same multiset within each partition.
+        let mut per_part: Vec<Vec<(u64, u64)>> = (0..p.fanout())
+            .map(|i| {
+                let (ks, rs) = p.partition(i);
+                let mut v: Vec<_> = ks.iter().copied().zip(rs.iter().copied()).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        per_part.insert(0, vec![(p.offsets.len() as u64, 0)]);
+        outputs.push(per_part);
+    }
+    for o in &outputs[1..] {
+        assert_eq!(
+            o, &outputs[0],
+            "partition contents must agree across algorithms"
+        );
+    }
+}
+
+#[test]
+fn gpu_destination_avoids_the_link_writes() {
+    let hw = hw();
+    let w = workload(8);
+    let pass = PassConfig::new(6, 0);
+    let part = make_partitioner(Algorithm::Shared);
+    let input = Span::cpu(0);
+    let (_, to_cpu, _) = partition_standalone(
+        part.as_ref(),
+        &w.r.keys,
+        &w.r.rids,
+        &input,
+        &Span::cpu(1 << 40),
+        &pass,
+        &hw,
+    );
+    let (_, to_gpu, _) = partition_standalone(
+        part.as_ref(),
+        &w.r.keys,
+        &w.r.rids,
+        &input,
+        &Span::gpu(1 << 40),
+        &pass,
+        &hw,
+    );
+    assert!(to_cpu.link.rand_write.payload.0 > 0);
+    assert_eq!(to_gpu.link.rand_write.payload.0, 0);
+    assert!(to_gpu.gpu_mem.write.0 >= w.r.len() as u64 * TUPLE_BYTES);
+    // Writing to GPU memory is faster than spilling over the link.
+    assert!(to_gpu.timing(&hw).total.0 < to_cpu.timing(&hw).total.0);
+}
+
+#[test]
+fn hybrid_destination_splits_by_cached_fraction() {
+    let hw = hw();
+    let w = workload(8);
+    let bytes = w.r.len() as u64 * TUPLE_BYTES;
+    let mut alloc = SimAllocator::new(&hw);
+    let layout = alloc.alloc_hybrid(Bytes(bytes), Bytes(bytes / 2)).unwrap();
+    let frac = layout.gpu_bytes() as f64 / bytes as f64;
+    let span = Span::hybrid(layout);
+    let pass = PassConfig::new(6, 0);
+    let (_, cost, _) = partition_standalone(
+        make_partitioner(Algorithm::Hierarchical).as_ref(),
+        &w.r.keys,
+        &w.r.rids,
+        &Span::cpu(0),
+        &span,
+        &pass,
+        &hw,
+    );
+    // Output bytes split between GPU memory and the link roughly by the
+    // cached fraction. (Hierarchical also stages everything through its
+    // GPU-memory L2 tier, so subtract the input bytes from gpu writes.)
+    let link_out = cost.link.rand_write.payload.0 as f64;
+    let spilled_expect = bytes as f64 * (1.0 - frac);
+    assert!(
+        (link_out / spilled_expect - 1.0).abs() < 0.15,
+        "link out {link_out} vs expected {spilled_expect} (frac {frac})"
+    );
+}
+
+#[test]
+fn second_pass_skip_bits_compose() {
+    // Partitioning by (b1, then b2 skipping b1) refines the first pass:
+    // every pass-2 partition is a subset of exactly one pass-1 partition.
+    let hw = hw();
+    let w = workload(4);
+    let (b1, b2) = (4u32, 3u32);
+    let h1 = compute_histogram(&w.r.keys, 1, b1, 0);
+    let pass1 = PassConfig::new(b1, 0);
+    let input = Span::cpu(0);
+    let output = Span::cpu(1 << 40);
+    let part = make_partitioner(Algorithm::Shared);
+    let (p1, _) = part.partition(&w.r.keys, &w.r.rids, &h1, &input, &output, &pass1, &hw);
+    for i in 0..p1.fanout() {
+        let (ks, rs) = p1.partition(i);
+        let h2 = compute_histogram(ks, 1, b2, b1);
+        let mut cfg2 = PassConfig::new(b2, b1);
+        cfg2.sms = 8;
+        let (p2, _) = part.partition(ks, rs, &h2, &input, &output, &cfg2, &hw);
+        for q in 0..p2.fanout() {
+            let (qk, _) = p2.partition(q);
+            for &k in qk {
+                use triton_datagen::{multiply_shift, radix};
+                assert_eq!(radix(multiply_shift(k), 0, b1), i);
+                assert_eq!(radix(multiply_shift(k), b1, b2), q);
+            }
+        }
+    }
+}
+
+#[test]
+fn standalone_prefix_sum_reads_only_keys() {
+    let hw = hw();
+    let w = workload(8);
+    let pass = PassConfig::new(8, 0);
+    let (_, ps) = gpu_prefix_sum(&w.r.keys, &Span::cpu(0), &pass, &hw, false);
+    assert_eq!(ps.link.seq_read.0, w.r.len() as u64 * 8);
+}
+
+#[test]
+fn cpu_partition_cost_monotone_in_tuples_and_passes() {
+    let hw = hw();
+    let t1 = triton_part::cpu_partition_time(1_000_000, 12, 1, &hw);
+    let t2 = triton_part::cpu_partition_time(2_000_000, 12, 1, &hw);
+    let t1p2 = triton_part::cpu_partition_time(1_000_000, 12, 2, &hw);
+    assert!(t2.0 > t1.0 * 1.9);
+    assert!(t1p2.0 > t1.0 * 1.8);
+}
+
+#[test]
+fn cpu_partition_is_functional_with_skip_bits() {
+    let hw = hw();
+    let w = workload(2);
+    let res = cpu_swwc_partition(&w.r.keys, &w.r.rids, 4, 5, w.r.len() as u64, &hw);
+    use triton_datagen::{multiply_shift, radix};
+    for p in 0..res.parts.fanout() {
+        let (ks, _) = res.parts.partition(p);
+        for &k in ks {
+            assert_eq!(radix(multiply_shift(k), 5, 4), p);
+        }
+    }
+}
+
+#[test]
+fn span_slicing_shifts_placement() {
+    let hw = hw();
+    let mut alloc = SimAllocator::new(&hw);
+    let page = alloc.page_size();
+    // Prefix placement: first half GPU, second half CPU.
+    let layout = alloc
+        .alloc_hybrid_with(Bytes(page * 8), Bytes(page * 4), false)
+        .unwrap();
+    let span = Span::hybrid(layout);
+    assert_eq!(span.side_of(0), MemSide::Gpu);
+    assert_eq!(span.side_of(page * 7), MemSide::Cpu);
+    // A slice starting in the CPU half sees CPU at offset 0.
+    let slice = span.slice(page * 5);
+    assert_eq!(slice.side_of(0), MemSide::Cpu);
+    let (g, c) = slice.split_range(0, page * 2);
+    assert_eq!((g, c), (0, page * 2));
+}
+
+#[test]
+fn standard_scatter_serializes_on_walkers_out_of_core() {
+    // The Standard algorithm's atomic reads walk the page table; at data
+    // sizes beyond the translation coverage this must show up as
+    // serialized walks (the mechanism behind its 10-minute runtimes).
+    let hw = HwConfig::ac922().scaled(512);
+    // ~60 GiB modeled and fanout 2048: the Fig 18 regime where the
+    // frontier working set exceeds every translation level.
+    let w = WorkloadSpec::paper_default(3840, 512).generate();
+    let bits = 11;
+    let hist = compute_histogram(&w.r.keys, 1, bits, 0);
+    let pass = PassConfig::new(bits, 0);
+    let (_, cost) = make_partitioner(Algorithm::Standard).partition(
+        &w.r.keys,
+        &w.r.rids,
+        &hist,
+        &Span::cpu(0),
+        &Span::cpu(1 << 40),
+        &pass,
+        &hw,
+    );
+    assert!(
+        cost.tlb.serialized_walks > w.r.len() as u64 / 4,
+        "walks {} for {} tuples",
+        cost.tlb.serialized_walks,
+        w.r.len()
+    );
+    let timing = cost.timing(&hw);
+    assert_eq!(timing.bound(), triton_hw::Bound::TlbService);
+}

@@ -1,0 +1,58 @@
+//! Out-of-core scaling: watch the no-partitioning join fall off the GPU
+//! memory and TLB cliffs while the Triton join degrades gracefully — the
+//! motivating scenario of the paper's Fig 1.
+//!
+//! ```text
+//! cargo run --release --example out_of_core -p triton-core
+//! ```
+
+use triton_core::{NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+fn main() {
+    let k = 512;
+    let hw = HwConfig::ac922().scaled(k);
+
+    println!("GPU memory (modeled): 16 GiB; translation coverage: 32 GiB\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}",
+        "M tuples", "NPJ-LP (G/s)", "NPJ-PF (G/s)", "Triton (G/s)"
+    );
+
+    for m in [128u64, 256, 512, 640, 896, 1024, 1280, 1536, 2048] {
+        let w = WorkloadSpec::paper_default(m, k).generate();
+        let lp = NoPartitioningJoin::linear_probing().run(&w, &hw);
+        let pf = NoPartitioningJoin::perfect().run(&w, &hw);
+        let tr = TritonJoin::default().run(&w, &hw);
+        // All three compute the same join.
+        assert_eq!(lp.result, tr.result);
+        assert_eq!(pf.result, tr.result);
+        let marker = |g: f64, others: [f64; 2]| {
+            if g >= others[0] && g >= others[1] {
+                " <-- fastest"
+            } else {
+                ""
+            }
+        };
+        println!(
+            "{:>10} {:>14.4} {:>14.3} {:>14.3}{}",
+            m,
+            lp.throughput_gtps(),
+            pf.throughput_gtps(),
+            tr.throughput_gtps(),
+            marker(
+                tr.throughput_gtps(),
+                [lp.throughput_gtps(), pf.throughput_gtps()]
+            ),
+        );
+    }
+
+    println!(
+        "\nThe hash-table cliffs: linear probing doubles its table (50% load\n\
+         factor), so it exceeds the 32 GiB translation coverage first and\n\
+         collapses >100x; perfect hashing survives until the table outgrows\n\
+         GPU memory. The Triton join spills partitions over the interconnect\n\
+         and keeps ~70% of its peak at 2048 M tuples."
+    );
+}

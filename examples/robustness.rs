@@ -1,0 +1,47 @@
+//! Robustness under skew: the paper motivates the Triton join with the
+//! observation that "cardinality estimates can be significantly wrong"
+//! (Section 1). A Zipf-distributed probe side is the classic way that
+//! happens in practice. This example sweeps the skew exponent: the
+//! Triton join barely moves, while the no-partitioning join loses more
+//! than half its throughput once the hot keys concentrate on unlucky
+//! (spilled) hash-table pages.
+//!
+//! ```text
+//! cargo run --release --example robustness -p triton-core
+//! ```
+
+use triton_core::{reference_join, NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+fn main() {
+    let k = 512;
+    let hw = HwConfig::ac922().scaled(k);
+
+    println!(
+        "{:>8} {:>14} {:>14}",
+        "zipf θ", "Triton (G/s)", "NPJ-PF (G/s)"
+    );
+    let mut triton_band = (f64::INFINITY, 0.0f64);
+    for theta in [0.0f64, 0.25, 0.5, 0.75, 1.0, 1.25] {
+        let w = WorkloadSpec::skewed(1024, theta, k).generate();
+        let triton = TritonJoin::default().run(&w, &hw);
+        let npj = NoPartitioningJoin::perfect().run(&w, &hw);
+        assert_eq!(triton.result, reference_join(&w));
+        assert_eq!(npj.result, triton.result);
+        let t = triton.throughput_gtps();
+        triton_band = (triton_band.0.min(t), triton_band.1.max(t));
+        println!("{theta:>8.2} {t:>14.3} {:>14.3}", npj.throughput_gtps());
+    }
+
+    println!(
+        "\nTriton stays within a {:.1}% band across the sweep: partitioning\n\
+         hashes the probe side too, so skewed keys spread over sub-partitions\n\
+         whose build tables are unchanged (R's keys stay unique and uniform).\n\
+         The no-partitioning join has no such insulation — its hottest keys\n\
+         map to fixed hash-table pages, and whenever those pages sit in the\n\
+         spilled share of the table, nearly every probe crosses the\n\
+         interconnect at 16-byte granularity.",
+        (triton_band.1 / triton_band.0 - 1.0) * 100.0
+    );
+}

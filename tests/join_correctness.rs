@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: every join operator must produce the
+//! exact reference result on every workload shape, across hardware
+//! scales, cache budgets, and algorithm combinations.
+
+use triton_core::{
+    reference_join, CpuPartitionedJoin, CpuRadixJoin, HashScheme, JoinReport, NoPartitioningJoin,
+    TritonJoin,
+};
+use triton_datagen::{Workload, WorkloadSpec};
+use triton_hw::units::Bytes;
+use triton_hw::HwConfig;
+use triton_part::Algorithm;
+
+type Operator = Box<dyn Fn(&Workload, &HwConfig) -> JoinReport>;
+
+fn operators() -> Vec<(&'static str, Operator)> {
+    vec![
+        (
+            "triton-default",
+            Box::new(|w: &Workload, hw: &HwConfig| TritonJoin::default().run(w, hw)),
+        ),
+        (
+            "triton-no-cache-gpu-ps",
+            Box::new(|w, hw| {
+                TritonJoin {
+                    caching_enabled: false,
+                    gpu_prefix_sum: true,
+                    ..TritonJoin::default()
+                }
+                .run(w, hw)
+            }),
+        ),
+        (
+            "triton-materializing",
+            Box::new(|w, hw| {
+                TritonJoin {
+                    materialize: true,
+                    scheme: HashScheme::Perfect,
+                    ..TritonJoin::default()
+                }
+                .run(w, hw)
+            }),
+        ),
+        (
+            "npj-linear-probing",
+            Box::new(|w, hw| NoPartitioningJoin::linear_probing().run(w, hw)),
+        ),
+        (
+            "npj-perfect",
+            Box::new(|w, hw| NoPartitioningJoin::perfect().run(w, hw)),
+        ),
+        (
+            "cpu-radix-p9",
+            Box::new(|w, hw| CpuRadixJoin::power9(HashScheme::BucketChaining).run(w, hw)),
+        ),
+        (
+            "cpu-radix-xeon",
+            Box::new(|w, hw| CpuRadixJoin::xeon(HashScheme::Perfect).run(w, hw)),
+        ),
+        (
+            "cpu-partitioned",
+            Box::new(|w, hw| CpuPartitionedJoin::default().run(w, hw)),
+        ),
+    ]
+}
+
+fn check_all(w: &Workload, hw: &HwConfig) {
+    let expect = reference_join(w);
+    for (name, run) in operators() {
+        let rep = run(w, hw);
+        assert_eq!(rep.result, expect, "{name} diverged from the reference");
+        assert!(rep.total.0 > 0.0, "{name}: zero modeled time");
+        assert_eq!(rep.tuples_actual, w.total_tuples());
+    }
+}
+
+#[test]
+fn default_workload_all_operators() {
+    let hw = HwConfig::ac922().scaled(2048);
+    let w = WorkloadSpec::paper_default(16, 512).generate();
+    check_all(&w, &hw);
+}
+
+#[test]
+fn skewed_ratio_workloads() {
+    let hw = HwConfig::ac922().scaled(2048);
+    for ratio in [2u64, 8, 32] {
+        let w = WorkloadSpec::with_ratio(16, ratio, 512).generate();
+        check_all(&w, &hw);
+    }
+}
+
+#[test]
+fn tiny_workload() {
+    let hw = HwConfig::ac922().scaled(4096);
+    let mut spec = WorkloadSpec::paper_default(1, 1_000_000);
+    spec.r_tuples_modeled = 3_000_000; // 3 actual tuples
+    spec.s_tuples_modeled = 7_000_000; // 7 actual tuples
+    let w = spec.generate();
+    check_all(&w, &hw);
+}
+
+#[test]
+fn all_pass1_algorithms_produce_identical_results() {
+    let hw = HwConfig::ac922().scaled(2048);
+    let w = WorkloadSpec::paper_default(16, 512).generate();
+    let expect = reference_join(&w);
+    for alg in Algorithm::all() {
+        let rep = TritonJoin {
+            pass1: alg,
+            ..TritonJoin::default()
+        }
+        .run(&w, &hw);
+        assert_eq!(rep.result, expect, "{alg:?}");
+    }
+}
+
+#[test]
+fn results_invariant_across_hardware_scales() {
+    // The functional result must not depend on the simulated capacities.
+    let w = WorkloadSpec::paper_default(16, 512).generate();
+    let expect = reference_join(&w);
+    for k in [512u64, 2048, 8192] {
+        let hw = HwConfig::ac922().scaled(k);
+        assert_eq!(TritonJoin::default().run(&w, &hw).result, expect, "K={k}");
+    }
+}
+
+#[test]
+fn results_invariant_across_cache_budgets() {
+    let hw = HwConfig::ac922().scaled(2048);
+    let w = WorkloadSpec::paper_default(16, 512).generate();
+    let expect = reference_join(&w);
+    for cache in [0u64, 1 << 18, 1 << 21, u64::MAX >> 20] {
+        let rep = TritonJoin {
+            cache_bytes: Some(Bytes(cache)),
+            ..TritonJoin::default()
+        }
+        .run(&w, &hw);
+        assert_eq!(rep.result, expect, "cache={cache}");
+    }
+}
+
+#[test]
+fn wide_tuple_workloads_join_correctly() {
+    let hw = HwConfig::ac922().scaled(2048);
+    let mut spec = WorkloadSpec::paper_default(8, 512);
+    spec.payload_cols = 16;
+    let w = spec.generate();
+    check_all(&w, &hw);
+    for payloads in [1usize, 16] {
+        for strategy in [
+            triton_core::Materialization::JoinIndex,
+            triton_core::Materialization::Early { payloads },
+            triton_core::Materialization::Late { payloads },
+        ] {
+            let rep = triton_core::run_with_materialization(&w, strategy, &hw);
+            assert_eq!(rep.result, reference_join(&w), "{strategy:?}");
+        }
+    }
+}

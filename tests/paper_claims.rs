@@ -1,0 +1,137 @@
+//! End-to-end assertions of the paper's headline claims, run against the
+//! simulated AC922 at a coarse capacity scale.
+//!
+//! These complement the per-figure tests in `triton-bench`: each test
+//! here corresponds to a sentence in the paper's abstract or discussion
+//! (Section 6.3).
+
+use triton_core::{CpuRadixJoin, HashScheme, NoPartitioningJoin, TritonJoin};
+use triton_datagen::WorkloadSpec;
+use triton_hw::HwConfig;
+
+const K: u64 = 2048;
+
+fn hw() -> HwConfig {
+    HwConfig::ac922().scaled(K)
+}
+
+/// Abstract: "our Triton join outperforms a no-partitioning hash join by
+/// more than 100x on the same GPU".
+#[test]
+fn triton_vs_npj_more_than_100x() {
+    let hw = hw();
+    let w = WorkloadSpec::paper_default(2048, K).generate();
+    let triton = TritonJoin::default().run(&w, &hw).throughput_gtps();
+    let npj_lp = NoPartitioningJoin::linear_probing()
+        .run(&w, &hw)
+        .throughput_gtps();
+    assert!(
+        triton > 100.0 * npj_lp,
+        "Triton {triton} vs NPJ-LP {npj_lp}: only {:.0}x",
+        triton / npj_lp
+    );
+}
+
+/// Abstract: "... and a radix-partitioned join on the CPU by up to 2.5x".
+/// Discussion: "a 2x speedup over a strong CPU baseline is possible even
+/// when the state size exceeds the GPU memory capacity".
+#[test]
+fn triton_vs_cpu_radix() {
+    let hw = hw();
+    let mut best = 0.0f64;
+    for m in [512u64, 1024, 2048] {
+        let w = WorkloadSpec::paper_default(m, K).generate();
+        let triton = TritonJoin::default().run(&w, &hw).throughput_gtps();
+        let cpu = CpuRadixJoin::power9(HashScheme::BucketChaining)
+            .run(&w, &hw)
+            .throughput_gtps();
+        assert!(triton > cpu, "{m} M: Triton {triton} <= CPU {cpu}");
+        best = best.max(triton / cpu);
+    }
+    assert!(
+        best > 1.5,
+        "best Triton/CPU speedup {best:.2} (paper: up to 2.5x)"
+    );
+}
+
+/// Fig 1 / Section 1: without the Triton join there is a regime where
+/// the CPU beats the GPU ("CPU > GPU"), and the Triton join removes it.
+#[test]
+fn triton_removes_the_cpu_gpu_crossover() {
+    let hw = hw();
+    let w = WorkloadSpec::paper_default(2048, K).generate();
+    let cpu = CpuRadixJoin::power9(HashScheme::Perfect)
+        .run(&w, &hw)
+        .throughput_gtps();
+    let npj = NoPartitioningJoin::perfect().run(&w, &hw).throughput_gtps();
+    let triton = TritonJoin {
+        scheme: HashScheme::Perfect,
+        ..TritonJoin::default()
+    }
+    .run(&w, &hw)
+    .throughput_gtps();
+    assert!(cpu > npj, "out-of-core: CPU {cpu} must beat NPJ {npj}");
+    assert!(triton > cpu, "Triton {triton} must beat CPU {cpu}");
+}
+
+/// Section 6.2.1: the Triton join "retains 74% of its peak throughput"
+/// at 2048 M tuples — graceful degradation instead of a cliff.
+#[test]
+fn graceful_degradation() {
+    let hw = hw();
+    let mut peak = 0.0f64;
+    let mut last = 0.0f64;
+    let mut prev: Option<f64> = None;
+    for m in [128u64, 512, 1024, 1536, 2048] {
+        let w = WorkloadSpec::paper_default(m, K).generate();
+        let t = TritonJoin::default().run(&w, &hw).throughput_gtps();
+        // No cliff: each step loses at most 25%.
+        if let Some(p) = prev {
+            assert!(t > p * 0.75, "{m} M: cliff from {p} to {t}");
+        }
+        peak = peak.max(t);
+        last = t;
+        prev = Some(t);
+    }
+    assert!(
+        last / peak > 0.6,
+        "retention {:.0}% (paper: 74%)",
+        last / peak * 100.0
+    );
+}
+
+/// Section 3.1's argument quantified: the CPU cannot partition fast
+/// enough to saturate a fast interconnect (it would need ~260 GiB/s).
+#[test]
+fn cpu_partitioning_cannot_saturate_the_link() {
+    let hw = hw();
+    let link_gibs = triton_hw::LinkModel::new(&hw.link).effective_seq_bw() / (1u64 << 30) as f64;
+    let tuples = 1_000_000u64;
+    let t = triton_part::cpu_partition_time(tuples, 9, 1, &hw);
+    let cpu_gibs = (tuples * 16) as f64 / (1u64 << 30) as f64 / t.as_secs();
+    assert!(
+        cpu_gibs < link_gibs / 1.5,
+        "CPU partitions at {cpu_gibs:.1} GiB/s vs link {link_gibs:.1} GiB/s"
+    );
+}
+
+/// Throughput is scale-invariant: the same modeled workload at different
+/// capacity scale factors K yields (nearly) the same G tuples/s — the
+/// property DESIGN.md's substitution argument rests on.
+#[test]
+fn throughput_invariant_under_capacity_scaling() {
+    for m in [512u64, 2048] {
+        let mut tputs = Vec::new();
+        for k in [1024u64, 2048, 4096] {
+            let hw = HwConfig::ac922().scaled(k);
+            let w = WorkloadSpec::paper_default(m, k).generate();
+            tputs.push(TritonJoin::default().run(&w, &hw).throughput_gtps());
+        }
+        let min = tputs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = tputs.iter().copied().fold(0.0f64, f64::max);
+        assert!(
+            max / min < 1.35,
+            "{m} M: throughput varies {tputs:?} across K"
+        );
+    }
+}
