@@ -1,51 +1,44 @@
-//! Criterion microbenchmarks of the end-to-end join operators.
+//! Microbenchmarks of the end-to-end join operators (host-side execution
+//! speed of the simulation; uses the in-tree harness, see
+//! `triton_bench::micro`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use triton_bench::micro::Group;
 use triton_core::{CpuRadixJoin, HashScheme, NoPartitioningJoin, TritonJoin};
 use triton_datagen::WorkloadSpec;
 use triton_hw::HwConfig;
 
-fn bench_joins(c: &mut Criterion) {
+fn bench_joins() {
     let hw = HwConfig::ac922().scaled(2048);
     let w = WorkloadSpec::paper_default(32, 2048).generate();
     let n = w.total_tuples();
 
-    let mut g = c.benchmark_group("joins_32M_modeled");
-    g.throughput(Throughput::Elements(n));
-    g.sample_size(10);
-    g.bench_function("triton", |b| b.iter(|| TritonJoin::default().run(&w, &hw)));
-    g.bench_function("triton_no_cache", |b| {
-        let j = TritonJoin {
-            caching_enabled: false,
-            ..TritonJoin::default()
-        };
-        b.iter(|| j.run(&w, &hw))
+    let g = Group::new("joins_32M_modeled", n);
+    g.bench("triton", || TritonJoin::default().run(&w, &hw));
+    let no_cache = TritonJoin {
+        caching_enabled: false,
+        ..TritonJoin::default()
+    };
+    g.bench("triton_no_cache", || no_cache.run(&w, &hw));
+    g.bench("npj_perfect", || NoPartitioningJoin::perfect().run(&w, &hw));
+    g.bench("npj_linear_probing", || {
+        NoPartitioningJoin::linear_probing().run(&w, &hw)
     });
-    g.bench_function("npj_perfect", |b| {
-        b.iter(|| NoPartitioningJoin::perfect().run(&w, &hw))
+    g.bench("cpu_radix_p9", || {
+        CpuRadixJoin::power9(HashScheme::BucketChaining).run(&w, &hw)
     });
-    g.bench_function("npj_linear_probing", |b| {
-        b.iter(|| NoPartitioningJoin::linear_probing().run(&w, &hw))
-    });
-    g.bench_function("cpu_radix_p9", |b| {
-        b.iter(|| CpuRadixJoin::power9(HashScheme::BucketChaining).run(&w, &hw))
-    });
-    g.finish();
 }
 
-fn bench_triton_sizes(c: &mut Criterion) {
+fn bench_triton_sizes() {
     let hw = HwConfig::ac922().scaled(2048);
-    let mut g = c.benchmark_group("triton_by_size");
-    g.sample_size(10);
+    let mut g = Group::new("triton_by_size", 0);
     for m in [8u64, 32, 128] {
         let w = WorkloadSpec::paper_default(m, 2048).generate();
-        g.throughput(Throughput::Elements(w.total_tuples()));
-        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
-            b.iter(|| TritonJoin::default().run(&w, &hw))
-        });
+        g.throughput(w.total_tuples());
+        g.bench(&format!("{m}M"), || TritonJoin::default().run(&w, &hw));
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_joins, bench_triton_sizes);
-criterion_main!(benches);
+fn main() {
+    bench_joins();
+    bench_triton_sizes();
+}

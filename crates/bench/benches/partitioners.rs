@@ -1,12 +1,13 @@
-//! Criterion microbenchmarks of the four GPU partitioning algorithms
-//! (host-side execution speed of the warp-granular emulation).
+//! Microbenchmarks of the four GPU partitioning algorithms (host-side
+//! execution speed of the warp-granular emulation; in-tree harness, see
+//! `triton_bench::micro`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use triton_bench::micro::Group;
 use triton_datagen::WorkloadSpec;
 use triton_hw::HwConfig;
 use triton_part::{compute_histogram, make_partitioner, Algorithm, PassConfig, Span};
 
-fn bench_partitioners(c: &mut Criterion) {
+fn bench_partitioners() {
     let hw = HwConfig::ac922().scaled(2048);
     let w = WorkloadSpec::paper_default(64, 2048).generate();
     let n = w.r.len();
@@ -16,36 +17,33 @@ fn bench_partitioners(c: &mut Criterion) {
     let input = Span::cpu(0);
     let output = Span::cpu(1 << 40);
 
-    let mut g = c.benchmark_group("partition_fanout_256");
-    g.throughput(Throughput::Elements(n as u64));
-    g.sample_size(10);
+    let g = Group::new("partition_fanout_256", n as u64);
     for alg in Algorithm::all() {
         let part = make_partitioner(alg);
-        g.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, _| {
-            b.iter(|| part.partition(&w.r.keys, &w.r.rids, &hist, &input, &output, &pass, &hw))
+        g.bench(alg.name(), || {
+            part.partition(&w.r.keys, &w.r.rids, &hist, &input, &output, &pass, &hw)
         });
     }
-    g.finish();
 }
 
-fn bench_fanout_sweep(c: &mut Criterion) {
+fn bench_fanout_sweep() {
     let hw = HwConfig::ac922().scaled(2048);
     let w = WorkloadSpec::paper_default(64, 2048).generate();
     let part = make_partitioner(Algorithm::Hierarchical);
     let input = Span::cpu(0);
     let output = Span::cpu(1 << 40);
 
-    let mut g = c.benchmark_group("hierarchical_fanout");
-    g.sample_size(10);
+    let g = Group::new("hierarchical_fanout", w.r.len() as u64);
     for bits in [4u32, 8, 11] {
         let hist = compute_histogram(&w.r.keys, 8, bits, 0);
         let pass = PassConfig::new(bits, 0);
-        g.bench_with_input(BenchmarkId::from_parameter(1 << bits), &bits, |b, _| {
-            b.iter(|| part.partition(&w.r.keys, &w.r.rids, &hist, &input, &output, &pass, &hw))
+        g.bench(&format!("fanout_{}", 1u32 << bits), || {
+            part.partition(&w.r.keys, &w.r.rids, &hist, &input, &output, &pass, &hw)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_partitioners, bench_fanout_sweep);
-criterion_main!(benches);
+fn main() {
+    bench_partitioners();
+    bench_fanout_sweep();
+}

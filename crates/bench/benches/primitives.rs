@@ -1,7 +1,8 @@
-//! Criterion microbenchmarks of the simulator's primitives: hash tables,
-//! the TLB simulator, the link cost model, and the interleave mapping.
+//! Microbenchmarks of the simulator's primitives: hash tables, the TLB
+//! simulator, the link cost model, and the interleave mapping (in-tree
+//! harness, see `triton_bench::micro`).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use triton_bench::micro::Group;
 use triton_core::{BucketChainTable, LinearProbeTable, PerfectArrayTable};
 use triton_datagen::Lcg;
 use triton_hw::link::LinkModel;
@@ -9,77 +10,69 @@ use triton_hw::tlb::{MemSide, TlbSim};
 use triton_hw::HwConfig;
 use triton_mem::InterleavePattern;
 
-fn bench_hash_tables(c: &mut Criterion) {
+fn bench_hash_tables() {
     let n = 100_000usize;
     let keys: Vec<u64> = (1..=n as u64).collect();
     let rids: Vec<u64> = keys.iter().map(|k| k * 3).collect();
 
-    let mut g = c.benchmark_group("hash_tables");
-    g.throughput(Throughput::Elements(n as u64));
-    g.bench_function("bucket_chain_build", |b| {
-        b.iter(|| BucketChainTable::build(&keys, &rids, 2048, 0))
+    let g = Group::new("hash_tables", n as u64);
+    g.bench("bucket_chain_build", || {
+        BucketChainTable::build(&keys, &rids, 2048, 0)
     });
     let bc = BucketChainTable::build(&keys, &rids, 2048, 0);
-    g.bench_function("bucket_chain_probe", |b| {
-        b.iter(|| keys.iter().map(|&k| bc.probe(k).1 as u64).sum::<u64>())
+    g.bench("bucket_chain_probe", || {
+        keys.iter().map(|&k| bc.probe(k).1 as u64).sum::<u64>()
     });
-    g.bench_function("linear_probe_build", |b| {
-        b.iter(|| LinearProbeTable::build(&keys, &rids, 0.5))
+    g.bench("linear_probe_build", || {
+        LinearProbeTable::build(&keys, &rids, 0.5)
     });
     let (lp, _) = LinearProbeTable::build(&keys, &rids, 0.5);
-    g.bench_function("linear_probe_probe", |b| {
-        b.iter(|| keys.iter().map(|&k| lp.probe(k).1 as u64).sum::<u64>())
+    g.bench("linear_probe_probe", || {
+        keys.iter().map(|&k| lp.probe(k).1 as u64).sum::<u64>()
     });
     let pf = PerfectArrayTable::build(&keys, &rids, n);
-    g.bench_function("perfect_probe", |b| {
-        b.iter(|| keys.iter().filter_map(|&k| pf.probe(k)).sum::<u64>())
+    g.bench("perfect_probe", || {
+        keys.iter().filter_map(|&k| pf.probe(k)).sum::<u64>()
     });
-    g.finish();
 }
 
-fn bench_tlb(c: &mut Criterion) {
+fn bench_tlb() {
     let hw = HwConfig::ac922().scaled(1024);
-    let mut g = c.benchmark_group("tlb_sim");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("translate_thrash", |b| {
-        let mut tlb = TlbSim::new(&hw);
-        let reach = tlb.entry_reach().0;
-        b.iter(|| {
-            let mut acc = 0u64;
-            for i in 0..100_000u64 {
-                acc += tlb.translate(i * reach, MemSide::Cpu) as u64;
-            }
-            acc
-        })
+    let g = Group::new("tlb_sim", 100_000);
+    let mut tlb = TlbSim::new(&hw);
+    let reach = tlb.entry_reach().0;
+    g.bench("translate_thrash", || {
+        let mut acc = 0u64;
+        for i in 0..100_000u64 {
+            acc += tlb.translate(i * reach, MemSide::Cpu) as u64;
+        }
+        acc
     });
-    g.finish();
 }
 
-fn bench_link_and_lcg(c: &mut Criterion) {
+fn bench_link_and_lcg() {
     let link = LinkModel::new(&HwConfig::ac922().link);
-    let mut g = c.benchmark_group("primitives");
-    g.bench_function("link_write_at", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for off in (0..100_000u64).step_by(37) {
-                acc += link.write_at(off, 48).wire_data_dir.0;
-            }
-            acc
-        })
+    let g = Group::new("primitives", 0);
+    g.bench("link_write_at", || {
+        let mut acc = 0u64;
+        for off in (0..100_000u64).step_by(37) {
+            acc += link.write_at(off, 48).wire_data_dir.0;
+        }
+        acc
     });
-    g.bench_function("lcg_full_period_16", |b| {
-        b.iter(|| Lcg::new(16, 1).take(1 << 16).sum::<u64>())
+    g.bench("lcg_full_period_16", || {
+        Lcg::new(16, 1).take(1 << 16).sum::<u64>()
     });
-    g.bench_function("interleave_side_of", |b| {
-        let p = InterleavePattern::from_fraction(0.37);
-        b.iter(|| {
-            (0..100_000u64)
-                .filter(|&i| p.side_of_page(i) == MemSide::Gpu)
-                .count()
-        })
+    let p = InterleavePattern::from_fraction(0.37);
+    g.bench("interleave_side_of", || {
+        (0..100_000u64)
+            .filter(|&i| p.side_of_page(i) == MemSide::Gpu)
+            .count()
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_hash_tables, bench_tlb, bench_link_and_lcg);
-criterion_main!(benches);
+fn main() {
+    bench_hash_tables();
+    bench_tlb();
+    bench_link_and_lcg();
+}

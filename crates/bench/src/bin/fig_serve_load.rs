@@ -1,0 +1,7 @@
+//! Serving sweep: offered load vs. delivered throughput and p50/p99
+//! latency for the multi-query scheduler (`triton-exec`), with
+//! admission control, deadline shedding, and build-side sharing.
+fn main() {
+    let hw = triton_bench::hw();
+    triton_bench::figs::serve_load::print(&hw, &triton_bench::figs::serve_load::LOAD_AXIS);
+}

@@ -1,0 +1,208 @@
+//! Serving experiment: offered load vs. delivered throughput and
+//! latency for the multi-query scheduler (`triton-exec`).
+//!
+//! A mixed tenant population — probe batches sharing one build relation,
+//! independent Triton joins, and CPU radix joins — arrives as a Poisson
+//! stream whose rate is expressed as a fraction of the machine's serial
+//! capacity (offered load 1.0 = queries arrive exactly as fast as a
+//! dedicated machine could drain them). Expected shape: delivered
+//! throughput tracks offered load until saturation, then plateaus while
+//! p99 latency grows and the deadline shedder starts dropping queries;
+//! concurrency and build-sharing push the saturation point past 1.0.
+
+use triton_core::{CpuRadixJoin, HashScheme, TritonJoin};
+use triton_datagen::{Rng, WorkloadSpec};
+use triton_exec::{JoinQuery, Operator, Scheduler, SchedulerConfig};
+use triton_hw::units::Ns;
+use triton_hw::HwConfig;
+
+/// One measured operating point.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Offered load as a fraction of serial capacity.
+    pub load: f64,
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries rejected or shed (all typed reasons).
+    pub rejected: u64,
+    /// Delivered throughput in G tuples/s over the makespan.
+    pub gtps: f64,
+    /// Median end-to-end latency, in units of the mean dedicated
+    /// service time (1.0 = as fast as running alone).
+    pub p50_service_times: f64,
+    /// 99th-percentile latency in service-time units.
+    pub p99_service_times: f64,
+    /// Peak reserved GPU memory as a fraction of capacity.
+    pub peak_mem_frac: f64,
+    /// Build-cache hits among admitted queries.
+    pub cache_hits: u64,
+}
+
+/// The offered-load axis (fractions of serial capacity).
+pub const LOAD_AXIS: [f64; 7] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0];
+
+/// Queries per operating point.
+const QUERIES: usize = 24;
+
+/// Build the tenant mix, one third each: probe batches over one shared
+/// build side, independent Triton joins, and CPU radix joins.
+fn tenant_mix(k: u64, arrivals: &[f64]) -> Vec<JoinQuery> {
+    assert_eq!(arrivals.len(), QUERIES);
+    let dim = WorkloadSpec::paper_default(8, k).generate();
+    let mut queries = Vec::with_capacity(QUERIES);
+    for (i, &at) in arrivals.iter().enumerate() {
+        let mut q = match i % 3 {
+            // Probe batches against the shared dimension relation.
+            0 => {
+                let w = if i == 0 {
+                    dim.clone()
+                } else {
+                    JoinQuery::probe_batch(&dim, 0x5EED + i as u64)
+                };
+                let mut q = JoinQuery::new(format!("batch-{i}"), w, Ns(at));
+                q.build_key = Some(1);
+                q
+            }
+            // Independent fact-to-fact Triton joins.
+            1 => {
+                let mut spec = WorkloadSpec::paper_default(16, k);
+                spec.seed ^= (i as u64) << 24;
+                let mut q = JoinQuery::new(format!("fact-{i}"), spec.generate(), Ns(at));
+                q.op = Operator::Triton(TritonJoin::default());
+                q
+            }
+            // Ad-hoc CPU joins: no GPU memory, overlap with everything.
+            _ => {
+                let mut spec = WorkloadSpec::paper_default(8, k);
+                spec.seed ^= (0xCCu64 << 8) | i as u64;
+                let mut q = JoinQuery::new(format!("cpu-{i}"), spec.generate(), Ns(at));
+                q.op = Operator::CpuRadix(CpuRadixJoin::power9(HashScheme::BucketChaining));
+                q
+            }
+        };
+        q.priority = 1;
+        queries.push(q);
+    }
+    queries
+}
+
+/// Mean dedicated service time of the tenant mix (the load unit).
+fn mean_service_time(hw: &HwConfig) -> Ns {
+    let queries = tenant_mix(hw.scale, &[0.0; QUERIES]);
+    let total: f64 = queries
+        .iter()
+        .map(|q| match q.op.run(&q.workload, hw) {
+            Ok(rep) => rep.total.0,
+            Err(_) => 0.0,
+        })
+        .sum();
+    Ns(total / QUERIES as f64)
+}
+
+/// Run the sweep.
+pub fn run(hw: &HwConfig, loads: &[f64]) -> Vec<Row> {
+    let s_mean = mean_service_time(hw);
+    let mut rows = Vec::new();
+    for &load in loads {
+        // Poisson arrivals at `load` times the serial drain rate.
+        let rate = load / s_mean.0; // queries per ns
+        let mut rng = Rng::seed_from_u64(0x10AD ^ load.to_bits());
+        let mut t = 0.0f64;
+        let arrivals: Vec<f64> = (0..QUERIES)
+            .map(|_| {
+                t += -(1.0 - rng.next_f64()).ln() / rate;
+                t
+            })
+            .collect();
+        let mut queries = tenant_mix(hw.scale, &arrivals);
+        // Queries shed themselves once they have queued for ten mean
+        // service times — the overload signal of the sweep.
+        for q in &mut queries {
+            q.deadline = Some(s_mean * 10.0);
+        }
+        let res = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(queries);
+        let m = &res.metrics;
+        rows.push(Row {
+            load,
+            submitted: m.completed + m.rejected,
+            completed: m.completed,
+            rejected: m.rejected,
+            gtps: m.throughput_gtps,
+            p50_service_times: m.latency_p50.0 / s_mean.0,
+            p99_service_times: m.latency_p99.0 / s_mean.0,
+            peak_mem_frac: m.peak_gpu_reserved.0 as f64 / m.gpu_capacity.0.max(1) as f64,
+            cache_hits: m.build_cache_hits,
+        });
+    }
+    rows
+}
+
+/// Print the experiment.
+pub fn print(hw: &HwConfig, loads: &[f64]) {
+    crate::banner(
+        "Serving",
+        "offered load vs. throughput and latency under admission control",
+    );
+    let rows = run(hw, loads);
+    let mut t = crate::Table::new([
+        "load",
+        "done",
+        "shed",
+        "G tuples/s",
+        "p50 (x svc)",
+        "p99 (x svc)",
+        "peak mem",
+        "cache hits",
+    ]);
+    for r in &rows {
+        t.row([
+            crate::f3(r.load),
+            format!("{}/{}", r.completed, r.submitted),
+            r.rejected.to_string(),
+            crate::f3(r.gtps),
+            crate::f1(r.p50_service_times),
+            crate::f1(r.p99_service_times),
+            crate::pct(r.peak_mem_frac),
+            r.cache_hits.to_string(),
+        ]);
+    }
+    t.print();
+    // Machine-readable mirror of the table (one JSON object per point).
+    for r in &rows {
+        println!(
+            "{}",
+            crate::json::JsonObject::new()
+                .str("fig", "serve_load")
+                .num("offered_load", r.load)
+                .int("submitted", r.submitted)
+                .int("completed", r.completed)
+                .int("rejected", r.rejected)
+                .num("throughput_gtps", r.gtps)
+                .num("latency_p50_service_times", r.p50_service_times)
+                .num("latency_p99_service_times", r.p99_service_times)
+                .num("peak_gpu_mem_fraction", r.peak_mem_frac)
+                .int("build_cache_hits", r.cache_hits)
+                .render()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_saturates_and_stays_within_memory() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let rows = run(&hw, &[0.25, 2.0]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.peak_mem_frac <= 1.0, "oversubscribed at load {}", r.load);
+            assert!(r.completed > 0);
+        }
+        // Heavier load must not finish queries faster end-to-end.
+        assert!(rows[1].p99_service_times >= rows[0].p99_service_times * 0.99);
+    }
+}

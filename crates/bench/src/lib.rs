@@ -15,6 +15,8 @@
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod json;
+pub mod micro;
 
 use triton_hw::HwConfig;
 

@@ -1,0 +1,73 @@
+//! Minimal microbenchmark harness (in-tree replacement for Criterion,
+//! which the offline build cannot fetch).
+//!
+//! The `[[bench]]` targets under `benches/` are `harness = false`
+//! binaries driving this module: warm up, run a fixed number of timed
+//! iterations, and report the median wall time plus derived throughput.
+//! `--quick` (the flag CI passes to the Criterion smoke run) cuts the
+//! iteration count; any other unknown flags are ignored so the targets
+//! stay drop-in compatible with `cargo bench` invocations.
+
+use std::time::Instant;
+
+/// One benchmark group: a label plus shared element count for throughput.
+pub struct Group {
+    name: String,
+    elements: u64,
+    iters: usize,
+}
+
+/// True when `--quick` was passed on the command line.
+pub fn quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+impl Group {
+    /// Start a group. `elements` is the per-iteration element count used
+    /// for throughput reporting (0 = no throughput column).
+    pub fn new(name: impl Into<String>, elements: u64) -> Self {
+        let name = name.into();
+        println!("\n== bench group: {name}");
+        Group {
+            name,
+            elements,
+            iters: if quick() { 3 } else { 10 },
+        }
+    }
+
+    /// Override the element count for subsequent benchmarks.
+    pub fn throughput(&mut self, elements: u64) -> &mut Self {
+        self.elements = elements;
+        self
+    }
+
+    /// Time `f` and print its median iteration time and throughput.
+    /// Returns the median seconds per iteration.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) -> f64 {
+        // One warmup iteration (results discarded, keeps caches honest).
+        let sink = f();
+        drop(sink);
+        let mut times: Vec<f64> = (0..self.iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                let r = f();
+                let dt = t0.elapsed().as_secs_f64();
+                drop(r);
+                dt
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        if self.elements > 0 {
+            println!(
+                "{}/{label:<28} {:>10.3} ms/iter  {:>9.2} M elem/s",
+                self.name,
+                median * 1e3,
+                self.elements as f64 / median / 1e6
+            );
+        } else {
+            println!("{}/{label:<28} {:>10.3} ms/iter", self.name, median * 1e3);
+        }
+        median
+    }
+}

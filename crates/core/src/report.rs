@@ -1,7 +1,6 @@
 //! Join execution reports: per-kernel timing, profiling counters, and the
 //! derived metrics every figure of the evaluation reads.
 
-use serde::{Deserialize, Serialize};
 use triton_hw::kernel::{KernelCost, KernelTiming, StallProfile};
 use triton_hw::power::{efficiency_mtps_per_w, Executor};
 use triton_hw::units::{Bytes, Ns};
@@ -49,7 +48,7 @@ impl PhaseReport {
 }
 
 /// Functional result of a join: verifiable against a reference join.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct JoinResult {
     /// Number of matching tuple pairs.
     pub matches: u64,

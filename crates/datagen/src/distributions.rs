@@ -8,7 +8,7 @@
 //! same way the paper's cache sweeps do — some partitions become much
 //! larger than planned.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// A Zipf(θ) sampler over `1..=n` using the classic CDF-inversion with a
 /// precomputed harmonic table for small `n` and rejection-free binary
@@ -16,9 +16,9 @@ use rand::Rng;
 ///
 /// ```
 /// use triton_datagen::Zipf;
-/// use rand::{rngs::SmallRng, SeedableRng};
+/// use triton_datagen::Rng;
 /// let z = Zipf::new(100, 1.0);
-/// let mut rng = SmallRng::seed_from_u64(7);
+/// let mut rng = Rng::seed_from_u64(7);
 /// let v = z.sample(&mut rng);
 /// assert!((1..=100).contains(&v));
 /// ```
@@ -47,8 +47,8 @@ impl Zipf {
     }
 
     /// Sample one value in `1..=n`.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
-        let u: f64 = rng.gen();
+    pub fn sample(&self, rng: &mut Rng) -> u64 {
+        let u: f64 = rng.next_f64();
         // First index with cdf >= u.
         let mut lo = 0usize;
         let mut hi = self.cdf.len() - 1;
@@ -72,13 +72,10 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
-
     #[test]
     fn samples_within_domain() {
         let z = Zipf::new(100, 0.9);
-        let mut rng = SmallRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for _ in 0..10_000 {
             let v = z.sample(&mut rng);
             assert!((1..=100).contains(&v));
@@ -88,7 +85,7 @@ mod tests {
     #[test]
     fn theta_zero_is_uniform() {
         let z = Zipf::new(10, 0.0);
-        let mut rng = SmallRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let mut counts = [0u32; 10];
         let n = 100_000;
         for _ in 0..n {
@@ -103,7 +100,7 @@ mod tests {
     #[test]
     fn high_theta_concentrates_mass() {
         let z = Zipf::new(1000, 1.0);
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let n = 100_000;
         let head = (0..n).filter(|_| z.sample(&mut rng) <= 10).count();
         // Zipf(1.0) over 1000 values puts ~39% of mass on the top 10.
@@ -114,7 +111,7 @@ mod tests {
     #[test]
     fn singleton_domain() {
         let z = Zipf::new(1, 1.2);
-        let mut rng = SmallRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         assert_eq!(z.sample(&mut rng), 1);
     }
 }

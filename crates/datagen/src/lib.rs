@@ -13,10 +13,12 @@ pub mod distributions;
 pub mod hash;
 pub mod lcg;
 pub mod relation;
+pub mod rng;
 pub mod workload;
 
 pub use distributions::Zipf;
 pub use hash::{multiply_shift, radix, table_slot};
 pub use lcg::Lcg;
 pub use relation::{Relation, KEY_BYTES, PAYLOAD_BYTES, TUPLE_BYTES};
+pub use rng::Rng;
 pub use workload::{Workload, WorkloadSpec, M};

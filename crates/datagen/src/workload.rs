@@ -6,12 +6,9 @@
 //! tuple counts executed functionally. Build-to-probe ratios (Fig 21) and
 //! wide tuples (Fig 22) are parameters of the spec.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-
 use crate::distributions::Zipf;
 use crate::relation::Relation;
+use crate::rng::Rng;
 
 /// One million, the paper's workload unit.
 pub const M: u64 = 1_000_000;
@@ -100,14 +97,14 @@ impl WorkloadSpec {
 
     /// Generate the workload.
     pub fn generate(&self) -> Workload {
-        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut rng = Rng::seed_from_u64(self.seed);
         let n_r = self.r_tuples();
         let n_s = self.s_tuples();
 
         // R: shuffled unique primary keys 1..=|R|, random record ids.
         let mut r_keys: Vec<u64> = (1..=n_r as u64).collect();
-        r_keys.shuffle(&mut rng);
-        let r_rids: Vec<u64> = (0..n_r).map(|_| rng.gen()).collect();
+        rng.shuffle(&mut r_keys);
+        let r_rids: Vec<u64> = (0..n_r).map(|_| rng.next_u64()).collect();
 
         // S: foreign keys in [1, |R|] — uniform by default, Zipf when a
         // skew exponent is configured. Non-matching probes (when
@@ -115,20 +112,21 @@ impl WorkloadSpec {
         let zipf = (self.zipf_theta > 0.0).then(|| Zipf::new(n_r, self.zipf_theta));
         let s_keys: Vec<u64> = (0..n_s)
             .map(|_| {
-                if self.match_fraction < 1.0 && rng.gen::<f64>() >= self.match_fraction {
-                    rng.gen_range(n_r as u64 + 1..=2 * n_r as u64)
+                if self.match_fraction < 1.0 && rng.next_f64() >= self.match_fraction {
+                    rng.gen_range_u64(n_r as u64 + 1, 2 * n_r as u64)
                 } else if let Some(z) = &zipf {
                     z.sample(&mut rng)
                 } else {
-                    rng.gen_range(1..=n_r as u64)
+                    rng.gen_range_u64(1, n_r as u64)
                 }
             })
             .collect();
-        let s_rids: Vec<u64> = (0..n_s).map(|_| rng.gen()).collect();
+        let s_rids: Vec<u64> = (0..n_s).map(|_| rng.next_u64()).collect();
 
         let mut s = Relation::from_columns(s_keys, s_rids);
         for _ in 0..self.payload_cols {
-            s.payload_cols.push((0..n_s).map(|_| rng.gen()).collect());
+            s.payload_cols
+                .push((0..n_s).map(|_| rng.next_u64()).collect());
         }
 
         Workload {

@@ -1,0 +1,248 @@
+//! Admission control: per-query GPU memory reservations through the
+//! simulated allocator, so concurrent joins never oversubscribe device
+//! memory.
+//!
+//! Each operator already sizes its own working set against the full GPU
+//! (`TritonJoin` reserves two partition-pair buffers plus an eighth of
+//! device memory for the runtime, then caches the rest; the NPJ caches
+//! its hash table). Under concurrency the controller makes that budget
+//! explicit: it reserves the operator's *pipeline floor* and hands out a
+//! *cache grant* from whatever device memory remains, and the query runs
+//! with `cache_bytes = Some(grant)` so its internal allocator stays
+//! inside the reservation. The sum of reservations can never exceed the
+//! (scaled) GPU capacity — that is enforced by a [`SimAllocator`], the
+//! same capacity arithmetic the operators use.
+
+use std::collections::HashMap;
+
+use triton_core::TritonJoin;
+use triton_datagen::TUPLE_BYTES;
+use triton_hw::units::Bytes;
+use triton_hw::{HwConfig, MemSide};
+use triton_mem::{Allocation, OutOfMemory, SimAllocator};
+
+use crate::query::{JoinQuery, Operator, QueryId};
+
+/// A granted reservation for one admitted query.
+#[derive(Debug, Clone, Copy)]
+pub struct Reservation {
+    /// Total GPU bytes reserved (pipeline floor + cache grant).
+    pub reserved: Bytes,
+    /// Cache budget the operator may use for its working set; the query
+    /// executes with `cache_bytes = Some(cache_grant)`.
+    pub cache_grant: Bytes,
+}
+
+/// The admission controller. Owns a [`SimAllocator`] whose GPU side is
+/// the shared device-memory budget of all in-flight queries.
+#[derive(Debug)]
+pub struct AdmissionController {
+    alloc: SimAllocator,
+    capacity: Bytes,
+    grants: HashMap<QueryId, (Allocation, Reservation)>,
+    /// High-water mark of reserved GPU bytes (for metrics/tests).
+    pub peak_reserved: Bytes,
+}
+
+impl AdmissionController {
+    /// Build for a machine configuration.
+    pub fn new(hw: &HwConfig) -> Self {
+        AdmissionController {
+            alloc: SimAllocator::new(hw),
+            capacity: hw.gpu.mem_capacity,
+            grants: HashMap::new(),
+            peak_reserved: Bytes(0),
+        }
+    }
+
+    /// Total GPU capacity being arbitrated.
+    pub fn capacity(&self) -> Bytes {
+        self.capacity
+    }
+
+    /// GPU bytes currently reserved across all in-flight queries.
+    pub fn reserved(&self) -> Bytes {
+        self.alloc.used(MemSide::Gpu)
+    }
+
+    /// GPU bytes still grantable.
+    pub fn available(&self) -> Bytes {
+        self.alloc.available(MemSide::Gpu)
+    }
+
+    /// The minimum GPU reservation `query` needs to start: the pipeline
+    /// floor without any cache grant. A query whose floor exceeds the
+    /// whole GPU can never be admitted (the caller should reject it
+    /// permanently rather than queue it).
+    pub fn min_reserve(query: &JoinQuery, hw: &HwConfig) -> Bytes {
+        let r_bytes = query.workload.r.len() as u64 * TUPLE_BYTES;
+        let s_bytes = query.workload.s.len() as u64 * TUPLE_BYTES;
+        let total = r_bytes + s_bytes;
+        match &query.op {
+            Operator::Triton(_) => {
+                // Mirrors TritonJoin::try_run's internal reservation: two
+                // partition-pair buffers plus an eighth of device memory
+                // for the runtime and staging.
+                let b1 = TritonJoin::pass1_bits(r_bytes, total, hw);
+                let pair = (total >> b1).max(1);
+                Bytes(2 * pair + hw.gpu.mem_capacity.0 / 8)
+            }
+            // NPJ streams the inputs; only the runtime slice is a floor
+            // (the hash table degrades gracefully to CPU memory).
+            Operator::NoPartitioning(_) => Bytes(hw.gpu.mem_capacity.0 / 8),
+            // CPU operators take no GPU memory at all.
+            Operator::CpuRadix(_) => Bytes(0),
+        }
+    }
+
+    /// The cache bytes `query` could profitably use on top of the floor.
+    fn cache_desired(query: &JoinQuery) -> u64 {
+        let r_bytes = query.workload.r.len() as u64 * TUPLE_BYTES;
+        let s_bytes = query.workload.s.len() as u64 * TUPLE_BYTES;
+        match &query.op {
+            // The whole partitioned working set, ideally.
+            Operator::Triton(_) => r_bytes + s_bytes,
+            Operator::NoPartitioning(j) => j.table_bytes(query.workload.r.len()),
+            Operator::CpuRadix(_) => 0,
+        }
+    }
+
+    /// Try to reserve memory for `query`. On success the query may start
+    /// immediately; the reservation stays held until [`Self::release`].
+    ///
+    /// The error carries the floor that could not be met, so the caller
+    /// can distinguish *backpressure* (wait for a release) from
+    /// *over-capacity* (the floor exceeds the entire GPU: shed).
+    pub fn try_admit(
+        &mut self,
+        id: QueryId,
+        query: &JoinQuery,
+        hw: &HwConfig,
+    ) -> Result<Reservation, OutOfMemory> {
+        let floor = Self::min_reserve(query, hw);
+        let free = self.available().0;
+        if floor.0 > free {
+            return Err(OutOfMemory {
+                side: MemSide::Gpu,
+                requested: floor,
+                available: Bytes(free),
+            });
+        }
+        // Grant cache from the remainder, leaving headroom so one greedy
+        // query cannot starve the queue: cap each grant at half of what
+        // is free after the floor.
+        let after_floor = free - floor.0;
+        let grant = Self::cache_desired(query).min(after_floor / 2);
+        let total = Bytes(floor.0 + grant);
+        let allocation = self.alloc.alloc(MemSide::Gpu, total)?;
+        let reservation = Reservation {
+            reserved: Bytes(allocation.len),
+            cache_grant: Bytes(grant),
+        };
+        self.grants.insert(id, (allocation, reservation));
+        let now = self.reserved();
+        if now > self.peak_reserved {
+            self.peak_reserved = now;
+        }
+        Ok(reservation)
+    }
+
+    /// Release the reservation of a finished (or failed) query.
+    pub fn release(&mut self, id: QueryId) {
+        if let Some((allocation, _)) = self.grants.remove(&id) {
+            self.alloc.free(allocation);
+        }
+    }
+
+    /// Number of queries currently holding reservations.
+    pub fn in_flight(&self) -> usize {
+        self.grants.len()
+    }
+}
+
+/// Clone `query`'s operator with its cache budget clamped to the granted
+/// reservation, so the dedicated-run report reflects exactly the memory
+/// admission handed out.
+pub fn operator_with_grant(query: &JoinQuery, grant: &Reservation) -> Operator {
+    match &query.op {
+        Operator::Triton(j) => Operator::Triton(TritonJoin {
+            cache_bytes: Some(grant.cache_grant),
+            ..j.clone()
+        }),
+        Operator::NoPartitioning(j) => {
+            let mut j = j.clone();
+            j.cache_bytes = Some(grant.cache_grant);
+            Operator::NoPartitioning(j)
+        }
+        Operator::CpuRadix(j) => Operator::CpuRadix(j.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triton_datagen::WorkloadSpec;
+    use triton_hw::units::Ns;
+
+    fn query(m: u64, k: u64) -> JoinQuery {
+        JoinQuery::new("q", WorkloadSpec::paper_default(m, k).generate(), Ns::ZERO)
+    }
+
+    #[test]
+    fn reservations_never_exceed_capacity() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        let q = query(64, 512);
+        let mut admitted = 0;
+        for i in 0..64 {
+            match ac.try_admit(QueryId(i), &q, &hw) {
+                Ok(_) => admitted += 1,
+                Err(e) => {
+                    assert_eq!(e.side, MemSide::Gpu);
+                    break;
+                }
+            }
+        }
+        assert!(admitted >= 2, "the GPU should fit at least two queries");
+        assert!(ac.reserved() <= ac.capacity());
+        assert_eq!(ac.in_flight(), admitted as usize);
+    }
+
+    #[test]
+    fn release_returns_budget() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        let q = query(64, 512);
+        let before = ac.available();
+        ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        assert!(ac.available() < before);
+        ac.release(QueryId(0));
+        assert_eq!(ac.available(), before);
+        assert!(ac.peak_reserved.0 > 0);
+    }
+
+    #[test]
+    fn cpu_query_needs_no_gpu_memory() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut q = query(64, 512);
+        q.op = Operator::CpuRadix(triton_core::CpuRadixJoin::power9(
+            triton_core::HashScheme::BucketChaining,
+        ));
+        assert_eq!(AdmissionController::min_reserve(&q, &hw), Bytes(0));
+        let mut ac = AdmissionController::new(&hw);
+        let r = ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        assert_eq!(r.reserved, Bytes(0));
+    }
+
+    #[test]
+    fn grant_clamps_operator_cache() {
+        let hw = HwConfig::ac922().scaled(512);
+        let q = query(64, 512);
+        let mut ac = AdmissionController::new(&hw);
+        let r = ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        match operator_with_grant(&q, &r) {
+            Operator::Triton(j) => assert_eq!(j.cache_bytes, Some(r.cache_grant)),
+            _ => panic!("expected a Triton operator"),
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Build-side sharing: probe batches against the same build relation
+//! reuse its partitioned state instead of re-partitioning R per query.
+//!
+//! The partitioned build relation (the output of PS 1 + Part 1 restricted
+//! to R) lives in the hybrid array whose spill side is CPU memory — which
+//! is plentiful — so the cache tracks *which* build relations are
+//! resident and reference counts, not GPU bytes; GPU cache pages are
+//! re-granted per query by admission control. A hit lets the scheduler
+//! discount the build side's share of the first partitioning pass (see
+//! [`crate::demand::ResourceDemand::from_report`]).
+
+use std::collections::HashMap;
+
+/// Refcounted registry of resident partitioned build relations.
+#[derive(Debug, Default)]
+pub struct BuildCache {
+    entries: HashMap<u64, Entry>,
+    /// Queries that found their build side already partitioned.
+    pub hits: u64,
+    /// Queries that had to partition their build side themselves.
+    pub misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    refs: usize,
+    /// Build-side bytes (reporting only; the state lives in CPU memory).
+    r_bytes: u64,
+}
+
+impl BuildCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire the build state for `key`, pinning it while the query
+    /// runs. Returns `true` on a hit (state already resident — the query
+    /// skips re-partitioning R), `false` on a miss (this query
+    /// partitions R and leaves the state behind for followers).
+    pub fn acquire(&mut self, key: u64, r_bytes: u64) -> bool {
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.refs += 1;
+                self.hits += 1;
+                true
+            }
+            None => {
+                self.entries.insert(key, Entry { refs: 1, r_bytes });
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Unpin after the query finishes. Idle entries stay resident for
+    /// later probe batches until [`Self::evict_idle`].
+    pub fn release(&mut self, key: u64) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.refs = e.refs.saturating_sub(1);
+        }
+    }
+
+    /// Drop all unpinned entries, returning the bytes retired.
+    pub fn evict_idle(&mut self) -> u64 {
+        let mut freed = 0;
+        self.entries.retain(|_, e| {
+            if e.refs == 0 {
+                freed += e.r_bytes;
+                false
+            } else {
+                true
+            }
+        });
+        freed
+    }
+
+    /// Number of resident build relations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_is_miss_then_hits() {
+        let mut c = BuildCache::new();
+        assert!(!c.acquire(7, 1000));
+        assert!(c.acquire(7, 1000));
+        assert!(c.acquire(7, 1000));
+        assert!(!c.acquire(8, 500));
+        assert_eq!((c.hits, c.misses), (2, 2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn eviction_spares_pinned_entries() {
+        let mut c = BuildCache::new();
+        c.acquire(1, 100);
+        c.acquire(2, 200);
+        c.release(2);
+        assert_eq!(c.evict_idle(), 200);
+        assert_eq!(c.len(), 1);
+        c.release(1);
+        assert_eq!(c.evict_idle(), 100);
+        assert!(c.is_empty());
+    }
+}

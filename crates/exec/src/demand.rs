@@ -1,0 +1,127 @@
+//! Resource-demand extraction: turn a dedicated-run [`JoinReport`] into
+//! the [`ResourceVector`] the inter-query arbiter shares the machine by.
+//!
+//! The paper's Section 5.2 overlaps stages *within* one join because they
+//! bottleneck on different resources (transfer vs. compute). The serving
+//! runtime applies the same reasoning *across* queries: each query's
+//! dedicated profile says how busy it keeps the interconnect, GPU memory,
+//! the SM issue slots, the IOMMU walker, and the host CPU; queries whose
+//! bottlenecks are disjoint overlap nearly for free, while queries
+//! contending on one resource split it.
+
+use triton_core::JoinReport;
+use triton_hw::units::Ns;
+use triton_hw::ResourceVector;
+
+/// Phases that (re-)process the build relation and are skipped when a
+/// shared partitioned build side is already resident.
+const BUILD_PHASES: [&str; 2] = ["PS 1", "Part 1"];
+
+/// What one query asks of the machine while it runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceDemand {
+    /// Busy fraction of each machine resource during a dedicated run.
+    pub vector: ResourceVector,
+    /// Dedicated-run duration — the service requirement the scheduler
+    /// drains at the arbitrated speed.
+    pub work: Ns,
+}
+
+impl ResourceDemand {
+    /// Extract the demand from a dedicated-run report.
+    ///
+    /// When `build_cached` is set, the build side's share of the first
+    /// partitioning pass is discounted: those phases process R and S
+    /// together, and a probe batch reusing a cached partitioned build
+    /// relation only re-partitions S — `probe_frac` (S's byte share of
+    /// the pass-1 input) of the phase remains.
+    pub fn from_report(report: &JoinReport, build_cached: bool, probe_frac: f64) -> Self {
+        let probe_frac = probe_frac.clamp(0.0, 1.0);
+        let mut link = 0.0;
+        let mut gpu_mem = 0.0;
+        let mut compute = 0.0;
+        let mut tlb = 0.0;
+        let mut cpu = 0.0;
+        let mut saved = 0.0;
+        for p in &report.phases {
+            let f = if build_cached && BUILD_PHASES.contains(&p.name.as_str()) {
+                saved += p.time.0 * (1.0 - probe_frac);
+                probe_frac
+            } else {
+                1.0
+            };
+            match &p.timing {
+                Some(t) => {
+                    link += t.t_link.0 * f;
+                    gpu_mem += t.t_gpu_mem.0 * f;
+                    compute += (t.t_compute.0 + t.t_sync.0) * f;
+                    tlb += t.t_tlb.0 * f;
+                }
+                None => cpu += p.time.0 * f,
+            }
+        }
+        // Pipeline overlap makes phase sums exceed the critical path;
+        // busy fractions are relative to the *dedicated wall time*, so a
+        // resource saturated the whole run caps at 1.
+        let work = (report.total.0 - saved).max(1.0);
+        let frac = |busy: f64| (busy / work).clamp(0.0, 1.0);
+        ResourceDemand {
+            vector: ResourceVector {
+                link: frac(link),
+                gpu_mem: frac(gpu_mem),
+                compute: frac(compute),
+                tlb: frac(tlb),
+                cpu: frac(cpu),
+            },
+            work: Ns(work),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triton_core::TritonJoin;
+    use triton_datagen::WorkloadSpec;
+    use triton_hw::HwConfig;
+
+    fn report() -> (JoinReport, HwConfig) {
+        let hw = HwConfig::ac922().scaled(2048);
+        let w = WorkloadSpec::paper_default(8, 2048).generate();
+        (TritonJoin::default().run(&w, &hw), hw)
+    }
+
+    #[test]
+    fn fractions_are_valid_and_nontrivial() {
+        let (rep, _) = report();
+        let d = ResourceDemand::from_report(&rep, false, 0.5);
+        let v = [
+            d.vector.link,
+            d.vector.gpu_mem,
+            d.vector.compute,
+            d.vector.tlb,
+            d.vector.cpu,
+        ];
+        for f in v {
+            assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        }
+        assert!(d.vector.peak() > 0.1, "a join must stress something");
+        assert!(d.work.0 > 0.0);
+    }
+
+    #[test]
+    fn build_sharing_discounts_work() {
+        let (rep, _) = report();
+        let full = ResourceDemand::from_report(&rep, false, 0.5);
+        let shared = ResourceDemand::from_report(&rep, true, 0.5);
+        assert!(
+            shared.work.0 < full.work.0,
+            "cached build side must shorten the run: {} vs {}",
+            shared.work.0,
+            full.work.0
+        );
+        // A full probe_frac (S is the whole input) discounts nothing.
+        let no_op = ResourceDemand::from_report(&rep, true, 1.0);
+        assert!((no_op.work.0 - full.work.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,155 @@
+//! Aggregate serving metrics: throughput, latency percentiles, memory
+//! high-water marks, and shedding counts for one scheduler run.
+
+use triton_hw::units::{Bytes, Ns};
+
+use crate::scheduler::{Outcome, RejectReason};
+
+/// Aggregate metrics over one serving run.
+#[derive(Debug, Clone)]
+pub struct SchedulerMetrics {
+    /// Queries that ran to completion.
+    pub completed: u64,
+    /// Queries refused for any reason.
+    pub rejected: u64,
+    /// Of the rejected: shed for a missed deadline.
+    pub shed_deadline: u64,
+    /// Of the rejected: bounced off the full queue.
+    pub shed_queue_full: u64,
+    /// Of the rejected: floors exceeding the whole GPU (or OOM).
+    pub shed_capacity: u64,
+    /// Simulated wall time from first arrival to last completion.
+    pub makespan: Ns,
+    /// Tuples processed by completed queries.
+    pub tuples: u64,
+    /// Aggregate throughput in G tuples/s over the makespan.
+    pub throughput_gtps: f64,
+    /// Median end-to-end latency of completed queries.
+    pub latency_p50: Ns,
+    /// 99th-percentile end-to-end latency.
+    pub latency_p99: Ns,
+    /// Worst-case latency.
+    pub latency_max: Ns,
+    /// High-water mark of concurrently reserved GPU memory.
+    pub peak_gpu_reserved: Bytes,
+    /// The GPU capacity those reservations were drawn from.
+    pub gpu_capacity: Bytes,
+    /// Most queries in flight at once.
+    pub peak_concurrency: usize,
+    /// Time-weighted mean queries in flight (while any ran).
+    pub mean_concurrency: f64,
+    /// Build-cache hits (probe batches reusing a partitioned build side).
+    pub build_cache_hits: u64,
+    /// Build-cache misses (build sides partitioned from scratch).
+    pub build_cache_misses: u64,
+}
+
+/// `p`-th percentile (0..=100) of an unsorted sample, by the
+/// nearest-rank method. Returns 0 for an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+impl SchedulerMetrics {
+    /// Assemble from a finished run's outcomes and counters.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_run(
+        outcomes: &[Outcome],
+        makespan: Ns,
+        peak_gpu_reserved: Bytes,
+        gpu_capacity: Bytes,
+        peak_concurrency: usize,
+        mean_concurrency: f64,
+        build_cache_hits: u64,
+        build_cache_misses: u64,
+    ) -> Self {
+        let mut latencies: Vec<f64> = Vec::new();
+        let mut tuples = 0u64;
+        let (mut completed, mut rejected) = (0u64, 0u64);
+        let (mut shed_deadline, mut shed_queue_full, mut shed_capacity) = (0u64, 0u64, 0u64);
+        for o in outcomes {
+            match o {
+                Outcome::Completed(c) => {
+                    completed += 1;
+                    tuples += c.report.tuples_actual;
+                    latencies.push(c.latency().0);
+                }
+                Outcome::Rejected { reason, .. } => {
+                    rejected += 1;
+                    match reason {
+                        RejectReason::DeadlineExceeded { .. } => shed_deadline += 1,
+                        RejectReason::QueueFull { .. } => shed_queue_full += 1,
+                        RejectReason::OverCapacity { .. } | RejectReason::Oom(_) => {
+                            shed_capacity += 1
+                        }
+                    }
+                }
+            }
+        }
+        let throughput_gtps = if makespan.0 > 0.0 {
+            tuples as f64 / makespan.as_secs() / 1e9
+        } else {
+            0.0
+        };
+        SchedulerMetrics {
+            completed,
+            rejected,
+            shed_deadline,
+            shed_queue_full,
+            shed_capacity,
+            makespan,
+            tuples,
+            throughput_gtps,
+            latency_p50: Ns(percentile(&latencies, 50.0)),
+            latency_p99: Ns(percentile(&latencies, 99.0)),
+            latency_max: Ns(latencies.iter().cloned().fold(0.0, f64::max)),
+            peak_gpu_reserved,
+            gpu_capacity,
+            peak_concurrency,
+            mean_concurrency,
+            build_cache_hits,
+            build_cache_misses,
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} done / {} rejected | makespan {} | {:.2} Gtps | p50 {} p99 {} | \
+             peak mem {} of {} | peak conc {} (mean {:.2}) | cache {}h/{}m",
+            self.completed,
+            self.rejected,
+            self.makespan,
+            self.throughput_gtps,
+            self.latency_p50,
+            self.latency_p99,
+            self.peak_gpu_reserved,
+            self.gpu_capacity,
+            self.peak_concurrency,
+            self.mean_concurrency,
+            self.build_cache_hits,
+            self.build_cache_misses,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), 50.0);
+        assert_eq!(percentile(&v, 99.0), 99.0);
+        assert_eq!(percentile(&v, 100.0), 100.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+}

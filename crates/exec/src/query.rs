@@ -1,0 +1,134 @@
+//! Query descriptors submitted to the serving runtime.
+
+use triton_core::{CpuRadixJoin, JoinReport, NoPartitioningJoin, TritonJoin};
+use triton_datagen::{Rng, Workload};
+use triton_hw::units::Ns;
+use triton_hw::HwConfig;
+use triton_mem::OutOfMemory;
+
+/// Identifier assigned to a submitted query, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// The join operator a query runs.
+#[derive(Debug, Clone)]
+pub enum Operator {
+    /// The Triton join (GPU-partitioned hybrid hash join).
+    Triton(TritonJoin),
+    /// GPU no-partitioning join (one global hash table).
+    NoPartitioning(NoPartitioningJoin),
+    /// CPU radix join — consumes no GPU memory or SMs.
+    CpuRadix(CpuRadixJoin),
+}
+
+impl Operator {
+    /// Default Triton configuration.
+    pub fn triton() -> Self {
+        Operator::Triton(TritonJoin::default())
+    }
+
+    /// Execute the operator functionally, surfacing simulated OOM.
+    pub fn run(&self, w: &Workload, hw: &HwConfig) -> Result<JoinReport, OutOfMemory> {
+        match self {
+            Operator::Triton(j) => j.try_run(w, hw),
+            Operator::NoPartitioning(j) => Ok(j.run(w, hw)),
+            Operator::CpuRadix(j) => Ok(j.run(w, hw)),
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Operator::Triton(_) => "triton",
+            Operator::NoPartitioning(_) => "npj",
+            Operator::CpuRadix(_) => "cpu-radix",
+        }
+    }
+}
+
+/// One join query submitted to the scheduler.
+#[derive(Debug, Clone)]
+pub struct JoinQuery {
+    /// Human-readable tag (tenant, statement id, ...).
+    pub name: String,
+    /// The workload to join. Queries sharing a build relation should carry
+    /// the same `build_key` and byte-identical `w.r` (see
+    /// [`JoinQuery::probe_batch`]).
+    pub workload: Workload,
+    /// Operator choice.
+    pub op: Operator,
+    /// Scheduling weight: relative share of machine resources while
+    /// running, and queue ordering. 1 = normal; must be >= 1.
+    pub priority: u32,
+    /// Optional latency budget relative to arrival (simulated time). The
+    /// scheduler sheds the query rather than starting it once the budget
+    /// cannot be met.
+    pub deadline: Option<Ns>,
+    /// Simulated arrival time.
+    pub arrival: Ns,
+    /// Cache key identifying the build relation for build-side sharing;
+    /// `None` disables sharing for this query.
+    pub build_key: Option<u64>,
+}
+
+impl JoinQuery {
+    /// A plain query: default Triton join, normal priority, no deadline.
+    pub fn new(name: impl Into<String>, workload: Workload, arrival: Ns) -> Self {
+        JoinQuery {
+            name: name.into(),
+            workload,
+            op: Operator::triton(),
+            priority: 1,
+            deadline: None,
+            arrival,
+            build_key: None,
+        }
+    }
+
+    /// Derive a probe batch against the same build relation: keeps `R`
+    /// (and the `build_key` must be set by the caller to enable reuse),
+    /// regenerates `S` with `probe_seed` — foreign keys uniform over R's
+    /// key range, like the base workload generator.
+    pub fn probe_batch(base: &Workload, probe_seed: u64) -> Workload {
+        let mut rng = Rng::seed_from_u64(probe_seed);
+        let n_r = base.r.len() as u64;
+        let n_s = base.s.len();
+        let s_keys: Vec<u64> = (0..n_s).map(|_| rng.gen_range_u64(1, n_r)).collect();
+        let s_rids: Vec<u64> = (0..n_s).map(|_| rng.next_u64()).collect();
+        Workload {
+            r: base.r.clone(),
+            s: triton_datagen::Relation::from_columns(s_keys, s_rids),
+            spec: base.spec.clone(),
+        }
+    }
+
+    /// Total tuples this query processes (throughput numerator).
+    pub fn tuples(&self) -> u64 {
+        self.workload.total_tuples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triton_datagen::WorkloadSpec;
+
+    #[test]
+    fn probe_batch_shares_r_and_varies_s() {
+        let base = WorkloadSpec::paper_default(2, 2048).generate();
+        let a = JoinQuery::probe_batch(&base, 1);
+        let b = JoinQuery::probe_batch(&base, 2);
+        assert_eq!(a.r.keys, base.r.keys);
+        assert_eq!(b.r.keys, base.r.keys);
+        assert_ne!(a.s.keys, b.s.keys);
+        // All probe keys land in R's key domain (full match fraction).
+        let n_r = base.r.len() as u64;
+        assert!(a.s.keys.iter().all(|&k| (1..=n_r).contains(&k)));
+    }
+}

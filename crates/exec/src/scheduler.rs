@@ -1,0 +1,639 @@
+//! The multi-query join scheduler: a fluid discrete-event simulation of
+//! concurrent joins sharing one AC922-class machine.
+//!
+//! Lifecycle of a query: *arrive* → *queue* (priority order, bounded) →
+//! *admit* (memory reservation through [`AdmissionController`]) →
+//! *execute concurrently* (speed set each event by the weighted max-min
+//! arbiter [`triton_hw::fair_share_rates`] over every query's
+//! [`ResourceVector`]) → *complete* (release memory, unpin the build
+//! cache). Queries can instead be *rejected* (queue full, or a memory
+//! floor that exceeds the entire GPU) or *shed* (deadline passed while
+//! queued) — always with a typed reason.
+//!
+//! Execution is functional: every admitted query actually runs its
+//! operator (with the granted cache budget) and the scheduler records the
+//! verifiable [`JoinReport`]. Only the *timing* is arbitrated; results
+//! are exact and independent of the schedule.
+
+use std::collections::VecDeque;
+
+use triton_core::JoinReport;
+use triton_datagen::TUPLE_BYTES;
+use triton_hw::units::{Bytes, Ns};
+use triton_hw::{fair_share_rates, HwConfig, ResourceVector};
+use triton_mem::OutOfMemory;
+
+use crate::admission::{operator_with_grant, AdmissionController, Reservation};
+use crate::build_cache::BuildCache;
+use crate::demand::ResourceDemand;
+use crate::metrics::SchedulerMetrics;
+use crate::query::{JoinQuery, QueryId};
+
+/// Why the scheduler refused to run a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RejectReason {
+    /// The waiting queue was at its configured limit when the query
+    /// arrived (backpressure: the client should retry later).
+    QueueFull {
+        /// The configured queue capacity.
+        limit: usize,
+    },
+    /// The query's minimum memory floor exceeds the entire GPU — it can
+    /// never be admitted on this machine, at any concurrency.
+    OverCapacity {
+        /// The unmeetable floor.
+        needed: Bytes,
+        /// Total device capacity.
+        capacity: Bytes,
+    },
+    /// The operator itself ran out of simulated memory (e.g. CPU memory
+    /// cannot hold the partitioned spill).
+    Oom(OutOfMemory),
+    /// The deadline expired while the query waited for memory.
+    DeadlineExceeded {
+        /// The latency budget that was missed.
+        deadline: Ns,
+        /// Time the query had already spent queued.
+        waited: Ns,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { limit } => write!(f, "queue full ({limit} waiting)"),
+            RejectReason::OverCapacity { needed, capacity } => {
+                write!(f, "needs {needed} of {capacity} GPU memory")
+            }
+            RejectReason::Oom(e) => write!(f, "{e}"),
+            RejectReason::DeadlineExceeded { deadline, waited } => {
+                write!(f, "deadline {deadline} passed after waiting {waited}")
+            }
+        }
+    }
+}
+
+/// A query that ran to completion.
+#[derive(Debug, Clone)]
+pub struct CompletedQuery {
+    /// Scheduler-assigned id (submission order).
+    pub id: QueryId,
+    /// The query's name tag.
+    pub name: String,
+    /// Arrival time.
+    pub arrival: Ns,
+    /// Admission time (start of execution).
+    pub start: Ns,
+    /// Completion time.
+    pub finish: Ns,
+    /// Dedicated-run service requirement (what the query would take
+    /// alone); `finish - start >= dedicated` under contention.
+    pub dedicated: Ns,
+    /// The functional dedicated-run report (exact join result).
+    pub report: JoinReport,
+    /// GPU bytes reserved while running.
+    pub reserved: Bytes,
+    /// Whether the partitioned build side was already resident.
+    pub build_cache_hit: bool,
+}
+
+impl CompletedQuery {
+    /// End-to-end latency (queueing + arbitrated execution).
+    pub fn latency(&self) -> Ns {
+        self.finish - self.arrival
+    }
+}
+
+/// Terminal state of one submitted query.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// Ran to completion.
+    Completed(Box<CompletedQuery>),
+    /// Refused with a typed reason (never started executing).
+    Rejected {
+        /// Scheduler-assigned id.
+        id: QueryId,
+        /// The query's name tag.
+        name: String,
+        /// Why it was refused.
+        reason: RejectReason,
+    },
+}
+
+impl Outcome {
+    /// The completed record, if this query finished.
+    pub fn completed(&self) -> Option<&CompletedQuery> {
+        match self {
+            Outcome::Completed(c) => Some(c),
+            Outcome::Rejected { .. } => None,
+        }
+    }
+}
+
+/// Scheduler knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Maximum concurrently executing queries (admission also requires a
+    /// memory reservation; this bounds arbitration overheads).
+    pub max_inflight: usize,
+    /// Maximum queries waiting for admission before new arrivals are
+    /// rejected with [`RejectReason::QueueFull`].
+    pub max_queue: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_inflight: 8,
+            max_queue: 64,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// One query at a time: the serial baseline concurrency is compared
+    /// against.
+    pub fn serial() -> Self {
+        SchedulerConfig {
+            max_inflight: 1,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything a serving run produces.
+#[derive(Debug)]
+pub struct ServeResult {
+    /// One outcome per submitted query, in submission order.
+    pub outcomes: Vec<Outcome>,
+    /// Aggregate scheduler metrics.
+    pub metrics: SchedulerMetrics,
+}
+
+/// One in-flight query inside the fluid simulation.
+struct Running {
+    id: QueryId,
+    name: String,
+    arrival: Ns,
+    start: Ns,
+    /// Remaining dedicated-run nanoseconds.
+    remaining: f64,
+    demand: ResourceVector,
+    weight: f64,
+    dedicated: Ns,
+    report: JoinReport,
+    reservation: Reservation,
+    build_key: Option<u64>,
+    build_cache_hit: bool,
+}
+
+/// One query waiting for admission.
+struct Queued {
+    id: QueryId,
+    query: JoinQuery,
+}
+
+/// The multi-query join scheduler.
+pub struct Scheduler {
+    hw: HwConfig,
+    config: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Build for a machine and configuration.
+    pub fn new(hw: HwConfig, config: SchedulerConfig) -> Self {
+        Scheduler { hw, config }
+    }
+
+    /// Run a batch of queries to completion and report every outcome.
+    /// Queries may arrive in any order; they are processed by arrival
+    /// time, queued in priority order, and executed concurrently under
+    /// memory-budget admission.
+    pub fn run(&self, queries: Vec<JoinQuery>) -> ServeResult {
+        let mut arrivals: Vec<(QueryId, JoinQuery)> = queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, q)| (QueryId(i as u64), q))
+            .collect();
+        // Stable by arrival time; ids preserve submission order.
+        arrivals.sort_by(|a, b| {
+            a.1.arrival
+                .0
+                .partial_cmp(&b.1.arrival.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+
+        let mut admission = AdmissionController::new(&self.hw);
+        let mut cache = BuildCache::new();
+        let mut queue: VecDeque<Queued> = VecDeque::new();
+        let mut running: Vec<Running> = Vec::new();
+        let mut outcomes: Vec<(QueryId, Outcome)> = Vec::new();
+        let mut clock = Ns::ZERO;
+        let mut arrivals = arrivals.into_iter().peekable();
+        let mut peak_concurrency = 0usize;
+        let mut busy_time = 0.0f64; // integral of (running > 0) dt
+        let mut weighted_conc = 0.0f64; // integral of |running| dt
+
+        loop {
+            // --- Admit while memory and the concurrency cap allow.
+            self.admit_ready(
+                clock,
+                &mut queue,
+                &mut running,
+                &mut admission,
+                &mut cache,
+                &mut outcomes,
+            );
+            peak_concurrency = peak_concurrency.max(running.len());
+
+            let next_arrival_at = arrivals.peek().map(|(_, q)| q.arrival.0);
+            if running.is_empty() && next_arrival_at.is_none() {
+                // Anything still queued can never start (no completions
+                // left to free memory): shed it as over-capacity backlog.
+                while let Some(q) = queue.pop_front() {
+                    let floor = AdmissionController::min_reserve(&q.query, &self.hw);
+                    outcomes.push((
+                        q.id,
+                        Outcome::Rejected {
+                            id: q.id,
+                            name: q.query.name.clone(),
+                            reason: RejectReason::OverCapacity {
+                                needed: floor,
+                                capacity: admission.capacity(),
+                            },
+                        },
+                    ));
+                }
+                break;
+            }
+
+            // --- Arbitrated speeds for the current in-flight set.
+            let loads: Vec<ResourceVector> = running.iter().map(|r| r.demand).collect();
+            let weights: Vec<f64> = running.iter().map(|r| r.weight).collect();
+            let rates = fair_share_rates(&loads, &weights);
+
+            // --- Time to the next event.
+            let t_complete = running
+                .iter()
+                .zip(&rates)
+                .map(|(r, &s)| r.remaining / s.max(1e-12))
+                .fold(f64::INFINITY, f64::min);
+            let t_arrival = next_arrival_at.map_or(f64::INFINITY, |at| (at - clock.0).max(0.0));
+            let dt = t_complete.min(t_arrival);
+            if !dt.is_finite() {
+                // Nothing running and no arrivals: handled above.
+                break;
+            }
+
+            // --- Advance the fluid state.
+            if !running.is_empty() {
+                busy_time += dt;
+                weighted_conc += dt * running.len() as f64;
+            }
+            clock = Ns(clock.0 + dt);
+            for (r, &s) in running.iter_mut().zip(&rates) {
+                r.remaining = (r.remaining - dt * s).max(0.0);
+            }
+
+            // --- Arrivals land in the queue (or bounce off its limit).
+            while arrivals.peek().is_some_and(|(_, q)| q.arrival.0 <= clock.0) {
+                let (id, query) = arrivals.next().unwrap();
+                if queue.len() >= self.config.max_queue {
+                    outcomes.push((
+                        id,
+                        Outcome::Rejected {
+                            id,
+                            name: query.name.clone(),
+                            reason: RejectReason::QueueFull {
+                                limit: self.config.max_queue,
+                            },
+                        },
+                    ));
+                    continue;
+                }
+                // Priority order, FIFO within a priority class.
+                let pos = queue
+                    .iter()
+                    .position(|q| q.query.priority < query.priority)
+                    .unwrap_or(queue.len());
+                queue.insert(pos, Queued { id, query });
+            }
+
+            // --- Completions.
+            let mut i = 0;
+            while i < running.len() {
+                if running[i].remaining <= 1e-9 {
+                    let r = running.swap_remove(i);
+                    admission.release(r.id);
+                    if let Some(k) = r.build_key {
+                        cache.release(k);
+                    }
+                    outcomes.push((
+                        r.id,
+                        Outcome::Completed(Box::new(CompletedQuery {
+                            id: r.id,
+                            name: r.name,
+                            arrival: r.arrival,
+                            start: r.start,
+                            finish: clock,
+                            dedicated: r.dedicated,
+                            report: r.report,
+                            reserved: r.reservation.reserved,
+                            build_cache_hit: r.build_cache_hit,
+                        })),
+                    ));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        outcomes.sort_by_key(|(id, _)| *id);
+        let outcomes: Vec<Outcome> = outcomes.into_iter().map(|(_, o)| o).collect();
+        let metrics = SchedulerMetrics::from_run(
+            &outcomes,
+            clock,
+            admission.peak_reserved,
+            admission.capacity(),
+            peak_concurrency,
+            if busy_time > 0.0 {
+                weighted_conc / busy_time
+            } else {
+                0.0
+            },
+            cache.hits,
+            cache.misses,
+        );
+        ServeResult { outcomes, metrics }
+    }
+
+    /// Admit queued queries in priority order while memory, the
+    /// concurrency cap, and deadlines allow.
+    fn admit_ready(
+        &self,
+        clock: Ns,
+        queue: &mut VecDeque<Queued>,
+        running: &mut Vec<Running>,
+        admission: &mut AdmissionController,
+        cache: &mut BuildCache,
+        outcomes: &mut Vec<(QueryId, Outcome)>,
+    ) {
+        while running.len() < self.config.max_inflight {
+            let Some(q) = queue.front() else { break };
+
+            // Deadline shedding: a query whose budget is already spent
+            // queueing will miss it regardless — drop it now.
+            if let Some(deadline) = q.query.deadline {
+                let waited = clock - q.query.arrival;
+                if waited.0 > deadline.0 {
+                    let q = queue.pop_front().unwrap();
+                    outcomes.push((
+                        q.id,
+                        Outcome::Rejected {
+                            id: q.id,
+                            name: q.query.name.clone(),
+                            reason: RejectReason::DeadlineExceeded { deadline, waited },
+                        },
+                    ));
+                    continue;
+                }
+            }
+
+            let floor = AdmissionController::min_reserve(&q.query, &self.hw);
+            if floor > admission.capacity() {
+                let q = queue.pop_front().unwrap();
+                outcomes.push((
+                    q.id,
+                    Outcome::Rejected {
+                        id: q.id,
+                        name: q.query.name.clone(),
+                        reason: RejectReason::OverCapacity {
+                            needed: floor,
+                            capacity: admission.capacity(),
+                        },
+                    },
+                ));
+                continue;
+            }
+
+            let Ok(reservation) = admission.try_admit(q.id, &q.query, &self.hw) else {
+                // Backpressure: memory is busy, wait for a completion.
+                // (Head-of-line blocking is intentional: priority order
+                // is strict, so a big high-priority query is not starved
+                // by small ones slipping past it.)
+                break;
+            };
+            let q = queue.pop_front().unwrap();
+
+            // Build-side sharing.
+            let r_bytes = q.query.workload.r.len() as u64 * TUPLE_BYTES;
+            let s_bytes = q.query.workload.s.len() as u64 * TUPLE_BYTES;
+            let hit = match q.query.build_key {
+                Some(k) => cache.acquire(k, r_bytes),
+                None => false,
+            };
+            let probe_frac = s_bytes as f64 / (r_bytes + s_bytes).max(1) as f64;
+
+            // Functional dedicated run with the granted cache budget.
+            let op = operator_with_grant(&q.query, &reservation);
+            let report = match op.run(&q.query.workload, &self.hw) {
+                Ok(rep) => rep,
+                Err(e) => {
+                    admission.release(q.id);
+                    if let Some(k) = q.query.build_key {
+                        cache.release(k);
+                    }
+                    outcomes.push((
+                        q.id,
+                        Outcome::Rejected {
+                            id: q.id,
+                            name: q.query.name.clone(),
+                            reason: RejectReason::Oom(e),
+                        },
+                    ));
+                    continue;
+                }
+            };
+
+            let demand = ResourceDemand::from_report(&report, hit, probe_frac);
+            running.push(Running {
+                id: q.id,
+                name: q.query.name.clone(),
+                arrival: q.query.arrival,
+                start: clock,
+                remaining: demand.work.0,
+                demand: demand.vector,
+                weight: q.query.priority.max(1) as f64,
+                dedicated: demand.work,
+                report,
+                reservation,
+                build_key: q.query.build_key,
+                build_cache_hit: hit,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Operator;
+    use triton_core::reference_join;
+    use triton_datagen::WorkloadSpec;
+
+    fn hw() -> HwConfig {
+        HwConfig::ac922().scaled(512)
+    }
+
+    fn batch(n: usize, arrival_gap: f64) -> Vec<JoinQuery> {
+        (0..n)
+            .map(|i| {
+                let mut spec = WorkloadSpec::paper_default(32, 512);
+                spec.seed ^= i as u64;
+                JoinQuery::new(format!("t{i}"), spec.generate(), Ns(i as f64 * arrival_gap))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_complete_with_exact_results() {
+        let sched = Scheduler::new(hw(), SchedulerConfig::default());
+        let queries = batch(4, 0.0);
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| reference_join(&q.workload))
+            .collect();
+        let res = sched.run(queries);
+        assert_eq!(res.metrics.completed, 4);
+        for (o, exp) in res.outcomes.iter().zip(&expected) {
+            let c = o.completed().expect("query should complete");
+            assert_eq!(&c.report.result, exp, "{} result mismatch", c.name);
+        }
+        assert!(res.metrics.peak_gpu_reserved <= res.metrics.gpu_capacity);
+        assert!(res.metrics.peak_concurrency >= 2);
+    }
+
+    #[test]
+    fn concurrent_no_slower_than_serial() {
+        let conc = Scheduler::new(hw(), SchedulerConfig::default())
+            .run(batch(4, 0.0))
+            .metrics
+            .makespan;
+        let serial = Scheduler::new(hw(), SchedulerConfig::serial())
+            .run(batch(4, 0.0))
+            .metrics
+            .makespan;
+        assert!(
+            conc.0 <= serial.0 * 1.0001,
+            "concurrent {conc} must not exceed serial {serial}"
+        );
+    }
+
+    #[test]
+    fn queue_full_rejects_typed() {
+        let sched = Scheduler::new(
+            hw(),
+            SchedulerConfig {
+                max_inflight: 1,
+                max_queue: 1,
+            },
+        );
+        let res = sched.run(batch(4, 0.0));
+        let rejected = res
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Outcome::Rejected {
+                        reason: RejectReason::QueueFull { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert!(rejected >= 1, "tiny queue must bounce arrivals");
+        assert_eq!(res.metrics.completed + res.metrics.rejected, 4);
+    }
+
+    #[test]
+    fn deadline_sheds_queued_queries() {
+        let mut queries = batch(3, 0.0);
+        // Arrive together; queue behind each other at concurrency 1 with
+        // an impossible deadline for the stragglers.
+        for q in &mut queries[1..] {
+            q.deadline = Some(Ns(1.0));
+        }
+        let res = Scheduler::new(hw(), SchedulerConfig::serial()).run(queries);
+        let shed = res
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o,
+                    Outcome::Rejected {
+                        reason: RejectReason::DeadlineExceeded { .. },
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(shed, 2);
+        assert_eq!(res.metrics.completed, 1);
+    }
+
+    #[test]
+    fn build_sharing_hits_and_speeds_up() {
+        let base = WorkloadSpec::paper_default(32, 512).generate();
+        let mk = |share: bool| {
+            (0..4)
+                .map(|i| {
+                    let w = if i == 0 {
+                        base.clone()
+                    } else {
+                        JoinQuery::probe_batch(&base, 100 + i)
+                    };
+                    let mut q = JoinQuery::new(format!("b{i}"), w, Ns::ZERO);
+                    if share {
+                        q.build_key = Some(42);
+                    }
+                    q
+                })
+                .collect::<Vec<_>>()
+        };
+        let shared = Scheduler::new(hw(), SchedulerConfig::serial()).run(mk(true));
+        let solo = Scheduler::new(hw(), SchedulerConfig::serial()).run(mk(false));
+        assert_eq!(shared.metrics.build_cache_hits, 3);
+        assert_eq!(solo.metrics.build_cache_hits, 0);
+        assert!(
+            shared.metrics.makespan.0 < solo.metrics.makespan.0,
+            "sharing the partitioned build side must save work"
+        );
+        // Results stay exact despite the discount.
+        for o in &shared.outcomes {
+            let c = o.completed().unwrap();
+            assert!(c.report.result.matches > 0);
+        }
+    }
+
+    #[test]
+    fn cpu_and_gpu_queries_overlap() {
+        let mut queries = batch(2, 0.0);
+        queries[1].op = Operator::CpuRadix(triton_core::CpuRadixJoin::power9(
+            triton_core::HashScheme::BucketChaining,
+        ));
+        let res = Scheduler::new(hw(), SchedulerConfig::default()).run(queries);
+        assert_eq!(res.metrics.completed, 2);
+        // Disjoint executors: the makespan is close to the slower of the
+        // two dedicated runs, far below their sum.
+        let durs: Vec<f64> = res
+            .outcomes
+            .iter()
+            .map(|o| o.completed().unwrap().dedicated.0)
+            .collect();
+        let sum: f64 = durs.iter().sum();
+        let max = durs.iter().cloned().fold(0.0, f64::max);
+        assert!(res.metrics.makespan.0 < sum * 0.95);
+        assert!(res.metrics.makespan.0 >= max * 0.999);
+    }
+}

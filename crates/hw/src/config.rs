@@ -24,12 +24,10 @@
 //! second-pass fanout shrinks by log2(K) because first-pass partitions are
 //! K-times smaller against an unscaled scratchpad; DESIGN.md discusses this.
 
-use serde::{Deserialize, Serialize};
-
 use crate::units::{Bytes, BytesPerSec};
 
 /// GPU (Nvidia V100-class) parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GpuConfig {
     /// Number of streaming multiprocessors. V100: 80.
     pub num_sms: u32,
@@ -60,7 +58,7 @@ pub struct GpuConfig {
 }
 
 /// CPU parameters (POWER9 or Xeon class).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuConfig {
     /// Human-readable name used in experiment output.
     pub name: String,
@@ -88,7 +86,7 @@ pub struct CpuConfig {
 }
 
 /// NVLink 2.0 interconnect parameters (Sections 2.1 and 3.4.1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LinkConfig {
     /// Electrical bandwidth per direction. NVLink 2.0 (3 bricks): 75 GB/s.
     pub raw_bw_per_dir: BytesPerSec,
@@ -120,7 +118,7 @@ pub struct LinkConfig {
 }
 
 /// Address-translation hierarchy parameters (Section 3.4.2, Fig 7).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TlbConfig {
     /// Page size backing large allocations (2 MiB huge pages; scaled).
     pub page_size: Bytes,
@@ -162,7 +160,7 @@ pub struct TlbConfig {
 }
 
 /// Static power model (Section 6.2.11).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PowerConfig {
     /// Whole-system idle draw in watts (AC922: 290 W).
     pub system_idle_w: f64,
@@ -179,7 +177,7 @@ pub struct PowerConfig {
 }
 
 /// Complete system configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HwConfig {
     /// GPU parameters.
     pub gpu: GpuConfig,

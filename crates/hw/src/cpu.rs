@@ -10,8 +10,6 @@
 //!
 //! [`CpuConfig`]: crate::config::CpuConfig
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::CpuConfig;
 use crate::units::{Bytes, Ns};
 
@@ -59,7 +57,7 @@ impl CpuPhaseCost {
 }
 
 /// Timing report of a multi-phase CPU operator.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct CpuReport {
     /// (phase name, time) pairs in execution order.
     pub phases: Vec<(String, Ns)>,

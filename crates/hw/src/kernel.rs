@@ -14,8 +14,6 @@
 //! sets where the transfer of partition pair *i* hides behind the join of
 //! pair *i-1*.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::HwConfig;
 use crate::link::{LinkModel, WireCost};
 use crate::tlb::TlbStats;
@@ -254,7 +252,7 @@ impl KernelCost {
 }
 
 /// Timing decomposition of one kernel.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct KernelTiming {
     /// End-to-end kernel time.
     pub total: Ns,
@@ -307,7 +305,7 @@ impl KernelTiming {
 }
 
 /// The binding resource of a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Bound {
     /// NVLink wire or transaction rate.
     Interconnect,
@@ -321,7 +319,7 @@ pub enum Bound {
 
 /// GPU stall-reason attribution (Fig 15b / Fig 18f). Percentages of GPU
 /// cycles, summing to ~100.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StallProfile {
     /// Cycles issuing instructions.
     pub instr_issued: f64,
@@ -361,6 +359,129 @@ impl StallProfile {
             other: stall * tlb_w / sum * 0.2,
         }
     }
+}
+
+/// Average utilization of each overlappable machine resource by one
+/// executing task, expressed as busy-fractions in `[0, 1]`.
+///
+/// This is the §5.2 arbitration generalized: within one join, concurrent
+/// kernels split the SM set and overlap transfer with compute
+/// ([`pipeline2`]); across *queries*, the same reasoning applies to every
+/// roofline resource. A task that ran dedicated for `T` ns keeping the
+/// link busy for `t_link` ns has `link = t_link / T`; while it executes
+/// at speed `σ` it occupies `σ * link` of the interconnect.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceVector {
+    /// Interconnect (NVLink wire + transaction rate) busy fraction.
+    pub link: f64,
+    /// GPU on-board memory busy fraction.
+    pub gpu_mem: f64,
+    /// SM issue-slot busy fraction.
+    pub compute: f64,
+    /// IOMMU page-table-walker busy fraction.
+    pub tlb: f64,
+    /// Host CPU busy fraction (CPU phases: prefix sums, CPU joins).
+    pub cpu: f64,
+}
+
+impl ResourceVector {
+    /// The busiest resource's fraction (1.0 for any kernel that is
+    /// roofline-bound on something).
+    pub fn peak(&self) -> f64 {
+        self.link
+            .max(self.gpu_mem)
+            .max(self.compute)
+            .max(self.tlb)
+            .max(self.cpu)
+    }
+
+    fn as_array(&self) -> [f64; 5] {
+        [self.link, self.gpu_mem, self.compute, self.tlb, self.cpu]
+    }
+}
+
+/// Weighted max-min fair execution speeds for tasks sharing the machine.
+///
+/// Each task `q` wants to run at its dedicated speed (`σ = 1`); every
+/// machine resource `r` caps the sum of `σ_q * u_{q,r}` at 1. Speeds are
+/// raised together — proportionally to `weights` — by water-filling:
+/// when a resource saturates, its users freeze, and the remaining tasks
+/// keep rising. The result is work-conserving: a link-bound query and a
+/// compute-bound query both run at full speed side by side (the §5.2
+/// overlap, promoted to inter-query scheduling), while identical queries
+/// split the machine evenly and finish no later than a serial schedule.
+///
+/// Returns one speed in `(0, 1]` per task. Panics if `loads` and
+/// `weights` differ in length; weights must be positive.
+pub fn fair_share_rates(loads: &[ResourceVector], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(loads.len(), weights.len());
+    let n = loads.len();
+    let mut sigma = vec![0.0f64; n];
+    if n == 0 {
+        return sigma;
+    }
+    let loads: Vec<[f64; 5]> = loads.iter().map(|l| l.as_array()).collect();
+    let mut frozen = vec![false; n];
+    const EPS: f64 = 1e-12;
+    // At most one entity (task or resource) freezes per round.
+    for _ in 0..n + 5 {
+        if frozen.iter().all(|&f| f) {
+            break;
+        }
+        // Largest common multiplier t such that sigma_q += t * w_q stays
+        // feasible for every resource and every task cap.
+        let mut t = f64::INFINITY;
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..5 {
+            let used: f64 = (0..n).map(|q| sigma[q] * loads[q][r]).sum();
+            let rising: f64 = (0..n)
+                .filter(|&q| !frozen[q])
+                .map(|q| weights[q] * loads[q][r])
+                .sum();
+            if rising > EPS {
+                t = t.min((1.0 - used).max(0.0) / rising);
+            }
+        }
+        for q in (0..n).filter(|&q| !frozen[q]) {
+            t = t.min((1.0 - sigma[q]).max(0.0) / weights[q]);
+        }
+        if !t.is_finite() {
+            // No unfrozen task touches any resource: all can run at 1.
+            for q in 0..n {
+                if !frozen[q] {
+                    sigma[q] = 1.0;
+                    frozen[q] = true;
+                }
+            }
+            break;
+        }
+        for q in (0..n).filter(|&q| !frozen[q]) {
+            sigma[q] += t * weights[q];
+        }
+        // Freeze tasks at their cap and users of saturated resources.
+        for q in 0..n {
+            if !frozen[q] && sigma[q] >= 1.0 - 1e-9 {
+                sigma[q] = 1.0;
+                frozen[q] = true;
+            }
+        }
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..5 {
+            let used: f64 = (0..n).map(|q| sigma[q] * loads[q][r]).sum();
+            if used >= 1.0 - 1e-9 {
+                for q in 0..n {
+                    if !frozen[q] && loads[q][r] > EPS {
+                        frozen[q] = true;
+                    }
+                }
+            }
+        }
+    }
+    // Every task makes progress, even under extreme contention.
+    for s in &mut sigma {
+        *s = s.clamp(1e-6, 1.0);
+    }
+    sigma
 }
 
 /// Sum kernel times sequentially (barrier between each).
@@ -503,6 +624,98 @@ mod tests {
         let sum = s.instr_issued + s.memory_dep + s.exec_dep + s.sync + s.other;
         assert!((85.0..=100.5).contains(&sum), "sum {sum}");
         assert!(s.memory_dep > s.sync);
+    }
+
+    #[test]
+    fn fair_rates_identical_link_bound_queries_split_evenly() {
+        let q = ResourceVector {
+            link: 1.0,
+            compute: 0.2,
+            ..Default::default()
+        };
+        let rates = fair_share_rates(&[q; 4], &[1.0; 4]);
+        for r in rates {
+            assert!((r - 0.25).abs() < 1e-6, "rate {r}");
+        }
+    }
+
+    #[test]
+    fn fair_rates_disjoint_bottlenecks_overlap_fully() {
+        // A link-bound and a compute-bound query barely contend: both
+        // should run at (nearly) dedicated speed — the §5.2 overlap
+        // promoted to inter-query scheduling.
+        let link_bound = ResourceVector {
+            link: 1.0,
+            compute: 0.05,
+            ..Default::default()
+        };
+        let compute_bound = ResourceVector {
+            compute: 0.9,
+            link: 0.05,
+            ..Default::default()
+        };
+        let rates = fair_share_rates(&[link_bound, compute_bound], &[1.0, 1.0]);
+        assert!(rates[0] > 0.9, "link-bound rate {}", rates[0]);
+        assert!(rates[1] > 0.9, "compute-bound rate {}", rates[1]);
+    }
+
+    #[test]
+    fn fair_rates_never_oversubscribe_a_resource() {
+        let qs = [
+            ResourceVector {
+                link: 0.8,
+                gpu_mem: 0.5,
+                compute: 0.3,
+                ..Default::default()
+            },
+            ResourceVector {
+                link: 0.6,
+                gpu_mem: 0.9,
+                compute: 0.1,
+                ..Default::default()
+            },
+            ResourceVector {
+                link: 0.2,
+                gpu_mem: 0.2,
+                compute: 1.0,
+                ..Default::default()
+            },
+        ];
+        let rates = fair_share_rates(&qs, &[1.0, 2.0, 1.0]);
+        let mut totals = [0.0f64; 5];
+        for (q, &r) in qs.iter().zip(&rates) {
+            for (t, u) in totals.iter_mut().zip(q.as_array()) {
+                *t += r * u;
+            }
+        }
+        for t in totals {
+            assert!(t <= 1.0 + 1e-6, "oversubscribed: {t}");
+        }
+        for r in rates {
+            assert!(r > 0.0 && r <= 1.0);
+        }
+    }
+
+    #[test]
+    fn fair_rates_weights_bias_the_split() {
+        let q = ResourceVector {
+            link: 1.0,
+            ..Default::default()
+        };
+        let rates = fair_share_rates(&[q, q], &[3.0, 1.0]);
+        assert!((rates[0] / rates[1] - 3.0).abs() < 1e-6);
+        assert!((rates[0] + rates[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fair_rates_lone_query_runs_dedicated() {
+        let q = ResourceVector {
+            link: 1.0,
+            gpu_mem: 0.7,
+            ..Default::default()
+        };
+        assert_eq!(fair_share_rates(&[q], &[1.0]), vec![1.0]);
+        assert!(fair_share_rates(&[], &[]).is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub mod tlb;
 pub mod units;
 
 pub use config::{CpuConfig, GpuConfig, HwConfig, LinkConfig, PowerConfig, TlbConfig};
-pub use kernel::{Bound, KernelCost, KernelTiming, StallProfile};
+pub use kernel::{fair_share_rates, Bound, KernelCost, KernelTiming, ResourceVector, StallProfile};
 pub use link::{Alignment, Dir, LinkModel, WireCost};
 pub use timeline::Timeline;
 pub use tlb::{MemSide, TlbLevel, TlbSim, TlbStats};

@@ -20,13 +20,11 @@
 //! The model is exercised directly by the Fig 6 reproduction and indirectly
 //! by every out-of-core kernel.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::LinkConfig;
 use crate::units::{Bytes, Ns};
 
 /// Transfer direction over the interconnect, named from the GPU's view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dir {
     /// GPU reads CPU memory (payload flows CPU -> GPU).
     CpuToGpu,
@@ -35,7 +33,7 @@ pub enum Dir {
 }
 
 /// Alignment classes of Section 3.4.1 / Fig 6(b).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Alignment {
     /// Access aligned to its own granularity (the paper's default).
     Natural,

@@ -6,12 +6,10 @@
 //! idle power of both GPUs (2 x 32 W) is subtracted. Power efficiency is
 //! normalised throughput per watt.
 
-use serde::{Deserialize, Serialize};
-
 use crate::config::PowerConfig;
 
 /// Which processor executes the join (determines the power envelope).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Executor {
     /// CPU-only join; both GPUs' idle draw is subtracted from the system.
     Cpu,

@@ -9,21 +9,17 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A byte count (payload, wire, or capacity).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Bytes(pub u64);
 
 /// A duration in nanoseconds. Fractional, because modeled rates rarely divide
 /// evenly.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Ns(pub f64);
 
 /// A count of processor clock cycles (GPU or CPU depending on context).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Cycles(pub f64);
 
 pub(crate) const KIB: u64 = 1 << 10;
@@ -213,7 +209,7 @@ impl AddAssign for Cycles {
 }
 
 /// Bandwidth expressed in bytes per second; converts byte volumes to time.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct BytesPerSec(pub f64);
 
 impl BytesPerSec {

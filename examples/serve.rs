@@ -1,0 +1,113 @@
+//! Multi-tenant join serving: a bursty workload over one simulated
+//! AC922, with admission control, priorities, deadlines, and a shared
+//! build side.
+//!
+//! Three tenants share the machine:
+//! * `dash` — a dashboard firing bursts of probe batches against one
+//!   shared dimension relation (build-side sharing), tight deadlines;
+//! * `etl`  — two big low-priority Triton joins;
+//! * `cpu`  — ad-hoc CPU radix joins that cost no GPU memory at all.
+//!
+//! Run with `cargo run --example serve -p triton-exec [K]` (K = capacity
+//! scale, default 512 — admission budgets scale with it just like the
+//! workloads).
+
+use triton_core::{CpuRadixJoin, HashScheme};
+use triton_datagen::WorkloadSpec;
+use triton_exec::{JoinQuery, Operator, Outcome, Scheduler, SchedulerConfig};
+use triton_hw::units::Ns;
+use triton_hw::HwConfig;
+
+fn main() {
+    let k: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .or_else(|| std::env::var("TRITON_SCALE").ok()?.parse().ok())
+        .unwrap_or(512);
+    let hw = HwConfig::ac922().scaled(k);
+    println!("== multi-tenant join serving (K = {k}) ==\n");
+
+    let mut queries: Vec<JoinQuery> = Vec::new();
+
+    // The dashboard's shared dimension relation, probed in two bursts.
+    let dim = WorkloadSpec::paper_default(16, k).generate();
+    for burst in 0..2u64 {
+        let at = Ns::millis(burst as f64 * 40.0);
+        for i in 0..3u64 {
+            let w = if burst == 0 && i == 0 {
+                dim.clone()
+            } else {
+                JoinQuery::probe_batch(&dim, 0xD0 + burst * 16 + i)
+            };
+            let mut q = JoinQuery::new(format!("dash-{burst}.{i}"), w, at);
+            q.priority = 4;
+            q.deadline = Some(Ns::millis(200.0));
+            q.build_key = Some(0xD1);
+            queries.push(q);
+        }
+    }
+
+    // Background ETL: large, patient, low priority.
+    for i in 0..2u64 {
+        let mut spec = WorkloadSpec::paper_default(64, k);
+        spec.seed ^= i;
+        let mut q = JoinQuery::new(format!("etl-{i}"), spec.generate(), Ns::ZERO);
+        q.priority = 1;
+        queries.push(q);
+    }
+
+    // Ad-hoc CPU joins: overlap with everything (no GPU demand).
+    for i in 0..2u64 {
+        let mut spec = WorkloadSpec::paper_default(24, k);
+        spec.seed ^= 0xCC00 + i;
+        let mut q = JoinQuery::new(
+            format!("cpu-{i}"),
+            spec.generate(),
+            Ns::millis(5.0 * i as f64),
+        );
+        q.op = Operator::CpuRadix(CpuRadixJoin::power9(HashScheme::BucketChaining));
+        queries.push(q);
+    }
+
+    let total = queries.len();
+    let res = Scheduler::new(hw, SchedulerConfig::default()).run(queries);
+
+    println!(
+        "{:<10} {:>9} {:>11} {:>11} {:>11} {:>10}  note",
+        "query", "op", "arrive", "start", "finish", "latency"
+    );
+    for o in &res.outcomes {
+        match o {
+            Outcome::Completed(c) => {
+                let note = if c.build_cache_hit {
+                    "build cached"
+                } else {
+                    ""
+                };
+                println!(
+                    "{:<10} {:>9} {:>11} {:>11} {:>11} {:>10}  {}",
+                    c.name,
+                    c.report.name.split(' ').next().unwrap_or("?"),
+                    format!("{}", c.arrival),
+                    format!("{}", c.start),
+                    format!("{}", c.finish),
+                    format!("{}", c.latency()),
+                    note
+                );
+            }
+            Outcome::Rejected { name, reason, .. } => {
+                println!("{name:<10} {:>9} -- rejected: {reason}", "");
+            }
+        }
+    }
+
+    println!("\nscheduler: {}", res.metrics.summary());
+    println!(
+        "submitted {total}: {} completed, {} rejected ({} deadline, {} queue, {} capacity)",
+        res.metrics.completed,
+        res.metrics.rejected,
+        res.metrics.shed_deadline,
+        res.metrics.shed_queue_full,
+        res.metrics.shed_capacity
+    );
+}

@@ -1,9 +1,13 @@
-//! Property-based tests (proptest) over the core data structures and
-//! algorithm invariants, spanning crates.
+//! Randomized property tests over the core data structures and algorithm
+//! invariants, spanning crates.
+//!
+//! The workspace builds offline, so instead of `proptest` these use a
+//! small in-file harness: each property draws its inputs from the in-tree
+//! deterministic [`Rng`] over a fixed number of cases. Failures print the
+//! case index so a run can be reproduced exactly.
 
-use proptest::prelude::*;
 use triton_core::{reference_join, BucketChainTable, LinearProbeTable, TritonJoin};
-use triton_datagen::{multiply_shift, radix, Lcg, WorkloadSpec};
+use triton_datagen::{multiply_shift, radix, Lcg, Rng, WorkloadSpec};
 use triton_hw::link::{Alignment, Dir, LinkModel};
 use triton_hw::tlb::{MemSide, TlbSim};
 use triton_hw::units::Bytes;
@@ -11,144 +15,198 @@ use triton_hw::HwConfig;
 use triton_mem::InterleavePattern;
 use triton_part::{compute_histogram, make_partitioner, Algorithm, PassConfig, Span};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Number of random cases per property (proptest used 64).
+const CASES: u64 = 64;
 
-    /// Every partitioner is a permutation: all tuples present exactly
-    /// once, each in the partition its hash bits dictate.
-    #[test]
-    fn partitioners_are_permutations(
-        seed in 0u64..1000,
-        n in 64usize..4000,
-        bits in 1u32..7,
-        skip in 0u32..4,
-        alg_idx in 0usize..4,
-    ) {
-        let alg = Algorithm::all()[alg_idx];
+/// Run `body` for `CASES` deterministic seeds, labelling failures.
+fn for_cases(name: &str, mut body: impl FnMut(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xC0FFEE ^ (case << 8));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(e) = result {
+            panic!("property `{name}` failed at case {case}: {e:?}");
+        }
+    }
+}
+
+/// Every partitioner is a permutation: all tuples present exactly once,
+/// each in the partition its hash bits dictate.
+#[test]
+fn partitioners_are_permutations() {
+    for_cases("partitioners_are_permutations", |rng| {
+        let n = rng.gen_range_u64(64, 4000) as usize;
+        let bits = rng.gen_range_u64(1, 6) as u32;
+        let skip = rng.gen_range_u64(0, 3) as u32;
+        let alg = Algorithm::all()[rng.gen_index(Algorithm::all().len())];
         let hw = HwConfig::ac922().scaled(8192);
-        let mut rng = seed;
-        let mut next = || { rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1); rng >> 16 };
-        let keys: Vec<u64> = (0..n).map(|_| next()).collect();
-        let rids: Vec<u64> = (0..n).map(|_| next()).collect();
+        let keys: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 16).collect();
+        let rids: Vec<u64> = (0..n).map(|_| rng.next_u64() >> 16).collect();
         let hist = compute_histogram(&keys, 8, bits, skip);
         let pass = PassConfig::new(bits, skip);
         let (out, cost) = make_partitioner(alg).partition(
-            &keys, &rids, &hist, &Span::cpu(0), &Span::cpu(1 << 40), &pass, &hw,
+            &keys,
+            &rids,
+            &hist,
+            &Span::cpu(0),
+            &Span::cpu(1 << 40),
+            &pass,
+            &hw,
         );
-        prop_assert_eq!(out.len(), n);
+        assert_eq!(out.len(), n);
         let mut seen = std::collections::HashMap::new();
         for p in 0..out.fanout() {
             let (ks, rs) = out.partition(p);
             for (&k, &r) in ks.iter().zip(rs) {
-                prop_assert_eq!(radix(multiply_shift(k), skip, bits), p);
+                assert_eq!(radix(multiply_shift(k), skip, bits), p);
                 *seen.entry((k, r)).or_insert(0u32) += 1;
             }
         }
         for (k, r) in keys.iter().zip(&rids) {
-            prop_assert_eq!(seen.get(&(*k, *r)).copied().unwrap_or(0), 1);
+            assert_eq!(seen.get(&(*k, *r)).copied().unwrap_or(0), 1);
         }
         // Cost sanity: the input was read exactly once.
-        prop_assert_eq!(cost.link.seq_read.0, n as u64 * 16);
-    }
+        assert_eq!(cost.link.seq_read.0, n as u64 * 16);
+    });
+}
 
-    /// The interleave pattern never exceeds its GPU page budget and its
-    /// prefix counting matches enumeration.
-    #[test]
-    fn interleave_budget_and_counting(gpu in 0u64..500, total in 1u64..500, n in 0u64..2000) {
+/// The interleave pattern never exceeds its GPU page budget and its
+/// prefix counting matches enumeration.
+#[test]
+fn interleave_budget_and_counting() {
+    for_cases("interleave_budget_and_counting", |rng| {
+        let gpu = rng.gen_range_u64(0, 499);
+        let total = rng.gen_range_u64(1, 499);
+        let n = rng.gen_range_u64(0, 1999);
         let pat = InterleavePattern::from_budget(gpu, total);
-        prop_assert!(pat.gpu_pages_among(total) <= gpu.min(total));
-        let exact = (0..n).filter(|&p| pat.side_of_page(p) == MemSide::Gpu).count() as u64;
-        prop_assert_eq!(pat.gpu_pages_among(n), exact);
-    }
+        assert!(pat.gpu_pages_among(total) <= gpu.min(total));
+        let exact = (0..n)
+            .filter(|&p| pat.side_of_page(p) == MemSide::Gpu)
+            .count() as u64;
+        assert_eq!(pat.gpu_pages_among(n), exact);
+    });
+}
 
-    /// Linear-probe tables find every inserted key and report honest
-    /// access counts (>= 1, bounded by capacity).
-    #[test]
-    fn linear_probe_roundtrip(keys in prop::collection::hash_set(1u64..1_000_000, 1..300)) {
-        let keys: Vec<u64> = keys.into_iter().collect();
+/// Linear-probe tables find every inserted key and report honest access
+/// counts (>= 1, bounded by capacity).
+#[test]
+fn linear_probe_roundtrip() {
+    for_cases("linear_probe_roundtrip", |rng| {
+        let n = rng.gen_range_u64(1, 300) as usize;
+        let mut set = std::collections::HashSet::new();
+        while set.len() < n {
+            set.insert(rng.gen_range_u64(1, 1_000_000));
+        }
+        let keys: Vec<u64> = set.into_iter().collect();
         let rids: Vec<u64> = keys.iter().map(|k| k ^ 0xABCD).collect();
         let (t, _) = LinearProbeTable::build(&keys, &rids, 0.5);
         for &k in &keys {
             let (hit, acc, _) = t.probe(k);
-            prop_assert_eq!(hit, Some(k ^ 0xABCD));
-            prop_assert!(acc >= 1 && (acc as usize) <= t.capacity());
+            assert_eq!(hit, Some(k ^ 0xABCD));
+            assert!(acc >= 1 && (acc as usize) <= t.capacity());
         }
-    }
+    });
+}
 
-    /// Bucket-chain tables enumerate exactly the matching duplicates.
-    #[test]
-    fn bucket_chain_duplicates(dups in 1usize..20, key in 1u64..1000, skip in 0u32..12) {
+/// Bucket-chain tables enumerate exactly the matching duplicates.
+#[test]
+fn bucket_chain_duplicates() {
+    for_cases("bucket_chain_duplicates", |rng| {
+        let dups = rng.gen_range_u64(1, 19) as usize;
+        let key = rng.gen_range_u64(1, 999);
+        let skip = rng.gen_range_u64(0, 11) as u32;
         let keys: Vec<u64> = std::iter::repeat_n(key, dups).chain([key + 1]).collect();
         let rids: Vec<u64> = (0..keys.len() as u64).collect();
         let t = BucketChainTable::build(&keys, &rids, 64, skip);
-        prop_assert_eq!(t.probe_all(key).count(), dups);
-        prop_assert_eq!(t.probe_all(key + 2).count(), 0);
-    }
+        assert_eq!(t.probe_all(key).count(), dups);
+        assert_eq!(t.probe_all(key + 2).count(), 0);
+    });
+}
 
-    /// The LCG is a bijection over its range for any seed.
-    #[test]
-    fn lcg_bijective(k in 4u32..14, seed: u64) {
+/// The LCG is a bijection over its range for any seed.
+#[test]
+fn lcg_bijective() {
+    for_cases("lcg_bijective", |rng| {
+        let k = rng.gen_range_u64(4, 13) as u32;
+        let seed = rng.next_u64();
         let mut lcg = Lcg::new(k, seed);
         let mut seen = vec![false; 1usize << k];
         for _ in 0..(1u64 << k) {
             let v = lcg.next_value() as usize;
-            prop_assert!(!seen[v]);
+            assert!(!seen[v]);
             seen[v] = true;
         }
-    }
+    });
+}
 
-    /// Link wire costs are monotone in the payload and never cheaper
-    /// than the payload itself.
-    #[test]
-    fn wire_cost_monotone(len_a in 1u64..4096, len_b in 1u64..4096, offset in 0u64..512) {
+/// Link wire costs are monotone in the payload and never cheaper than the
+/// payload itself.
+#[test]
+fn wire_cost_monotone() {
+    for_cases("wire_cost_monotone", |rng| {
+        let len_a = rng.gen_range_u64(1, 4095);
+        let len_b = rng.gen_range_u64(1, 4095);
+        let offset = rng.gen_range_u64(0, 511);
         let link = LinkModel::new(&HwConfig::ac922().link);
         let (lo, hi) = (len_a.min(len_b), len_a.max(len_b));
         let w_lo = link.write_at(offset, lo);
         let w_hi = link.write_at(offset, hi);
-        prop_assert!(w_hi.wire_data_dir.0 >= w_lo.wire_data_dir.0);
-        prop_assert!(w_lo.wire_data_dir.0 >= lo);
+        assert!(w_hi.wire_data_dir.0 >= w_lo.wire_data_dir.0);
+        assert!(w_lo.wire_data_dir.0 >= lo);
         let r = link.read_at(offset, lo);
-        prop_assert!(r.wire_data_dir.0 >= lo);
-        prop_assert!(r.transactions >= 1);
-    }
+        assert!(r.wire_data_dir.0 >= lo);
+        assert!(r.transactions >= 1);
+    });
+}
 
-    /// Random-access bandwidth never exceeds the sequential ceiling.
-    #[test]
-    fn random_bw_below_sequential(g_exp in 2u32..10) {
+/// Random-access bandwidth never exceeds the sequential ceiling.
+#[test]
+fn random_bw_below_sequential() {
+    for_cases("random_bw_below_sequential", |rng| {
+        let g_exp = rng.gen_range_u64(2, 9) as u32;
         let link = LinkModel::new(&HwConfig::ac922().link);
         let g = Bytes(1 << g_exp);
         let seq = link.effective_seq_bw();
         for dir in [Dir::CpuToGpu, Dir::GpuToCpu] {
             for a in [Alignment::Natural, Alignment::Cacheline, Alignment::None] {
-                prop_assert!(link.random_access_bandwidth(g, dir, a) <= seq * 1.001);
+                assert!(link.random_access_bandwidth(g, dir, a) <= seq * 1.001);
             }
         }
-    }
+    });
+}
 
-    /// A TLB working set within the L2 coverage eventually stops missing;
-    /// stats always balance.
-    #[test]
-    fn tlb_stats_balance(addrs in prop::collection::vec(0u64..(1u64 << 22), 1..500)) {
+/// A TLB working set within the L2 coverage eventually stops missing;
+/// stats always balance.
+#[test]
+fn tlb_stats_balance() {
+    for_cases("tlb_stats_balance", |rng| {
+        let n = rng.gen_range_u64(1, 499) as usize;
+        let addrs: Vec<u64> = (0..n)
+            .map(|_| rng.gen_range_u64(0, (1u64 << 22) - 1))
+            .collect();
         let hw = HwConfig::ac922().scaled(4096);
         let mut tlb = TlbSim::new(&hw);
         for &a in &addrs {
             tlb.translate(a, MemSide::Cpu);
         }
         let s = tlb.stats();
-        prop_assert_eq!(s.lookups(), addrs.len() as u64);
-        prop_assert!(s.serialized_walks <= s.full_misses);
-    }
+        assert_eq!(s.lookups(), addrs.len() as u64);
+        assert!(s.serialized_walks <= s.full_misses);
+    });
+}
 
-    /// The Triton join equals the reference join on arbitrary small
-    /// workloads and scales.
-    #[test]
-    fn triton_matches_reference(m in 1u64..20, k_idx in 0usize..3, seed in 0u64..100) {
-        let k = [512u64, 2048, 8192][k_idx];
+/// The Triton join equals the reference join on arbitrary small workloads
+/// and scales.
+#[test]
+fn triton_matches_reference() {
+    for_cases("triton_matches_reference", |rng| {
+        let m = rng.gen_range_u64(1, 19);
+        let k = [512u64, 2048, 8192][rng.gen_index(3)];
+        let seed = rng.gen_range_u64(0, 99);
         let hw = HwConfig::ac922().scaled(4096);
         let mut spec = WorkloadSpec::paper_default(m, k);
         spec.seed = seed;
         let w = spec.generate();
         let rep = TritonJoin::default().run(&w, &hw);
-        prop_assert_eq!(rep.result, reference_join(&w));
-    }
+        assert_eq!(rep.result, reference_join(&w));
+    });
 }
