@@ -12,8 +12,8 @@
 
 use triton_core::{CpuRadixJoin, HashScheme, TritonJoin};
 use triton_datagen::{Rng, WorkloadSpec};
-use triton_exec::{JoinQuery, Operator, Scheduler, SchedulerConfig};
-use triton_hw::units::Ns;
+use triton_exec::{FaultPlan, JoinQuery, Operator, Scheduler, SchedulerConfig, SchedulerMetrics};
+use triton_hw::units::{Bytes, Ns};
 use triton_hw::HwConfig;
 
 /// One measured operating point.
@@ -101,27 +101,33 @@ fn mean_service_time(hw: &HwConfig) -> Ns {
     Ns(total / QUERIES as f64)
 }
 
+/// The tenant mix with Poisson arrivals at `load` times the serial
+/// drain rate, each query carrying the sweep's queueing deadline.
+fn queries_at_load(hw: &HwConfig, s_mean: Ns, load: f64) -> Vec<JoinQuery> {
+    let rate = load / s_mean.0; // queries per ns
+    let mut rng = Rng::seed_from_u64(0x10AD ^ load.to_bits());
+    let mut t = 0.0f64;
+    let arrivals: Vec<f64> = (0..QUERIES)
+        .map(|_| {
+            t += -(1.0 - rng.next_f64()).ln() / rate;
+            t
+        })
+        .collect();
+    let mut queries = tenant_mix(hw.scale, &arrivals);
+    // Queries shed themselves once they have queued for ten mean
+    // service times — the overload signal of the sweep.
+    for q in &mut queries {
+        q.deadline = Some(s_mean * 10.0);
+    }
+    queries
+}
+
 /// Run the sweep.
 pub fn run(hw: &HwConfig, loads: &[f64]) -> Vec<Row> {
     let s_mean = mean_service_time(hw);
     let mut rows = Vec::new();
     for &load in loads {
-        // Poisson arrivals at `load` times the serial drain rate.
-        let rate = load / s_mean.0; // queries per ns
-        let mut rng = Rng::seed_from_u64(0x10AD ^ load.to_bits());
-        let mut t = 0.0f64;
-        let arrivals: Vec<f64> = (0..QUERIES)
-            .map(|_| {
-                t += -(1.0 - rng.next_f64()).ln() / rate;
-                t
-            })
-            .collect();
-        let mut queries = tenant_mix(hw.scale, &arrivals);
-        // Queries shed themselves once they have queued for ten mean
-        // service times — the overload signal of the sweep.
-        for q in &mut queries {
-            q.deadline = Some(s_mean * 10.0);
-        }
+        let queries = queries_at_load(hw, s_mean, load);
         let res = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(queries);
         let m = &res.metrics;
         rows.push(Row {
@@ -137,6 +143,37 @@ pub fn run(hw: &HwConfig, loads: &[f64]) -> Vec<Row> {
         });
     }
     rows
+}
+
+/// Offered load of the chaos operating point (saturation).
+const CHAOS_LOAD: f64 = 1.0;
+
+/// The saturation point rerun under a standard hazard schedule —
+/// a halved link for the whole run, plus an ECC retirement of two
+/// thirds of device memory and a kernel fault both aimed at the
+/// heaviest GPU query's execution window (the degraded link only
+/// stretches windows, so the faults land on live reservations) — once
+/// with the resilience layer and once without. Returns
+/// (resilient, fragile).
+pub fn run_chaos(hw: &HwConfig) -> (SchedulerMetrics, SchedulerMetrics) {
+    let s_mean = mean_service_time(hw);
+    let clean = Scheduler::new(hw.clone(), SchedulerConfig::default())
+        .run(queries_at_load(hw, s_mean, CHAOS_LOAD));
+    let span = clean.metrics.makespan;
+    // Strike while the largest GPU reservation of the clean run is live.
+    let strike = clean
+        .completed()
+        .max_by(|a, b| a.reserved.cmp(&b.reserved).then(a.id.cmp(&b.id)))
+        .map_or(span * 0.5, |c| Ns((c.start.0 + c.finish.0) * 0.5));
+    let plan = FaultPlan::with_seed(0xFA11)
+        .degrade_link(Ns::ZERO, span * 4.0, 0.5)
+        .retire_gpu_mem(strike, Bytes(hw.gpu.mem_capacity.0 * 2 / 3))
+        .kernel_fault(strike);
+    let resilient = Scheduler::new(hw.clone(), SchedulerConfig::default())
+        .run_with_faults(queries_at_load(hw, s_mean, CHAOS_LOAD), &plan);
+    let fragile = Scheduler::new(hw.clone(), SchedulerConfig::no_resilience())
+        .run_with_faults(queries_at_load(hw, s_mean, CHAOS_LOAD), &plan);
+    (resilient.metrics, fragile.metrics)
 }
 
 /// Print the experiment.
@@ -187,6 +224,20 @@ pub fn print(hw: &HwConfig, loads: &[f64]) {
                 .render()
         );
     }
+
+    // The resilience addendum: the saturation point under a degraded
+    // link, an ECC retirement, and a kernel fault — with and without
+    // the recovery ladder. Full fault accounting lands in the JSON.
+    let (resilient, fragile) = run_chaos(hw);
+    println!("\nchaos point (load {CHAOS_LOAD}, halved link + 66% ECC retirement + kernel fault):");
+    println!("  resilient: {}", resilient.summary());
+    println!("  fragile  : {}", fragile.summary());
+    for (mode, m) in [("resilient", &resilient), ("fragile", &fragile)] {
+        println!(
+            "{{\"fig\":\"serve_load_chaos\",\"mode\":\"{mode}\",\"metrics\":{}}}",
+            m.to_json()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -204,5 +255,17 @@ mod tests {
         }
         // Heavier load must not finish queries faster end-to-end.
         assert!(rows[1].p99_service_times >= rows[0].p99_service_times * 0.99);
+    }
+
+    #[test]
+    fn chaos_point_recovers_more_than_it_sheds() {
+        let hw = HwConfig::ac922().scaled(2048);
+        let (resilient, fragile) = run_chaos(&hw);
+        assert!(resilient.completed >= fragile.completed);
+        assert!(resilient.shed_faulted == 0, "ladder must absorb the faults");
+        // Replays are byte-identical: same plan, same seed, same report.
+        let (again, _) = run_chaos(&hw);
+        assert_eq!(resilient, again);
+        assert_eq!(resilient.to_json(), again.to_json());
     }
 }

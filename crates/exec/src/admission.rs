@@ -13,7 +13,7 @@
 //! (scaled) GPU capacity — that is enforced by a [`SimAllocator`], the
 //! same capacity arithmetic the operators use.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use triton_core::TritonJoin;
 use triton_datagen::TUPLE_BYTES;
@@ -39,7 +39,12 @@ pub struct Reservation {
 pub struct AdmissionController {
     alloc: SimAllocator,
     capacity: Bytes,
+    initial_capacity: Bytes,
     grants: HashMap<QueryId, (Allocation, Reservation)>,
+    /// Every id that ever held a grant — the debug guard distinguishing
+    /// an idempotent double release from a release of a query that was
+    /// never admitted (an accounting bug in the caller).
+    ever_admitted: HashSet<QueryId>,
     /// High-water mark of reserved GPU bytes (for metrics/tests).
     pub peak_reserved: Bytes,
 }
@@ -50,14 +55,35 @@ impl AdmissionController {
         AdmissionController {
             alloc: SimAllocator::new(hw),
             capacity: hw.gpu.mem_capacity,
+            initial_capacity: hw.gpu.mem_capacity,
             grants: HashMap::new(),
+            ever_admitted: HashSet::new(),
             peak_reserved: Bytes(0),
         }
     }
 
-    /// Total GPU capacity being arbitrated.
+    /// Current GPU capacity being arbitrated (initial capacity minus any
+    /// ECC retirements).
     pub fn capacity(&self) -> Bytes {
         self.capacity
+    }
+
+    /// The machine's GPU capacity before any retirement.
+    pub fn initial_capacity(&self) -> Bytes {
+        self.initial_capacity
+    }
+
+    /// Permanently retire `bytes` of GPU capacity (ECC page
+    /// retirement). Existing reservations stay live — the caller must
+    /// revoke queries until [`Self::overcommitted`] returns zero.
+    pub fn retire(&mut self, bytes: Bytes) -> Bytes {
+        self.capacity = self.alloc.retire(MemSide::Gpu, bytes);
+        self.capacity
+    }
+
+    /// Reserved bytes in excess of the (possibly retired) capacity.
+    pub fn overcommitted(&self) -> Bytes {
+        self.reserved().saturating_sub(self.capacity)
     }
 
     /// GPU bytes currently reserved across all in-flight queries.
@@ -90,6 +116,14 @@ impl AdmissionController {
             // NPJ streams the inputs; only the runtime slice is a floor
             // (the hash table degrades gracefully to CPU memory).
             Operator::NoPartitioning(_) => Bytes(hw.gpu.mem_capacity.0 / 8),
+            // The CPU partitions into CPU memory; the GPU only holds the
+            // current working-set pair plus a small staging slice — the
+            // cheap middle rung of the degradation ladder.
+            Operator::CpuPartitioned(_) => {
+                let b1 = TritonJoin::pass1_bits(r_bytes, total, hw);
+                let pair = (total >> b1).max(1);
+                Bytes(2 * pair + hw.gpu.mem_capacity.0 / 16)
+            }
             // CPU operators take no GPU memory at all.
             Operator::CpuRadix(_) => Bytes(0),
         }
@@ -103,6 +137,8 @@ impl AdmissionController {
             // The whole partitioned working set, ideally.
             Operator::Triton(_) => r_bytes + s_bytes,
             Operator::NoPartitioning(j) => j.table_bytes(query.workload.r.len()),
+            // The CPU writes partitions to CPU memory; nothing to cache.
+            Operator::CpuPartitioned(_) => 0,
             Operator::CpuRadix(_) => 0,
         }
     }
@@ -119,6 +155,20 @@ impl AdmissionController {
         query: &JoinQuery,
         hw: &HwConfig,
     ) -> Result<Reservation, OutOfMemory> {
+        self.try_admit_shrunk(id, query, hw, 0)
+    }
+
+    /// [`Self::try_admit`] with the cache desire halved `grant_shrink`
+    /// times — the degradation ladder's first rung: a query revoked by a
+    /// capacity fault retries asking for less optional memory before it
+    /// gives up GPU execution entirely.
+    pub fn try_admit_shrunk(
+        &mut self,
+        id: QueryId,
+        query: &JoinQuery,
+        hw: &HwConfig,
+        grant_shrink: u32,
+    ) -> Result<Reservation, OutOfMemory> {
         let floor = Self::min_reserve(query, hw);
         let free = self.available().0;
         if floor.0 > free {
@@ -132,7 +182,8 @@ impl AdmissionController {
         // query cannot starve the queue: cap each grant at half of what
         // is free after the floor.
         let after_floor = free - floor.0;
-        let grant = Self::cache_desired(query).min(after_floor / 2);
+        let desired = Self::cache_desired(query) >> grant_shrink.min(63);
+        let grant = desired.min(after_floor / 2);
         let total = Bytes(floor.0 + grant);
         let allocation = self.alloc.alloc(MemSide::Gpu, total)?;
         let reservation = Reservation {
@@ -140,6 +191,7 @@ impl AdmissionController {
             cache_grant: Bytes(grant),
         };
         self.grants.insert(id, (allocation, reservation));
+        self.ever_admitted.insert(id);
         let now = self.reserved();
         if now > self.peak_reserved {
             self.peak_reserved = now;
@@ -148,9 +200,22 @@ impl AdmissionController {
     }
 
     /// Release the reservation of a finished (or failed) query.
-    pub fn release(&mut self, id: QueryId) {
+    ///
+    /// Idempotent: the fault path can revoke a query the completion path
+    /// also releases, and the second call must not corrupt the
+    /// reserved-bytes accounting. Returns whether a reservation was
+    /// actually freed. Releasing an id that was *never admitted* is a
+    /// caller bug and trips a debug assertion.
+    pub fn release(&mut self, id: QueryId) -> bool {
         if let Some((allocation, _)) = self.grants.remove(&id) {
             self.alloc.free(allocation);
+            true
+        } else {
+            debug_assert!(
+                self.ever_admitted.contains(&id),
+                "release of never-admitted query {id}"
+            );
+            false
         }
     }
 
@@ -174,6 +239,8 @@ pub fn operator_with_grant(query: &JoinQuery, grant: &Reservation) -> Operator {
             j.cache_bytes = Some(grant.cache_grant);
             Operator::NoPartitioning(j)
         }
+        // CPU-side operators have no GPU cache budget to clamp.
+        Operator::CpuPartitioned(j) => Operator::CpuPartitioned(j.clone()),
         Operator::CpuRadix(j) => Operator::CpuRadix(j.clone()),
     }
 }
@@ -219,6 +286,71 @@ mod tests {
         ac.release(QueryId(0));
         assert_eq!(ac.available(), before);
         assert!(ac.peak_reserved.0 > 0);
+    }
+
+    #[test]
+    fn double_release_is_idempotent() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        let q = query(64, 512);
+        let before = ac.available();
+        ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        assert!(ac.release(QueryId(0)), "first release frees the grant");
+        let after_first = ac.available();
+        // The fault path may race the completion path to the release:
+        // the second call must be a no-op, not an accounting corruption.
+        assert!(!ac.release(QueryId(0)), "second release is a no-op");
+        assert_eq!(ac.available(), after_first);
+        assert_eq!(ac.available(), before);
+        assert_eq!(ac.in_flight(), 0);
+        // Re-admission after a release works and frees again cleanly.
+        ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        assert!(ac.release(QueryId(0)));
+        assert_eq!(ac.available(), before);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "never-admitted")]
+    fn releasing_a_never_admitted_query_trips_the_debug_guard() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        ac.release(QueryId(77));
+    }
+
+    #[test]
+    fn retirement_shrinks_capacity_and_reports_overcommit() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        let q = query(64, 512);
+        ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        let reserved = ac.reserved();
+        let initial = ac.initial_capacity();
+        // Retire everything except half of what is reserved.
+        ac.retire(Bytes(initial.0 - reserved.0 / 2));
+        assert_eq!(ac.capacity(), Bytes(reserved.0 / 2));
+        assert_eq!(ac.initial_capacity(), initial);
+        assert_eq!(ac.overcommitted(), Bytes(reserved.0 - reserved.0 / 2));
+        assert_eq!(ac.available(), Bytes(0));
+        // Revoking the query clears the overcommit.
+        ac.release(QueryId(0));
+        assert_eq!(ac.overcommitted(), Bytes(0));
+    }
+
+    #[test]
+    fn shrunk_grants_ask_for_less_cache() {
+        let hw = HwConfig::ac922().scaled(512);
+        let q = query(64, 512);
+        let mut ac = AdmissionController::new(&hw);
+        let full = ac.try_admit_shrunk(QueryId(0), &q, &hw, 0).unwrap();
+        ac.release(QueryId(0));
+        let halved = ac.try_admit_shrunk(QueryId(0), &q, &hw, 1).unwrap();
+        assert!(
+            halved.cache_grant.0 <= full.cache_grant.0 / 2 + 1,
+            "shrink 1 must halve the desire: {} vs {}",
+            halved.cache_grant,
+            full.cache_grant
+        );
     }
 
     #[test]

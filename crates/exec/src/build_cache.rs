@@ -8,17 +8,31 @@
 //! re-granted per query by admission control. A hit lets the scheduler
 //! discount the build side's share of the first partitioning pass (see
 //! [`crate::demand::ResourceDemand::from_report`]).
+//!
+//! # Circuit breaker
+//!
+//! A hardware fault can invalidate resident partitioned state (ECC page
+//! retirement tears the GPU-cached pages of the hybrid array). The cache
+//! then acts as a circuit breaker: [`BuildCache::quarantine_all`] evicts
+//! every entry and *quarantines* its key. The next query naming a
+//! quarantined key is forced to rebuild (a deliberate miss that closes
+//! the breaker for that key) instead of trusting stale shared state.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Refcounted registry of resident partitioned build relations.
 #[derive(Debug, Default)]
 pub struct BuildCache {
     entries: HashMap<u64, Entry>,
+    /// Keys whose partitioned state a fault invalidated; the next
+    /// acquire rebuilds and clears the quarantine.
+    quarantined: HashSet<u64>,
     /// Queries that found their build side already partitioned.
     pub hits: u64,
     /// Queries that had to partition their build side themselves.
     pub misses: u64,
+    /// Forced misses served while a key was quarantined.
+    pub quarantine_rebuilds: u64,
 }
 
 #[derive(Debug)]
@@ -39,6 +53,14 @@ impl BuildCache {
     /// skips re-partitioning R), `false` on a miss (this query
     /// partitions R and leaves the state behind for followers).
     pub fn acquire(&mut self, key: u64, r_bytes: u64) -> bool {
+        if self.quarantined.remove(&key) {
+            // Breaker half-open: this query rebuilds the partitioned
+            // state from scratch; followers may share the fresh copy.
+            self.quarantine_rebuilds += 1;
+            self.misses += 1;
+            self.entries.insert(key, Entry { refs: 1, r_bytes });
+            return false;
+        }
         match self.entries.get_mut(&key) {
             Some(e) => {
                 e.refs += 1;
@@ -59,6 +81,26 @@ impl BuildCache {
         if let Some(e) = self.entries.get_mut(&key) {
             e.refs = e.refs.saturating_sub(1);
         }
+    }
+
+    /// Trip the circuit breaker: evict *every* resident build (pinned
+    /// or not — the backing pages are gone) and quarantine the keys so
+    /// the next acquire rebuilds instead of sharing stale state.
+    /// Returns the number of builds invalidated. In-flight queries that
+    /// already consumed their shared state keep exact results; only the
+    /// reusable partitioned copy is lost.
+    pub fn quarantine_all(&mut self) -> usize {
+        let n = self.entries.len();
+        for k in self.entries.keys() {
+            self.quarantined.insert(*k);
+        }
+        self.entries.clear();
+        n
+    }
+
+    /// Whether `key` is currently quarantined (breaker open).
+    pub fn is_quarantined(&self, key: u64) -> bool {
+        self.quarantined.contains(&key)
     }
 
     /// Drop all unpinned entries, returning the bytes retired.
@@ -99,6 +141,24 @@ mod tests {
         assert!(!c.acquire(8, 500));
         assert_eq!((c.hits, c.misses), (2, 2));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn quarantine_trips_and_closes_the_breaker() {
+        let mut c = BuildCache::new();
+        c.acquire(7, 1000); // miss, resident
+        c.release(7);
+        assert!(c.acquire(7, 1000), "resident entry hits");
+        c.release(7);
+        assert_eq!(c.quarantine_all(), 1);
+        assert!(c.is_quarantined(7));
+        assert!(c.is_empty());
+        // Breaker open: forced rebuild, not a hit on stale state.
+        assert!(!c.acquire(7, 1000), "quarantined key must rebuild");
+        assert!(!c.is_quarantined(7), "rebuild closes the breaker");
+        assert_eq!(c.quarantine_rebuilds, 1);
+        // Followers share the rebuilt state again.
+        assert!(c.acquire(7, 1000));
     }
 
     #[test]

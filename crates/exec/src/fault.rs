@@ -1,0 +1,130 @@
+//! Per-query fault accounting and the degraded-machine view the
+//! arbiter prices queries against while a [`triton_hw::FaultPlan`] is
+//! active.
+
+use triton_hw::ResourceVector;
+
+/// What hit an in-flight query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCause {
+    /// A transient kernel failure killed the attempt; the work is lost
+    /// but the machine is intact — retry with backoff.
+    Transient,
+    /// An ECC page retirement shrank GPU capacity below the sum of
+    /// reservations and this query's reservation was revoked.
+    Revoked,
+}
+
+impl FaultCause {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultCause::Transient => "kernel-fault",
+            FaultCause::Revoked => "revoked",
+        }
+    }
+}
+
+/// How much recovering cost one query. Attached to every
+/// [`crate::scheduler::CompletedQuery`]; all zeros on a clean run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultOutcome {
+    /// Transient kernel failures survived (attempt restarted).
+    pub retries: u32,
+    /// Rungs descended on the degradation ladder.
+    pub downgrades: u32,
+    /// Reservations revoked by capacity loss.
+    pub revocations: u32,
+    /// Cache-grant halvings applied on re-admission.
+    pub grant_shrinks: u32,
+}
+
+impl FaultOutcome {
+    /// True when the query never saw a fault.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        *self == FaultOutcome::default()
+    }
+
+    /// Total recovery actions taken for this query.
+    #[must_use]
+    pub fn actions(&self) -> u32 {
+        self.retries + self.downgrades + self.revocations + self.grant_shrinks
+    }
+}
+
+/// Sentinel slowdown for a resource whose capacity is currently zero
+/// (e.g. the link fully down during a flap): large enough that progress
+/// effectively stops, finite so the fluid arbiter stays well-defined —
+/// the event loop never integrates across a fault boundary, so the
+/// stall lasts exactly until the window closes.
+const DEAD_RESOURCE_INFLATION: f64 = 1e12;
+
+/// A query's busy-fraction vector as seen on the *degraded* machine:
+/// with the link at `link_factor` of nominal bandwidth and the host CPU
+/// at `cpu_factor` of nominal speed, the same bytes and instructions
+/// keep those resources busy `1/factor` times longer.
+#[must_use]
+pub fn degraded_vector(v: ResourceVector, link_factor: f64, cpu_factor: f64) -> ResourceVector {
+    let inflate = |busy: f64, factor: f64| {
+        if busy <= 0.0 {
+            0.0
+        } else if factor <= 0.0 {
+            busy * DEAD_RESOURCE_INFLATION
+        } else {
+            busy / factor
+        }
+    };
+    ResourceVector {
+        link: inflate(v.link, link_factor),
+        cpu: inflate(v.cpu, cpu_factor),
+        ..v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v() -> ResourceVector {
+        ResourceVector {
+            link: 0.8,
+            gpu_mem: 0.4,
+            compute: 0.3,
+            tlb: 0.1,
+            cpu: 0.2,
+        }
+    }
+
+    #[test]
+    fn degradation_inflates_only_the_hit_resources() {
+        let d = degraded_vector(v(), 0.5, 1.0);
+        assert!((d.link - 1.6).abs() < 1e-12, "half bandwidth, double busy");
+        assert_eq!(d.cpu, 0.2);
+        assert_eq!(d.gpu_mem, 0.4);
+        let c = degraded_vector(v(), 1.0, 0.25);
+        assert!((c.cpu - 0.8).abs() < 1e-12);
+        assert_eq!(c.link, 0.8);
+    }
+
+    #[test]
+    fn dead_link_stalls_but_stays_finite() {
+        let d = degraded_vector(v(), 0.0, 1.0);
+        assert!(d.link >= 1e11);
+        assert!(d.link.is_finite());
+        // A query that never touches the link is unaffected by its death.
+        let idle = degraded_vector(ResourceVector { link: 0.0, ..v() }, 0.0, 1.0);
+        assert_eq!(idle.link, 0.0);
+    }
+
+    #[test]
+    fn outcome_bookkeeping() {
+        let mut o = FaultOutcome::default();
+        assert!(o.clean());
+        o.retries = 2;
+        o.downgrades = 1;
+        assert!(!o.clean());
+        assert_eq!(o.actions(), 3);
+    }
+}

@@ -32,7 +32,15 @@
 //!   arrival/completion; backpressure and typed shedding
 //!   ([`RejectReason`]) when the machine is full.
 //! * [`SchedulerMetrics`] — aggregate throughput, p50/p99 latency,
-//!   memory high-water marks, shed counts.
+//!   memory high-water marks, shed counts, fault/recovery accounting,
+//!   and a stable JSON encoding for determinism checks.
+//! * Resilience ([`crate::fault`], [`crate::resilience`]) — replay a
+//!   [`triton_hw::FaultPlan`] with [`Scheduler::run_with_faults`]: link
+//!   degradations reshape demand vectors, ECC retirements shrink
+//!   capacity and revoke reservations, kernel faults kill attempts; a
+//!   [`RetryPolicy`] with deterministic backoff, a degradation ladder
+//!   (Triton → CPU-partitioned → CPU radix), and a build-cache circuit
+//!   breaker recover victims without ever changing answers.
 //!
 //! Execution stays functional: every admitted query really runs its
 //! operator and the per-query [`triton_core::JoinReport`] carries an
@@ -63,15 +71,22 @@
 pub mod admission;
 pub mod build_cache;
 pub mod demand;
+pub mod fault;
 pub mod metrics;
 pub mod query;
+pub mod resilience;
 pub mod scheduler;
 
 pub use admission::{operator_with_grant, AdmissionController, Reservation};
 pub use build_cache::BuildCache;
 pub use demand::ResourceDemand;
+pub use fault::{degraded_vector, FaultCause, FaultOutcome};
 pub use metrics::{percentile, SchedulerMetrics};
 pub use query::{JoinQuery, Operator, QueryId};
+pub use resilience::{downgrade_operator, ResilienceConfig, RetryPolicy};
 pub use scheduler::{
     CompletedQuery, Outcome, RejectReason, Scheduler, SchedulerConfig, ServeResult,
 };
+// Re-exported so serving callers can build fault plans without a direct
+// triton-hw dependency.
+pub use triton_hw::FaultPlan;

@@ -1,12 +1,17 @@
 //! Aggregate serving metrics: throughput, latency percentiles, memory
-//! high-water marks, and shedding counts for one scheduler run.
+//! high-water marks, shedding counts, and fault/recovery accounting for
+//! one scheduler run.
 
 use triton_hw::units::{Bytes, Ns};
 
 use crate::scheduler::{Outcome, RejectReason};
 
 /// Aggregate metrics over one serving run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so chaos tests can assert byte-identical replay:
+/// the same queries plus the same [`triton_hw::FaultPlan`] seed must
+/// reproduce this struct exactly.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SchedulerMetrics {
     /// Queries that ran to completion.
     pub completed: u64,
@@ -18,6 +23,9 @@ pub struct SchedulerMetrics {
     pub shed_queue_full: u64,
     /// Of the rejected: floors exceeding the whole GPU (or OOM).
     pub shed_capacity: u64,
+    /// Of the rejected: lost to a fault with resilience disabled (or
+    /// stalled past recovery).
+    pub shed_faulted: u64,
     /// Simulated wall time from first arrival to last completion.
     pub makespan: Ns,
     /// Tuples processed by completed queries.
@@ -32,8 +40,11 @@ pub struct SchedulerMetrics {
     pub latency_max: Ns,
     /// High-water mark of concurrently reserved GPU memory.
     pub peak_gpu_reserved: Bytes,
-    /// The GPU capacity those reservations were drawn from.
+    /// The GPU capacity those reservations were drawn from (before any
+    /// fault-driven retirement).
     pub gpu_capacity: Bytes,
+    /// GPU bytes lost to ECC page retirement during the run.
+    pub gpu_retired: Bytes,
     /// Most queries in flight at once.
     pub peak_concurrency: usize,
     /// Time-weighted mean queries in flight (while any ran).
@@ -42,10 +53,37 @@ pub struct SchedulerMetrics {
     pub build_cache_hits: u64,
     /// Build-cache misses (build sides partitioned from scratch).
     pub build_cache_misses: u64,
+    /// Resident builds invalidated by the circuit breaker.
+    pub builds_quarantined: u64,
+    /// Fault events that struck the run (kernel faults landing on a
+    /// victim plus capacity revocation rounds).
+    pub faults_injected: u64,
+    /// Transient-fault retries across all queries.
+    pub retries: u64,
+    /// Degradation-ladder downgrades across all queries.
+    pub downgrades: u64,
+    /// Reservation revocations across all queries.
+    pub revocations: u64,
+}
+
+/// Non-outcome counters a run hands to [`SchedulerMetrics::from_run`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RunTotals {
+    pub makespan: Ns,
+    pub peak_gpu_reserved: Bytes,
+    pub gpu_capacity: Bytes,
+    pub gpu_retired: Bytes,
+    pub peak_concurrency: usize,
+    pub mean_concurrency: f64,
+    pub build_cache_hits: u64,
+    pub build_cache_misses: u64,
+    pub builds_quarantined: u64,
+    pub faults_injected: u64,
 }
 
 /// `p`-th percentile (0..=100) of an unsorted sample, by the
 /// nearest-rank method. Returns 0 for an empty sample.
+#[must_use]
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
@@ -58,27 +96,22 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
 
 impl SchedulerMetrics {
     /// Assemble from a finished run's outcomes and counters.
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_run(
-        outcomes: &[Outcome],
-        makespan: Ns,
-        peak_gpu_reserved: Bytes,
-        gpu_capacity: Bytes,
-        peak_concurrency: usize,
-        mean_concurrency: f64,
-        build_cache_hits: u64,
-        build_cache_misses: u64,
-    ) -> Self {
+    pub(crate) fn from_run(outcomes: &[Outcome], totals: RunTotals) -> Self {
         let mut latencies: Vec<f64> = Vec::new();
         let mut tuples = 0u64;
         let (mut completed, mut rejected) = (0u64, 0u64);
-        let (mut shed_deadline, mut shed_queue_full, mut shed_capacity) = (0u64, 0u64, 0u64);
+        let (mut shed_deadline, mut shed_queue_full) = (0u64, 0u64);
+        let (mut shed_capacity, mut shed_faulted) = (0u64, 0u64);
+        let (mut retries, mut downgrades, mut revocations) = (0u64, 0u64, 0u64);
         for o in outcomes {
             match o {
                 Outcome::Completed(c) => {
                     completed += 1;
                     tuples += c.report.tuples_actual;
                     latencies.push(c.latency().0);
+                    retries += u64::from(c.fault.retries);
+                    downgrades += u64::from(c.fault.downgrades);
+                    revocations += u64::from(c.fault.revocations);
                 }
                 Outcome::Rejected { reason, .. } => {
                     rejected += 1;
@@ -88,12 +121,16 @@ impl SchedulerMetrics {
                         RejectReason::OverCapacity { .. } | RejectReason::Oom(_) => {
                             shed_capacity += 1
                         }
+                        RejectReason::Faulted { retries: r, .. } => {
+                            shed_faulted += 1;
+                            retries += u64::from(*r);
+                        }
                     }
                 }
             }
         }
-        let throughput_gtps = if makespan.0 > 0.0 {
-            tuples as f64 / makespan.as_secs() / 1e9
+        let throughput_gtps = if totals.makespan.0 > 0.0 {
+            tuples as f64 / totals.makespan.as_secs() / 1e9
         } else {
             0.0
         };
@@ -103,24 +140,32 @@ impl SchedulerMetrics {
             shed_deadline,
             shed_queue_full,
             shed_capacity,
-            makespan,
+            shed_faulted,
+            makespan: totals.makespan,
             tuples,
             throughput_gtps,
             latency_p50: Ns(percentile(&latencies, 50.0)),
             latency_p99: Ns(percentile(&latencies, 99.0)),
             latency_max: Ns(latencies.iter().cloned().fold(0.0, f64::max)),
-            peak_gpu_reserved,
-            gpu_capacity,
-            peak_concurrency,
-            mean_concurrency,
-            build_cache_hits,
-            build_cache_misses,
+            peak_gpu_reserved: totals.peak_gpu_reserved,
+            gpu_capacity: totals.gpu_capacity,
+            gpu_retired: totals.gpu_retired,
+            peak_concurrency: totals.peak_concurrency,
+            mean_concurrency: totals.mean_concurrency,
+            build_cache_hits: totals.build_cache_hits,
+            build_cache_misses: totals.build_cache_misses,
+            builds_quarantined: totals.builds_quarantined,
+            faults_injected: totals.faults_injected,
+            retries,
+            downgrades,
+            revocations,
         }
     }
 
     /// One-line human-readable summary.
+    #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} done / {} rejected | makespan {} | {:.2} Gtps | p50 {} p99 {} | \
              peak mem {} of {} | peak conc {} (mean {:.2}) | cache {}h/{}m",
             self.completed,
@@ -135,6 +180,63 @@ impl SchedulerMetrics {
             self.mean_concurrency,
             self.build_cache_hits,
             self.build_cache_misses,
+        );
+        if self.faults_injected > 0 || self.shed_faulted > 0 {
+            s.push_str(&format!(
+                " | faults {} (retry {} / downgrade {} / revoke {} / lost {}) | retired {}",
+                self.faults_injected,
+                self.retries,
+                self.downgrades,
+                self.revocations,
+                self.shed_faulted,
+                self.gpu_retired,
+            ));
+        }
+        s
+    }
+
+    /// Stable JSON encoding (fixed key order, integers exact, floats via
+    /// Rust's shortest round-trip formatting) — byte-identical across
+    /// runs whenever the metrics are equal, for determinism checks and
+    /// machine-readable reports.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"completed\":{},\"rejected\":{},\"shed_deadline\":{},",
+                "\"shed_queue_full\":{},\"shed_capacity\":{},\"shed_faulted\":{},",
+                "\"makespan_ns\":{},\"tuples\":{},\"throughput_gtps\":{},",
+                "\"latency_p50_ns\":{},\"latency_p99_ns\":{},\"latency_max_ns\":{},",
+                "\"peak_gpu_reserved\":{},\"gpu_capacity\":{},\"gpu_retired\":{},",
+                "\"peak_concurrency\":{},\"mean_concurrency\":{},",
+                "\"build_cache_hits\":{},\"build_cache_misses\":{},",
+                "\"builds_quarantined\":{},\"faults_injected\":{},",
+                "\"retries\":{},\"downgrades\":{},\"revocations\":{}}}"
+            ),
+            self.completed,
+            self.rejected,
+            self.shed_deadline,
+            self.shed_queue_full,
+            self.shed_capacity,
+            self.shed_faulted,
+            self.makespan.0,
+            self.tuples,
+            self.throughput_gtps,
+            self.latency_p50.0,
+            self.latency_p99.0,
+            self.latency_max.0,
+            self.peak_gpu_reserved.0,
+            self.gpu_capacity.0,
+            self.gpu_retired.0,
+            self.peak_concurrency,
+            self.mean_concurrency,
+            self.build_cache_hits,
+            self.build_cache_misses,
+            self.builds_quarantined,
+            self.faults_injected,
+            self.retries,
+            self.downgrades,
+            self.revocations,
         )
     }
 }
@@ -151,5 +253,16 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), 100.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn json_is_stable_and_wellformed() {
+        let m = SchedulerMetrics::from_run(&[], RunTotals::default());
+        let a = m.to_json();
+        let b = m.clone().to_json();
+        assert_eq!(a, b);
+        assert!(a.starts_with('{') && a.ends_with('}'));
+        assert!(a.contains("\"faults_injected\":0"));
+        assert_eq!(m, m.clone(), "PartialEq must hold for identical runs");
     }
 }

@@ -1,6 +1,6 @@
 //! Query descriptors submitted to the serving runtime.
 
-use triton_core::{CpuRadixJoin, JoinReport, NoPartitioningJoin, TritonJoin};
+use triton_core::{CpuPartitionedJoin, CpuRadixJoin, JoinReport, NoPartitioningJoin, TritonJoin};
 use triton_datagen::{Rng, Workload};
 use triton_hw::units::Ns;
 use triton_hw::HwConfig;
@@ -23,6 +23,10 @@ pub enum Operator {
     Triton(TritonJoin),
     /// GPU no-partitioning join (one global hash table).
     NoPartitioning(NoPartitioningJoin),
+    /// CPU-partitioned GPU join: the CPU radix-partitions, the GPU joins
+    /// working sets — needs far less GPU memory than the Triton join
+    /// (the degradation ladder's middle rung under memory pressure).
+    CpuPartitioned(CpuPartitionedJoin),
     /// CPU radix join — consumes no GPU memory or SMs.
     CpuRadix(CpuRadixJoin),
 }
@@ -38,6 +42,7 @@ impl Operator {
         match self {
             Operator::Triton(j) => j.try_run(w, hw),
             Operator::NoPartitioning(j) => Ok(j.run(w, hw)),
+            Operator::CpuPartitioned(j) => Ok(j.run(w, hw)),
             Operator::CpuRadix(j) => Ok(j.run(w, hw)),
         }
     }
@@ -47,8 +52,15 @@ impl Operator {
         match self {
             Operator::Triton(_) => "triton",
             Operator::NoPartitioning(_) => "npj",
+            Operator::CpuPartitioned(_) => "cpu-part",
             Operator::CpuRadix(_) => "cpu-radix",
         }
+    }
+
+    /// Whether the operator occupies the GPU at all (transient kernel
+    /// faults can only hit GPU-resident operators).
+    pub fn uses_gpu(&self) -> bool {
+        !matches!(self, Operator::CpuRadix(_))
     }
 }
 

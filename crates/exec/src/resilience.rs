@@ -1,0 +1,172 @@
+//! Resilience policies: how the scheduler recovers from injected
+//! hardware faults instead of shedding.
+//!
+//! Three mechanisms compose (motivated by the robust-dynamic-hybrid-join
+//! and CPU/GPU co-processing lines of work in PAPERS.md):
+//!
+//! * a [`RetryPolicy`] — exponential backoff with deterministic,
+//!   seed-derived jitter, bounded by each query's deadline, for
+//!   transient kernel failures;
+//! * a **degradation ladder** ([`downgrade_operator`]) — on admission
+//!   failure or reservation revocation a query first shrinks its cache
+//!   grant, then walks Triton → CPU-partitioned GPU join → CPU radix
+//!   join, trading speed for survivability instead of being shed;
+//! * a **circuit breaker** on the build cache (see
+//!   [`crate::build_cache::BuildCache::quarantine_all`]).
+//!
+//! Faults may change timing, placement, and operator choice — never
+//! answers: every recovered query still produces an exact result.
+
+use triton_core::{CpuPartitionedJoin, CpuRadixJoin, HashScheme};
+use triton_hw::fault::unit_f64;
+use triton_hw::units::Ns;
+
+use crate::query::{Operator, QueryId};
+
+/// Exponential backoff with deterministic jitter for transient faults.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Transient failures tolerated on one ladder rung before the query
+    /// is downgraded to the next operator.
+    pub max_retries: u32,
+    /// First backoff delay.
+    pub base_backoff: Ns,
+    /// Backoff growth per attempt.
+    pub multiplier: f64,
+    /// Jitter amplitude as a fraction of the delay (`0.25` spreads each
+    /// delay ±25%), derived deterministically from the seed, the query
+    /// id, and the attempt number.
+    pub jitter_frac: f64,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff: Ns::millis(1.0),
+            multiplier: 2.0,
+            jitter_frac: 0.25,
+            seed: 0x7E57_AB1E,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (0-based) of `id`.
+    /// Deterministic: the same `(seed, id, attempt)` always yields the
+    /// same delay, so chaos runs replay byte-identically.
+    #[must_use]
+    pub fn backoff(&self, id: QueryId, attempt: u32) -> Ns {
+        let raw = self.base_backoff.0 * self.multiplier.powi(attempt.min(16) as i32);
+        let u = unit_f64(
+            self.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 17),
+        );
+        let jitter = 1.0 + self.jitter_frac.clamp(0.0, 1.0) * (2.0 * u - 1.0);
+        Ns((raw * jitter).max(0.0))
+    }
+
+    /// [`Self::backoff`] clamped so the query becomes eligible no later
+    /// than `deadline_slack` from now — a retry scheduled past the
+    /// deadline is a guaranteed shed, so the policy spends at most the
+    /// remaining budget waiting.
+    #[must_use]
+    pub fn backoff_within(&self, id: QueryId, attempt: u32, deadline_slack: Option<Ns>) -> Ns {
+        let b = self.backoff(id, attempt);
+        match deadline_slack {
+            Some(slack) => Ns(b.0.min(slack.0.max(0.0))),
+            None => b,
+        }
+    }
+}
+
+/// The next rung of the degradation ladder, or `None` at the bottom.
+///
+/// Triton → CPU-partitioned GPU join (tiny GPU footprint) → CPU radix
+/// join (no GPU at all). The no-partitioning join degrades the same way:
+/// its global hash table is what GPU faults keep killing.
+#[must_use]
+pub fn downgrade_operator(op: &Operator) -> Option<Operator> {
+    match op {
+        Operator::Triton(_) | Operator::NoPartitioning(_) => {
+            Some(Operator::CpuPartitioned(CpuPartitionedJoin::default()))
+        }
+        Operator::CpuPartitioned(_) => Some(Operator::CpuRadix(CpuRadixJoin::power9(
+            HashScheme::BucketChaining,
+        ))),
+        Operator::CpuRadix(_) => None,
+    }
+}
+
+/// Scheduler-level resilience configuration.
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Master switch. Disabled, every fault sheds its victim — the
+    /// baseline the resilient path is compared against.
+    pub enabled: bool,
+    /// Retry/backoff policy for transient faults and revocations.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            enabled: true,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// The no-resilience baseline: faults shed their victims.
+    #[must_use]
+    pub fn disabled() -> Self {
+        ResilienceConfig {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_is_deterministic() {
+        let p = RetryPolicy::default();
+        let a0 = p.backoff(QueryId(1), 0);
+        let a1 = p.backoff(QueryId(1), 1);
+        let a2 = p.backoff(QueryId(1), 2);
+        assert!(a1.0 > a0.0 * 1.2, "{a0} -> {a1} should roughly double");
+        assert!(a2.0 > a1.0 * 1.2);
+        assert_eq!(p.backoff(QueryId(1), 1), a1, "same inputs, same delay");
+        assert_ne!(
+            p.backoff(QueryId(2), 0).0,
+            a0.0,
+            "different queries must not retry in lockstep"
+        );
+    }
+
+    #[test]
+    fn backoff_respects_deadline_slack() {
+        let p = RetryPolicy::default();
+        let b = p.backoff_within(QueryId(3), 5, Some(Ns(10.0)));
+        assert!(b.0 <= 10.0);
+        let unbounded = p.backoff_within(QueryId(3), 5, None);
+        assert!(unbounded.0 > 10.0, "attempt 5 should back off far longer");
+    }
+
+    #[test]
+    fn ladder_ends_at_cpu_radix() {
+        let mut op = Operator::triton();
+        let mut rungs = vec![op.label()];
+        while let Some(next) = downgrade_operator(&op) {
+            op = next;
+            rungs.push(op.label());
+        }
+        assert_eq!(rungs, vec!["triton", "cpu-part", "cpu-radix"]);
+        assert!(!op.uses_gpu(), "the bottom rung must not need the GPU");
+    }
+}

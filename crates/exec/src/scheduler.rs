@@ -10,24 +10,42 @@
 //! floor that exceeds the entire GPU) or *shed* (deadline passed while
 //! queued) — always with a typed reason.
 //!
+//! # Fault injection
+//!
+//! [`Scheduler::run_with_faults`] replays a [`triton_hw::FaultPlan`]
+//! against the same timeline: link degradations and CPU slowdowns
+//! reshape every in-flight query's demand vector (so the fair-share
+//! arbiter prices the *degraded* machine), ECC retirements shrink the
+//! admission capacity and revoke reservations that no longer fit, and
+//! transient kernel faults kill one GPU-resident attempt. With
+//! resilience enabled (the default), victims recover through retry with
+//! deterministic backoff, shrunken cache grants, and a degradation
+//! ladder ending at the CPU radix join; disabled, they are shed with
+//! [`RejectReason::Faulted`] — the baseline chaos tests compare against.
+//!
 //! Execution is functional: every admitted query actually runs its
 //! operator (with the granted cache budget) and the scheduler records the
-//! verifiable [`JoinReport`]. Only the *timing* is arbitrated; results
-//! are exact and independent of the schedule.
+//! verifiable [`JoinReport`]. Only the *timing* is arbitrated; faults
+//! change placement and speed, never answers.
 
+use std::cmp::Reverse;
 use std::collections::VecDeque;
 
 use triton_core::JoinReport;
 use triton_datagen::TUPLE_BYTES;
+use triton_hw::fault::splitmix64;
 use triton_hw::units::{Bytes, Ns};
-use triton_hw::{fair_share_rates, HwConfig, ResourceVector};
+use triton_hw::{fair_share_rates, FaultPlan, HwConfig, ResourceVector};
 use triton_mem::OutOfMemory;
 
 use crate::admission::{operator_with_grant, AdmissionController, Reservation};
 use crate::build_cache::BuildCache;
 use crate::demand::ResourceDemand;
-use crate::metrics::SchedulerMetrics;
+use crate::fault::{degraded_vector, FaultCause, FaultOutcome};
+use crate::metrics::{RunTotals, SchedulerMetrics};
 use crate::query::{JoinQuery, QueryId};
+use crate::resilience::downgrade_operator;
+pub use crate::resilience::ResilienceConfig;
 
 /// Why the scheduler refused to run a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +74,14 @@ pub enum RejectReason {
         /// Time the query had already spent queued.
         waited: Ns,
     },
+    /// A hardware fault killed the query and resilience could not (or
+    /// was not allowed to) recover it.
+    Faulted {
+        /// Label of the fault that killed the final attempt.
+        fault: String,
+        /// Transient retries consumed before the query was lost.
+        retries: u32,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -68,6 +94,9 @@ impl std::fmt::Display for RejectReason {
             RejectReason::Oom(e) => write!(f, "{e}"),
             RejectReason::DeadlineExceeded { deadline, waited } => {
                 write!(f, "deadline {deadline} passed after waiting {waited}")
+            }
+            RejectReason::Faulted { fault, retries } => {
+                write!(f, "lost to {fault} after {retries} retries")
             }
         }
     }
@@ -82,7 +111,7 @@ pub struct CompletedQuery {
     pub name: String,
     /// Arrival time.
     pub arrival: Ns,
-    /// Admission time (start of execution).
+    /// Admission time of the final (successful) attempt.
     pub start: Ns,
     /// Completion time.
     pub finish: Ns,
@@ -95,10 +124,17 @@ pub struct CompletedQuery {
     pub reserved: Bytes,
     /// Whether the partitioned build side was already resident.
     pub build_cache_hit: bool,
+    /// Label of the operator that finally completed the query (the
+    /// degradation ladder may have moved it off its submitted operator).
+    pub operator: &'static str,
+    /// What recovering from faults cost this query; all zeros on a
+    /// clean run.
+    pub fault: FaultOutcome,
 }
 
 impl CompletedQuery {
-    /// End-to-end latency (queueing + arbitrated execution).
+    /// End-to-end latency (queueing + retries + arbitrated execution).
+    #[must_use]
     pub fn latency(&self) -> Ns {
         self.finish - self.arrival
     }
@@ -109,7 +145,7 @@ impl CompletedQuery {
 pub enum Outcome {
     /// Ran to completion.
     Completed(Box<CompletedQuery>),
-    /// Refused with a typed reason (never started executing).
+    /// Refused with a typed reason (never produced a result).
     Rejected {
         /// Scheduler-assigned id.
         id: QueryId,
@@ -122,10 +158,20 @@ pub enum Outcome {
 
 impl Outcome {
     /// The completed record, if this query finished.
+    #[must_use]
     pub fn completed(&self) -> Option<&CompletedQuery> {
         match self {
             Outcome::Completed(c) => Some(c),
             Outcome::Rejected { .. } => None,
+        }
+    }
+
+    /// The rejection reason, if this query was refused.
+    #[must_use]
+    pub fn rejection(&self) -> Option<&RejectReason> {
+        match self {
+            Outcome::Completed(_) => None,
+            Outcome::Rejected { reason, .. } => Some(reason),
         }
     }
 }
@@ -139,6 +185,8 @@ pub struct SchedulerConfig {
     /// Maximum queries waiting for admission before new arrivals are
     /// rejected with [`RejectReason::QueueFull`].
     pub max_queue: usize,
+    /// Fault-recovery policies (see [`crate::resilience`]).
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for SchedulerConfig {
@@ -146,6 +194,7 @@ impl Default for SchedulerConfig {
         SchedulerConfig {
             max_inflight: 8,
             max_queue: 64,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -156,6 +205,16 @@ impl SchedulerConfig {
     pub fn serial() -> Self {
         SchedulerConfig {
             max_inflight: 1,
+            ..Self::default()
+        }
+    }
+
+    /// Faults shed their victims instead of recovering — the baseline
+    /// the resilient path is compared against.
+    #[must_use]
+    pub fn no_resilience() -> Self {
+        SchedulerConfig {
+            resilience: ResilienceConfig::disabled(),
             ..Self::default()
         }
     }
@@ -170,11 +229,18 @@ pub struct ServeResult {
     pub metrics: SchedulerMetrics,
 }
 
+impl ServeResult {
+    /// Completed queries, in submission order.
+    pub fn completed(&self) -> impl Iterator<Item = &CompletedQuery> {
+        self.outcomes.iter().filter_map(Outcome::completed)
+    }
+}
+
 /// One in-flight query inside the fluid simulation.
 struct Running {
     id: QueryId,
-    name: String,
-    arrival: Ns,
+    /// Kept whole so a faulted attempt can be requeued and re-run.
+    query: JoinQuery,
     start: Ns,
     /// Remaining dedicated-run nanoseconds.
     remaining: f64,
@@ -183,14 +249,43 @@ struct Running {
     dedicated: Ns,
     report: JoinReport,
     reservation: Reservation,
-    build_key: Option<u64>,
     build_cache_hit: bool,
+    uses_gpu: bool,
+    op_label: &'static str,
+    fault: FaultOutcome,
+    /// Transient failures survived on the current ladder rung.
+    attempts_at_rung: u32,
 }
 
-/// One query waiting for admission.
+/// One query waiting for admission (fresh, or sleeping out a backoff).
 struct Queued {
     id: QueryId,
     query: JoinQuery,
+    /// Not considered for admission before this instant (retry backoff).
+    eligible_at: Ns,
+    fault: FaultOutcome,
+    attempts_at_rung: u32,
+}
+
+/// Insert preserving priority order, FIFO within a priority class.
+fn enqueue(queue: &mut VecDeque<Queued>, q: Queued) {
+    let pos = queue
+        .iter()
+        .position(|e| e.query.priority < q.query.priority)
+        .unwrap_or(queue.len());
+    queue.insert(pos, q);
+}
+
+/// Revocation victim: the lowest-priority reservation holder, breaking
+/// ties toward the most recently submitted query (highest id) so the
+/// oldest work survives capacity loss.
+fn victim_index(running: &[Running]) -> Option<usize> {
+    running
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.reservation.reserved.0 > 0)
+        .min_by_key(|(_, r)| (r.query.priority, Reverse(r.id)))
+        .map(|(i, _)| i)
 }
 
 /// The multi-query join scheduler.
@@ -210,6 +305,13 @@ impl Scheduler {
     /// time, queued in priority order, and executed concurrently under
     /// memory-budget admission.
     pub fn run(&self, queries: Vec<JoinQuery>) -> ServeResult {
+        self.run_with_faults(queries, &FaultPlan::none())
+    }
+
+    /// [`Self::run`] with a [`FaultPlan`] replayed against the timeline.
+    /// Fully deterministic: the same queries and the same plan (seed
+    /// included) produce identical outcomes and metrics.
+    pub fn run_with_faults(&self, queries: Vec<JoinQuery>, plan: &FaultPlan) -> ServeResult {
         let mut arrivals: Vec<(QueryId, JoinQuery)> = queries
             .into_iter()
             .enumerate()
@@ -223,6 +325,16 @@ impl Scheduler {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
 
+        let retirements = plan.retirements();
+        let kernel_faults = plan.kernel_faults();
+        let transitions = plan.transitions();
+        let mut next_retire = 0usize;
+        let mut next_kfault = 0usize;
+        let mut next_transition = 0usize;
+        let mut faults_injected = 0u64;
+        let mut builds_quarantined = 0u64;
+        let mut gpu_retired = Bytes(0);
+
         let mut admission = AdmissionController::new(&self.hw);
         let mut cache = BuildCache::new();
         let mut queue: VecDeque<Queued> = VecDeque::new();
@@ -235,6 +347,66 @@ impl Scheduler {
         let mut weighted_conc = 0.0f64; // integral of |running| dt
 
         loop {
+            // --- Fault events due at this instant.
+            while next_retire < retirements.len() && retirements[next_retire].0 .0 <= clock.0 {
+                let (_, bytes) = retirements[next_retire];
+                next_retire += 1;
+                faults_injected += 1;
+                let before = admission.capacity();
+                admission.retire(bytes);
+                gpu_retired = Bytes(gpu_retired.0 + before.0 - admission.capacity().0);
+                // The retired pages tear resident partitioned builds:
+                // trip the circuit breaker so followers rebuild instead
+                // of sharing stale state.
+                builds_quarantined += cache.quarantine_all() as u64;
+                // Revoke reservations until the shrunk device fits them.
+                while admission.overcommitted().0 > 0 {
+                    let Some(vi) = victim_index(&running) else {
+                        break;
+                    };
+                    let victim = running.swap_remove(vi);
+                    self.recover_or_shed(
+                        victim,
+                        FaultCause::Revoked,
+                        clock,
+                        &mut queue,
+                        &mut admission,
+                        &mut cache,
+                        &mut outcomes,
+                    );
+                }
+            }
+            while next_kfault < kernel_faults.len() && kernel_faults[next_kfault].0 <= clock.0 {
+                let strike = next_kfault as u64;
+                next_kfault += 1;
+                // Deterministic victim among GPU-resident queries: rank
+                // by id, pick by a seed-derived roll. An idle GPU means
+                // the fault fizzles.
+                let mut ids: Vec<QueryId> = running
+                    .iter()
+                    .filter(|r| r.uses_gpu)
+                    .map(|r| r.id)
+                    .collect();
+                if ids.is_empty() {
+                    continue;
+                }
+                ids.sort_unstable();
+                faults_injected += 1;
+                let pick =
+                    ids[(splitmix64(plan.seed ^ 0xC0DE ^ strike) % ids.len() as u64) as usize];
+                let vi = running.iter().position(|r| r.id == pick).unwrap();
+                let victim = running.swap_remove(vi);
+                self.recover_or_shed(
+                    victim,
+                    FaultCause::Transient,
+                    clock,
+                    &mut queue,
+                    &mut admission,
+                    &mut cache,
+                    &mut outcomes,
+                );
+            }
+
             // --- Admit while memory and the concurrency cap allow.
             self.admit_ready(
                 clock,
@@ -248,6 +420,16 @@ impl Scheduler {
 
             let next_arrival_at = arrivals.peek().map(|(_, q)| q.arrival.0);
             if running.is_empty() && next_arrival_at.is_none() {
+                // Sleeping retries may still wake; jump to the earliest.
+                let next_wake = queue
+                    .iter()
+                    .map(|q| q.eligible_at.0)
+                    .filter(|&t| t > clock.0)
+                    .fold(f64::INFINITY, f64::min);
+                if next_wake.is_finite() {
+                    clock = Ns(next_wake);
+                    continue;
+                }
                 // Anything still queued can never start (no completions
                 // left to free memory): shed it as over-capacity backlog.
                 while let Some(q) = queue.pop_front() {
@@ -267,8 +449,15 @@ impl Scheduler {
                 break;
             }
 
-            // --- Arbitrated speeds for the current in-flight set.
-            let loads: Vec<ResourceVector> = running.iter().map(|r| r.demand).collect();
+            // --- Arbitrated speeds for the current in-flight set, priced
+            // on the degraded machine (factors are piecewise-constant
+            // between fault transitions, which bound every step below).
+            let link_factor = plan.link_factor(clock);
+            let cpu_factor = plan.cpu_factor(clock);
+            let loads: Vec<ResourceVector> = running
+                .iter()
+                .map(|r| degraded_vector(r.demand, link_factor, cpu_factor))
+                .collect();
             let weights: Vec<f64> = running.iter().map(|r| r.weight).collect();
             let rates = fair_share_rates(&loads, &weights);
 
@@ -279,7 +468,18 @@ impl Scheduler {
                 .map(|(r, &s)| r.remaining / s.max(1e-12))
                 .fold(f64::INFINITY, f64::min);
             let t_arrival = next_arrival_at.map_or(f64::INFINITY, |at| (at - clock.0).max(0.0));
-            let dt = t_complete.min(t_arrival);
+            while next_transition < transitions.len() && transitions[next_transition].0 <= clock.0 {
+                next_transition += 1;
+            }
+            let t_fault = transitions
+                .get(next_transition)
+                .map_or(f64::INFINITY, |t| t.0 - clock.0);
+            let t_wake = queue
+                .iter()
+                .map(|q| q.eligible_at.0 - clock.0)
+                .filter(|&d| d > 0.0)
+                .fold(f64::INFINITY, f64::min);
+            let dt = t_complete.min(t_arrival).min(t_fault).min(t_wake);
             if !dt.is_finite() {
                 // Nothing running and no arrivals: handled above.
                 break;
@@ -311,12 +511,17 @@ impl Scheduler {
                     ));
                     continue;
                 }
-                // Priority order, FIFO within a priority class.
-                let pos = queue
-                    .iter()
-                    .position(|q| q.query.priority < query.priority)
-                    .unwrap_or(queue.len());
-                queue.insert(pos, Queued { id, query });
+                let eligible_at = query.arrival;
+                enqueue(
+                    &mut queue,
+                    Queued {
+                        id,
+                        query,
+                        eligible_at,
+                        fault: FaultOutcome::default(),
+                        attempts_at_rung: 0,
+                    },
+                );
             }
 
             // --- Completions.
@@ -325,21 +530,23 @@ impl Scheduler {
                 if running[i].remaining <= 1e-9 {
                     let r = running.swap_remove(i);
                     admission.release(r.id);
-                    if let Some(k) = r.build_key {
+                    if let Some(k) = r.query.build_key {
                         cache.release(k);
                     }
                     outcomes.push((
                         r.id,
                         Outcome::Completed(Box::new(CompletedQuery {
                             id: r.id,
-                            name: r.name,
-                            arrival: r.arrival,
+                            name: r.query.name.clone(),
+                            arrival: r.query.arrival,
                             start: r.start,
                             finish: clock,
                             dedicated: r.dedicated,
                             report: r.report,
                             reserved: r.reservation.reserved,
                             build_cache_hit: r.build_cache_hit,
+                            operator: r.op_label,
+                            fault: r.fault,
                         })),
                     ));
                 } else {
@@ -352,23 +559,117 @@ impl Scheduler {
         let outcomes: Vec<Outcome> = outcomes.into_iter().map(|(_, o)| o).collect();
         let metrics = SchedulerMetrics::from_run(
             &outcomes,
-            clock,
-            admission.peak_reserved,
-            admission.capacity(),
-            peak_concurrency,
-            if busy_time > 0.0 {
-                weighted_conc / busy_time
-            } else {
-                0.0
+            RunTotals {
+                makespan: clock,
+                peak_gpu_reserved: admission.peak_reserved,
+                gpu_capacity: admission.initial_capacity(),
+                gpu_retired,
+                peak_concurrency,
+                mean_concurrency: if busy_time > 0.0 {
+                    weighted_conc / busy_time
+                } else {
+                    0.0
+                },
+                build_cache_hits: cache.hits,
+                build_cache_misses: cache.misses,
+                builds_quarantined,
+                faults_injected,
             },
-            cache.hits,
-            cache.misses,
         );
         ServeResult { outcomes, metrics }
     }
 
+    /// Recover a faulted in-flight query (retry / shrink / downgrade per
+    /// the resilience config) or shed it with a typed reason. The
+    /// victim's reservation and cache pin are released either way; its
+    /// partial work is lost and a recovered attempt restarts from
+    /// scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn recover_or_shed(
+        &self,
+        victim: Running,
+        cause: FaultCause,
+        clock: Ns,
+        queue: &mut VecDeque<Queued>,
+        admission: &mut AdmissionController,
+        cache: &mut BuildCache,
+        outcomes: &mut Vec<(QueryId, Outcome)>,
+    ) {
+        admission.release(victim.id);
+        if let Some(k) = victim.query.build_key {
+            cache.release(k);
+        }
+        let mut query = victim.query;
+        let mut fault = victim.fault;
+        let mut attempts = victim.attempts_at_rung;
+        match cause {
+            FaultCause::Transient => {
+                fault.retries += 1;
+                attempts += 1;
+            }
+            FaultCause::Revoked => fault.revocations += 1,
+        }
+        if !self.config.resilience.enabled {
+            outcomes.push((
+                victim.id,
+                Outcome::Rejected {
+                    id: victim.id,
+                    name: query.name.clone(),
+                    reason: RejectReason::Faulted {
+                        fault: cause.label().to_string(),
+                        retries: fault.retries,
+                    },
+                },
+            ));
+            return;
+        }
+        let retry = &self.config.resilience.retry;
+        match cause {
+            // First revocation: retry on the same rung asking for less
+            // optional cache. Repeat offenders descend the ladder.
+            FaultCause::Revoked => {
+                if fault.revocations <= 1 {
+                    fault.grant_shrinks += 1;
+                } else if let Some(op) = downgrade_operator(&query.op) {
+                    query.op = op;
+                    fault.downgrades += 1;
+                    attempts = 0;
+                }
+            }
+            // Retries exhausted on this rung: descend.
+            FaultCause::Transient => {
+                if attempts > retry.max_retries {
+                    if let Some(op) = downgrade_operator(&query.op) {
+                        query.op = op;
+                        fault.downgrades += 1;
+                        attempts = 0;
+                    }
+                }
+            }
+        }
+        // Back off before re-admission, spending at most the remaining
+        // deadline budget (a wake past the deadline is a guaranteed
+        // shed).
+        let attempt = fault.retries + fault.revocations - 1;
+        let slack = query
+            .deadline
+            .map(|d| Ns(d.0 - (clock.0 - query.arrival.0)));
+        let delay = retry.backoff_within(victim.id, attempt, slack);
+        enqueue(
+            queue,
+            Queued {
+                id: victim.id,
+                query,
+                eligible_at: Ns(clock.0 + delay.0),
+                fault,
+                attempts_at_rung: attempts,
+            },
+        );
+    }
+
     /// Admit queued queries in priority order while memory, the
-    /// concurrency cap, and deadlines allow.
+    /// concurrency cap, and deadlines allow. Entries sleeping out a
+    /// retry backoff are skipped until eligible.
     fn admit_ready(
         &self,
         clock: Ns,
@@ -378,15 +679,18 @@ impl Scheduler {
         cache: &mut BuildCache,
         outcomes: &mut Vec<(QueryId, Outcome)>,
     ) {
-        while running.len() < self.config.max_inflight {
-            let Some(q) = queue.front() else { break };
+        'admit: while running.len() < self.config.max_inflight {
+            // Highest-priority eligible entry (sleepers excluded).
+            let Some(pos) = queue.iter().position(|q| q.eligible_at.0 <= clock.0) else {
+                break;
+            };
 
             // Deadline shedding: a query whose budget is already spent
             // queueing will miss it regardless — drop it now.
-            if let Some(deadline) = q.query.deadline {
-                let waited = clock - q.query.arrival;
+            if let Some(deadline) = queue[pos].query.deadline {
+                let waited = clock - queue[pos].query.arrival;
                 if waited.0 > deadline.0 {
-                    let q = queue.pop_front().unwrap();
+                    let q = queue.remove(pos).unwrap();
                     outcomes.push((
                         q.id,
                         Outcome::Rejected {
@@ -399,9 +703,26 @@ impl Scheduler {
                 }
             }
 
-            let floor = AdmissionController::min_reserve(&q.query, &self.hw);
-            if floor > admission.capacity() {
-                let q = queue.pop_front().unwrap();
+            // Floors exceeding the (possibly retired) capacity: when the
+            // shortfall comes from a retirement, resilience descends the
+            // ladder in place — the CPU radix floor is zero, so descent
+            // always terminates. A query too big for the *pristine*
+            // machine is shed with the typed reason as always.
+            loop {
+                let floor = AdmissionController::min_reserve(&queue[pos].query, &self.hw);
+                if floor <= admission.capacity() {
+                    break;
+                }
+                let shrunk_by_fault = admission.capacity() < admission.initial_capacity();
+                if self.config.resilience.enabled && shrunk_by_fault {
+                    if let Some(op) = downgrade_operator(&queue[pos].query.op) {
+                        queue[pos].query.op = op;
+                        queue[pos].fault.downgrades += 1;
+                        queue[pos].attempts_at_rung = 0;
+                        continue;
+                    }
+                }
+                let q = queue.remove(pos).unwrap();
                 outcomes.push((
                     q.id,
                     Outcome::Rejected {
@@ -413,17 +734,20 @@ impl Scheduler {
                         },
                     },
                 ));
-                continue;
+                continue 'admit;
             }
 
-            let Ok(reservation) = admission.try_admit(q.id, &q.query, &self.hw) else {
+            let shrink = queue[pos].fault.grant_shrinks;
+            let Ok(reservation) =
+                admission.try_admit_shrunk(queue[pos].id, &queue[pos].query, &self.hw, shrink)
+            else {
                 // Backpressure: memory is busy, wait for a completion.
                 // (Head-of-line blocking is intentional: priority order
                 // is strict, so a big high-priority query is not starved
                 // by small ones slipping past it.)
                 break;
             };
-            let q = queue.pop_front().unwrap();
+            let mut q = queue.remove(pos).unwrap();
 
             // Build-side sharing.
             let r_bytes = q.query.workload.r.len() as u64 * TUPLE_BYTES;
@@ -443,6 +767,18 @@ impl Scheduler {
                     if let Some(k) = q.query.build_key {
                         cache.release(k);
                     }
+                    if self.config.resilience.enabled {
+                        if let Some(next) = downgrade_operator(&q.query.op) {
+                            // OOM inside the operator: descend and retry
+                            // immediately (the radix floor never OOMs).
+                            q.query.op = next;
+                            q.fault.downgrades += 1;
+                            q.attempts_at_rung = 0;
+                            q.eligible_at = clock;
+                            enqueue(queue, q);
+                            continue;
+                        }
+                    }
                     outcomes.push((
                         q.id,
                         Outcome::Rejected {
@@ -458,8 +794,6 @@ impl Scheduler {
             let demand = ResourceDemand::from_report(&report, hit, probe_frac);
             running.push(Running {
                 id: q.id,
-                name: q.query.name.clone(),
-                arrival: q.query.arrival,
                 start: clock,
                 remaining: demand.work.0,
                 demand: demand.vector,
@@ -467,8 +801,12 @@ impl Scheduler {
                 dedicated: demand.work,
                 report,
                 reservation,
-                build_key: q.query.build_key,
                 build_cache_hit: hit,
+                uses_gpu: op.uses_gpu(),
+                op_label: op.label(),
+                fault: q.fault,
+                attempts_at_rung: q.attempts_at_rung,
+                query: q.query,
             });
         }
     }
@@ -508,9 +846,20 @@ mod tests {
         for (o, exp) in res.outcomes.iter().zip(&expected) {
             let c = o.completed().expect("query should complete");
             assert_eq!(&c.report.result, exp, "{} result mismatch", c.name);
+            assert!(c.fault.clean(), "no faults on a clean run");
+            assert_eq!(c.operator, "triton");
         }
         assert!(res.metrics.peak_gpu_reserved <= res.metrics.gpu_capacity);
         assert!(res.metrics.peak_concurrency >= 2);
+        assert_eq!(res.metrics.faults_injected, 0);
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_run() {
+        let a = Scheduler::new(hw(), SchedulerConfig::default()).run(batch(4, 0.0));
+        let b = Scheduler::new(hw(), SchedulerConfig::default())
+            .run_with_faults(batch(4, 0.0), &FaultPlan::none());
+        assert_eq!(a.metrics, b.metrics, "FaultPlan::none must be a no-op");
     }
 
     #[test]
@@ -536,21 +885,14 @@ mod tests {
             SchedulerConfig {
                 max_inflight: 1,
                 max_queue: 1,
+                ..SchedulerConfig::default()
             },
         );
         let res = sched.run(batch(4, 0.0));
         let rejected = res
             .outcomes
             .iter()
-            .filter(|o| {
-                matches!(
-                    o,
-                    Outcome::Rejected {
-                        reason: RejectReason::QueueFull { .. },
-                        ..
-                    }
-                )
-            })
+            .filter(|o| matches!(o.rejection(), Some(RejectReason::QueueFull { .. })))
             .count();
         assert!(rejected >= 1, "tiny queue must bounce arrivals");
         assert_eq!(res.metrics.completed + res.metrics.rejected, 4);
@@ -568,15 +910,7 @@ mod tests {
         let shed = res
             .outcomes
             .iter()
-            .filter(|o| {
-                matches!(
-                    o,
-                    Outcome::Rejected {
-                        reason: RejectReason::DeadlineExceeded { .. },
-                        ..
-                    }
-                )
-            })
+            .filter(|o| matches!(o.rejection(), Some(RejectReason::DeadlineExceeded { .. })))
             .count();
         assert_eq!(shed, 2);
         assert_eq!(res.metrics.completed, 1);
@@ -610,8 +944,7 @@ mod tests {
             "sharing the partitioned build side must save work"
         );
         // Results stay exact despite the discount.
-        for o in &shared.outcomes {
-            let c = o.completed().unwrap();
+        for c in shared.completed() {
             assert!(c.report.result.matches > 0);
         }
     }
@@ -626,14 +959,49 @@ mod tests {
         assert_eq!(res.metrics.completed, 2);
         // Disjoint executors: the makespan is close to the slower of the
         // two dedicated runs, far below their sum.
-        let durs: Vec<f64> = res
-            .outcomes
-            .iter()
-            .map(|o| o.completed().unwrap().dedicated.0)
-            .collect();
+        let durs: Vec<f64> = res.completed().map(|c| c.dedicated.0).collect();
         let sum: f64 = durs.iter().sum();
         let max = durs.iter().cloned().fold(0.0, f64::max);
         assert!(res.metrics.makespan.0 < sum * 0.95);
         assert!(res.metrics.makespan.0 >= max * 0.999);
+    }
+
+    #[test]
+    fn kernel_fault_retries_and_completes_exactly() {
+        let queries = batch(2, 0.0);
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| reference_join(&q.workload))
+            .collect();
+        // Strike mid-run: the clean makespan bounds where "mid-run" is.
+        let clean = Scheduler::new(hw(), SchedulerConfig::default()).run(batch(2, 0.0));
+        let plan = FaultPlan::with_seed(11).kernel_fault(Ns(clean.metrics.makespan.0 * 0.5));
+        let res = Scheduler::new(hw(), SchedulerConfig::default()).run_with_faults(queries, &plan);
+        assert_eq!(res.metrics.completed, 2, "retry must recover the victim");
+        assert_eq!(res.metrics.retries, 1);
+        assert_eq!(res.metrics.faults_injected, 1);
+        assert!(
+            res.metrics.makespan.0 > clean.metrics.makespan.0,
+            "lost work plus backoff must cost time"
+        );
+        for (o, exp) in res.outcomes.iter().zip(&expected) {
+            assert_eq!(&o.completed().unwrap().report.result, exp);
+        }
+    }
+
+    #[test]
+    fn no_resilience_sheds_the_kernel_fault_victim() {
+        let clean = Scheduler::new(hw(), SchedulerConfig::default()).run(batch(2, 0.0));
+        let plan = FaultPlan::with_seed(11).kernel_fault(Ns(clean.metrics.makespan.0 * 0.5));
+        let res = Scheduler::new(hw(), SchedulerConfig::no_resilience())
+            .run_with_faults(batch(2, 0.0), &plan);
+        assert_eq!(res.metrics.shed_faulted, 1);
+        assert_eq!(res.metrics.completed, 1);
+        let lost = res
+            .outcomes
+            .iter()
+            .find_map(Outcome::rejection)
+            .expect("one query must be lost");
+        assert!(lost.to_string().contains("kernel-fault"), "{lost}");
     }
 }

@@ -1,0 +1,434 @@
+//! Deterministic fault injection for the simulated machine.
+//!
+//! The paper's premise (Section 5) is graceful behavior when the join
+//! state outgrows GPU memory: spill over NVLink instead of crashing. A
+//! serving runtime has to survive more than capacity pressure, though —
+//! links degrade or flap, ECC page retirement shrinks usable GPU memory
+//! mid-flight, kernels fail transiently, and NUMA placement slows the
+//! CPU. This module describes those hazards as a [`FaultPlan`]: a seeded,
+//! simulated-clock-driven schedule of [`FaultEvent`]s that an executor
+//! (see `triton-exec`) replays against its discrete-event timeline.
+//!
+//! Everything here is a pure function of the plan: two consumers reading
+//! the same plan at the same simulated instants observe byte-identical
+//! machine state, which keeps chaos runs replayable for debugging.
+
+use crate::config::{HwConfig, LinkConfig};
+use crate::units::{Bytes, BytesPerSec, Ns};
+
+/// SplitMix64: the in-tree bit mixer used to derive deterministic
+/// pseudo-random decisions (jitter, victim choice, chaos schedules) from
+/// a seed without any external dependency.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a 64-bit state to a uniform `f64` in `[0, 1)`.
+pub fn unit_f64(x: u64) -> f64 {
+    (splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A sequential SplitMix64 stream (the generator behind
+/// [`FaultPlan::chaos`]).
+#[derive(Debug, Clone)]
+struct Stream(u64);
+
+impl Stream {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.0)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+}
+
+/// What kind of hardware hazard an event models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The NVLink's effective bandwidth drops to `factor` of nominal for
+    /// the event's window. `factor = 0` is a link flap: no progress for
+    /// any transfer crossing the interconnect until the window closes.
+    LinkDegrade {
+        /// Remaining fraction of nominal bandwidth in `[0, 1]`.
+        factor: f64,
+    },
+    /// ECC page retirement: `bytes` of GPU memory become permanently
+    /// unusable at the event time. Capacity loss is cumulative and
+    /// forces mid-flight reservation revocation when the reserved sum no
+    /// longer fits.
+    GpuMemRetire {
+        /// Bytes of device memory retired.
+        bytes: Bytes,
+    },
+    /// A transient kernel failure at one instant: the executor aborts
+    /// one in-flight GPU query, which may retry (the fault does not
+    /// repeat deterministically for the retried work).
+    KernelFault,
+    /// NUMA misplacement or interference slows the host CPU to `factor`
+    /// of nominal for the event's window.
+    CpuSlowdown {
+        /// Remaining fraction of nominal CPU speed in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short label for reports and shed reasons.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LinkDegrade { factor } if *factor <= 0.0 => "link-flap",
+            FaultKind::LinkDegrade { .. } => "link-degrade",
+            FaultKind::GpuMemRetire { .. } => "ecc-retirement",
+            FaultKind::KernelFault => "kernel-fault",
+            FaultKind::CpuSlowdown { .. } => "cpu-slowdown",
+        }
+    }
+}
+
+/// One scheduled fault: a kind, a start time, and (for windowed kinds) a
+/// duration. Instantaneous kinds (`GpuMemRetire`, `KernelFault`) carry a
+/// zero duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated time the fault begins.
+    pub at: Ns,
+    /// Window length; `Ns::ZERO` for instantaneous faults.
+    pub duration: Ns,
+    /// The hazard.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Whether a windowed event is active at `t` (half-open `[at, at+duration)`).
+    fn active_at(&self, t: Ns) -> bool {
+        self.duration.0 > 0.0 && t.0 >= self.at.0 && t.0 < self.at.0 + self.duration.0
+    }
+}
+
+/// A seeded, deterministic schedule of fault events over the simulated
+/// clock.
+///
+/// The plan is data, not behavior: executors query the machine state at
+/// any instant ([`Self::link_factor`], [`Self::cpu_factor`],
+/// [`Self::retired_through`]) and enumerate the instants where that
+/// state changes ([`Self::transitions`]) so a discrete-event loop never
+/// steps across a fault boundary.
+///
+/// ```
+/// use triton_hw::{FaultPlan, Bytes, Ns};
+/// let plan = FaultPlan::with_seed(7)
+///     .degrade_link(Ns::millis(1.0), Ns::millis(2.0), 0.5)
+///     .retire_gpu_mem(Ns::millis(2.0), Bytes::mib(4));
+/// assert_eq!(plan.link_factor(Ns::millis(1.5)), 0.5);
+/// assert_eq!(plan.link_factor(Ns::millis(3.0)), 1.0);
+/// assert_eq!(plan.retired_through(Ns::millis(2.0)), Bytes::mib(4));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every pseudo-random decision derived from this plan
+    /// (victim selection, retry jitter). Same seed + same events means
+    /// byte-identical executions.
+    pub seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a perfect machine.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// An empty plan carrying `seed` for downstream jitter/choices.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    fn push(mut self, ev: FaultEvent) -> Self {
+        // Keep events sorted by start time (stable for equal times) so
+        // every derived view is deterministic.
+        let pos = self
+            .events
+            .iter()
+            .position(|e| e.at.0 > ev.at.0)
+            .unwrap_or(self.events.len());
+        self.events.insert(pos, ev);
+        self
+    }
+
+    /// Degrade the link to `factor` of nominal bandwidth for `duration`.
+    pub fn degrade_link(self, at: Ns, duration: Ns, factor: f64) -> Self {
+        self.push(FaultEvent {
+            at,
+            duration,
+            kind: FaultKind::LinkDegrade {
+                factor: factor.clamp(0.0, 1.0),
+            },
+        })
+    }
+
+    /// Flap the link: zero effective bandwidth for `duration`.
+    pub fn flap_link(self, at: Ns, duration: Ns) -> Self {
+        self.degrade_link(at, duration, 0.0)
+    }
+
+    /// Permanently retire `bytes` of GPU memory at `at` (ECC page
+    /// retirement).
+    pub fn retire_gpu_mem(self, at: Ns, bytes: Bytes) -> Self {
+        self.push(FaultEvent {
+            at,
+            duration: Ns::ZERO,
+            kind: FaultKind::GpuMemRetire { bytes },
+        })
+    }
+
+    /// Inject a transient kernel failure at `at`.
+    pub fn kernel_fault(self, at: Ns) -> Self {
+        self.push(FaultEvent {
+            at,
+            duration: Ns::ZERO,
+            kind: FaultKind::KernelFault,
+        })
+    }
+
+    /// Slow the host CPU to `factor` of nominal for `duration`.
+    pub fn slow_cpu(self, at: Ns, duration: Ns, factor: f64) -> Self {
+        self.push(FaultEvent {
+            at,
+            duration,
+            kind: FaultKind::CpuSlowdown {
+                factor: factor.clamp(1e-6, 1.0),
+            },
+        })
+    }
+
+    /// A randomized but fully seed-determined fault mix over `[0,
+    /// horizon)`: one or two link degradations, possibly a flap, one or
+    /// two ECC retirements (each 10-20% of the GPU, at most ~40% total),
+    /// a couple of transient kernel faults, and one CPU slowdown.
+    pub fn chaos(seed: u64, horizon: Ns, hw: &HwConfig) -> Self {
+        let mut s = Stream(seed ^ 0x5DEE_CE66_D1CE_CAFE);
+        let h = horizon.0.max(1.0);
+        let mut plan = FaultPlan::with_seed(seed);
+        let degrades = 1 + (s.next_u64() % 2) as usize;
+        for _ in 0..degrades {
+            let at = Ns(s.range(0.05, 0.7) * h);
+            let dur = Ns(s.range(0.05, 0.3) * h);
+            let factor = s.range(0.25, 0.9);
+            plan = plan.degrade_link(at, dur, factor);
+        }
+        if s.unit() < 0.5 {
+            let at = Ns(s.range(0.1, 0.7) * h);
+            let dur = Ns(s.range(0.01, 0.06) * h);
+            plan = plan.flap_link(at, dur);
+        }
+        let retires = 1 + (s.next_u64() % 2) as usize;
+        for _ in 0..retires {
+            let at = Ns(s.range(0.15, 0.7) * h);
+            let frac = s.range(0.10, 0.20);
+            let bytes = Bytes((hw.gpu.mem_capacity.0 as f64 * frac) as u64);
+            plan = plan.retire_gpu_mem(at, bytes);
+        }
+        let kfaults = 1 + (s.next_u64() % 3) as usize;
+        for _ in 0..kfaults {
+            plan = plan.kernel_fault(Ns(s.range(0.05, 0.85) * h));
+        }
+        plan = plan.slow_cpu(
+            Ns(s.range(0.1, 0.6) * h),
+            Ns(s.range(0.05, 0.25) * h),
+            s.range(0.4, 0.9),
+        );
+        plan
+    }
+
+    /// All scheduled events, sorted by start time.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Remaining link-bandwidth fraction at `t`: the product of every
+    /// active degradation window (overlapping degradations compound). A
+    /// flap anywhere in the stack zeroes the link.
+    pub fn link_factor(&self, t: Ns) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.active_at(t))
+            .filter_map(|e| match e.kind {
+                FaultKind::LinkDegrade { factor } => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Remaining host-CPU speed fraction at `t`.
+    pub fn cpu_factor(&self, t: Ns) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.active_at(t))
+            .filter_map(|e| match e.kind {
+                FaultKind::CpuSlowdown { factor } => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+
+    /// Cumulative GPU bytes retired by ECC events with `at <= t`.
+    pub fn retired_through(&self, t: Ns) -> Bytes {
+        Bytes(
+            self.events
+                .iter()
+                .filter(|e| e.at.0 <= t.0)
+                .filter_map(|e| match e.kind {
+                    FaultKind::GpuMemRetire { bytes } => Some(bytes.0),
+                    _ => None,
+                })
+                .sum(),
+        )
+    }
+
+    /// The `(time, bytes)` schedule of ECC retirements, in time order.
+    pub fn retirements(&self) -> Vec<(Ns, Bytes)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::GpuMemRetire { bytes } => Some((e.at, bytes)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The instants of transient kernel faults, in time order.
+    pub fn kernel_faults(&self) -> Vec<Ns> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::KernelFault))
+            .map(|e| e.at)
+            .collect()
+    }
+
+    /// Every instant at which the machine state changes (window starts,
+    /// window ends, and instantaneous events), sorted and deduplicated.
+    /// A discrete-event loop bounds each step by the next transition so
+    /// rates stay piecewise-constant.
+    pub fn transitions(&self) -> Vec<Ns> {
+        let mut ts: Vec<f64> = Vec::with_capacity(self.events.len() * 2);
+        for e in &self.events {
+            ts.push(e.at.0);
+            if e.duration.0 > 0.0 {
+                ts.push(e.at.0 + e.duration.0);
+            }
+        }
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ts.dedup();
+        ts.into_iter().map(Ns).collect()
+    }
+
+    /// Effective link bandwidth per direction at `t`, given a nominal
+    /// [`LinkConfig`].
+    pub fn effective_link_bw(&self, link: &LinkConfig, t: Ns) -> BytesPerSec {
+        BytesPerSec(link.raw_bw_per_dir.0 * self.link_factor(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HwConfig;
+
+    #[test]
+    fn windows_are_half_open_and_compound() {
+        let p = FaultPlan::with_seed(1)
+            .degrade_link(Ns(10.0), Ns(10.0), 0.5)
+            .degrade_link(Ns(15.0), Ns(10.0), 0.5);
+        assert_eq!(p.link_factor(Ns(9.9)), 1.0);
+        assert_eq!(p.link_factor(Ns(10.0)), 0.5);
+        assert_eq!(p.link_factor(Ns(15.0)), 0.25, "overlap compounds");
+        assert_eq!(p.link_factor(Ns(20.0)), 0.5, "first window closed");
+        assert_eq!(p.link_factor(Ns(25.0)), 1.0);
+    }
+
+    #[test]
+    fn flap_zeroes_the_link() {
+        let p = FaultPlan::with_seed(2).flap_link(Ns(5.0), Ns(5.0));
+        assert_eq!(p.link_factor(Ns(7.0)), 0.0);
+        assert_eq!(p.link_factor(Ns(10.0)), 1.0);
+    }
+
+    #[test]
+    fn retirement_is_cumulative_and_permanent() {
+        let p = FaultPlan::with_seed(3)
+            .retire_gpu_mem(Ns(10.0), Bytes(100))
+            .retire_gpu_mem(Ns(20.0), Bytes(50));
+        assert_eq!(p.retired_through(Ns(5.0)), Bytes(0));
+        assert_eq!(p.retired_through(Ns(10.0)), Bytes(100));
+        assert_eq!(p.retired_through(Ns(1e9)), Bytes(150));
+        assert_eq!(p.retirements().len(), 2);
+    }
+
+    #[test]
+    fn transitions_cover_all_boundaries_sorted() {
+        let p = FaultPlan::with_seed(4)
+            .degrade_link(Ns(30.0), Ns(10.0), 0.5)
+            .kernel_fault(Ns(5.0))
+            .retire_gpu_mem(Ns(40.0), Bytes(1));
+        let ts: Vec<f64> = p.transitions().iter().map(|t| t.0).collect();
+        assert_eq!(ts, vec![5.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn chaos_is_seed_deterministic() {
+        let hw = HwConfig::ac922().scaled(512);
+        let a = FaultPlan::chaos(99, Ns::millis(10.0), &hw);
+        let b = FaultPlan::chaos(99, Ns::millis(10.0), &hw);
+        let c = FaultPlan::chaos(100, Ns::millis(10.0), &hw);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+        // Retirements stay within the generator's documented bound.
+        let total = a.retired_through(Ns::millis(10.0));
+        assert!(total.0 <= hw.gpu.mem_capacity.0 * 2 / 5 + 1);
+    }
+
+    #[test]
+    fn events_sorted_by_time() {
+        let p = FaultPlan::with_seed(5)
+            .kernel_fault(Ns(50.0))
+            .kernel_fault(Ns(10.0))
+            .kernel_fault(Ns(30.0));
+        let at: Vec<f64> = p.events().iter().map(|e| e.at.0).collect();
+        assert_eq!(at, vec![10.0, 30.0, 50.0]);
+    }
+
+    #[test]
+    fn splitmix_unit_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(i);
+            assert!((0.0..1.0).contains(&u));
+        }
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+}

@@ -14,7 +14,10 @@
 //! * SM/warp geometry ([`gpu`]) and issue throughput,
 //! * kernel roofline timing and concurrent-kernel pipelines ([`kernel`]),
 //! * the CPU baselines' bandwidth/core throughput ([`cpu`]),
-//! * the system power envelope ([`power`]).
+//! * the system power envelope ([`power`]),
+//! * deterministic hardware fault schedules — link degradation/flaps,
+//!   ECC page retirement, transient kernel failures, NUMA slowdowns
+//!   ([`fault`]).
 //!
 //! All model parameters live in [`config::HwConfig`], whose defaults are
 //! the values the paper reports or measures. [`config::HwConfig::scaled`]
@@ -25,6 +28,7 @@
 
 pub mod config;
 pub mod cpu;
+pub mod fault;
 pub mod gpu;
 pub mod kernel;
 pub mod link;
@@ -34,6 +38,7 @@ pub mod tlb;
 pub mod units;
 
 pub use config::{CpuConfig, GpuConfig, HwConfig, LinkConfig, PowerConfig, TlbConfig};
+pub use fault::{splitmix64, unit_f64, FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{fair_share_rates, Bound, KernelCost, KernelTiming, ResourceVector, StallProfile};
 pub use link::{Alignment, Dir, LinkModel, WireCost};
 pub use timeline::Timeline;

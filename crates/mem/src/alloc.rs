@@ -91,11 +91,39 @@ impl SimAllocator {
         }
     }
 
-    /// Bytes still available on `side`.
+    /// Bytes still available on `side`. Saturates at zero: after a
+    /// capacity retirement ([`Self::retire`]) usage can transiently
+    /// exceed capacity until the owner revokes reservations.
     pub fn available(&self, side: MemSide) -> Bytes {
         match side {
-            MemSide::Gpu => Bytes(self.gpu_capacity - self.gpu_used),
-            MemSide::Cpu => Bytes(self.cpu_capacity - self.cpu_used),
+            MemSide::Gpu => Bytes(self.gpu_capacity.saturating_sub(self.gpu_used)),
+            MemSide::Cpu => Bytes(self.cpu_capacity.saturating_sub(self.cpu_used)),
+        }
+    }
+
+    /// Current capacity of `side` (initial capacity minus retirements).
+    pub fn capacity(&self, side: MemSide) -> Bytes {
+        match side {
+            MemSide::Gpu => Bytes(self.gpu_capacity),
+            MemSide::Cpu => Bytes(self.cpu_capacity),
+        }
+    }
+
+    /// Permanently shrink `side`'s capacity by `bytes` (ECC page
+    /// retirement). Existing allocations are untouched — usage may
+    /// exceed the new capacity until the caller frees enough of them —
+    /// but no *new* allocation can land on retired pages. Returns the
+    /// remaining capacity.
+    pub fn retire(&mut self, side: MemSide, bytes: Bytes) -> Bytes {
+        match side {
+            MemSide::Gpu => {
+                self.gpu_capacity = self.gpu_capacity.saturating_sub(bytes.0);
+                Bytes(self.gpu_capacity)
+            }
+            MemSide::Cpu => {
+                self.cpu_capacity = self.cpu_capacity.saturating_sub(bytes.0);
+                Bytes(self.cpu_capacity)
+            }
         }
     }
 
@@ -234,6 +262,25 @@ mod tests {
         assert_eq!(err.side, MemSide::Gpu);
         a.free(x);
         assert_eq!(a.available(MemSide::Gpu), cap);
+    }
+
+    #[test]
+    fn retire_shrinks_capacity_without_touching_live_allocations() {
+        let mut a = small_alloc();
+        let cap = a.capacity(MemSide::Gpu);
+        let x = a.alloc(MemSide::Gpu, Bytes(cap.0 / 2)).unwrap();
+        // Retire 75%: usage (50%) now exceeds capacity (25%).
+        a.retire(MemSide::Gpu, Bytes(cap.0 * 3 / 4));
+        assert_eq!(a.capacity(MemSide::Gpu).0, cap.0 / 4);
+        assert_eq!(a.available(MemSide::Gpu), Bytes(0), "must saturate");
+        assert!(a.used(MemSide::Gpu).0 > a.capacity(MemSide::Gpu).0);
+        // New allocations bounce; freeing the old one restores headroom.
+        assert!(a.alloc(MemSide::Gpu, Bytes(a.page_size())).is_err());
+        a.free(x);
+        assert!(a.alloc(MemSide::Gpu, Bytes(a.page_size())).is_ok());
+        // Retiring more than everything saturates at zero capacity.
+        a.retire(MemSide::Gpu, Bytes(u64::MAX));
+        assert_eq!(a.capacity(MemSide::Gpu), Bytes(0));
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Chaos serving: the three-tenant demo from `examples/serve.rs` run
+//! under an injected fault schedule — a link flap, a sustained link
+//! degradation, and an ECC page retirement that tears most of GPU
+//! memory out from under the in-flight queries.
+//!
+//! The run is printed three ways: fault-free, faulted with resilience
+//! (retry + grant shrinking + the degradation ladder), and faulted with
+//! resilience disabled. Per-tenant recovery costs and the p99 latency
+//! delta against the clean run show what surviving the faults bought.
+//!
+//! Run with `cargo run --example chaos -p triton-exec [K]` (K = capacity
+//! scale, default 512). Everything is deterministic: same K, same plan,
+//! same output.
+
+use std::collections::BTreeMap;
+
+use triton_core::{CpuRadixJoin, HashScheme};
+use triton_datagen::WorkloadSpec;
+use triton_exec::{FaultPlan, JoinQuery, Operator, Outcome, Scheduler, SchedulerConfig};
+use triton_hw::units::{Bytes, Ns};
+use triton_hw::HwConfig;
+
+/// The serve-demo tenant mix: dashboard probe bursts sharing one build
+/// side, patient ETL joins, and GPU-free CPU ad-hoc queries.
+fn tenant_mix(k: u64) -> Vec<JoinQuery> {
+    let mut queries: Vec<JoinQuery> = Vec::new();
+    let dim = WorkloadSpec::paper_default(16, k).generate();
+    for burst in 0..2u64 {
+        // Bursts close enough that fault windows overlap live queries.
+        let at = Ns(burst as f64 * 50_000.0);
+        for i in 0..3u64 {
+            let w = if burst == 0 && i == 0 {
+                dim.clone()
+            } else {
+                JoinQuery::probe_batch(&dim, 0xD0 + burst * 16 + i)
+            };
+            let mut q = JoinQuery::new(format!("dash-{burst}.{i}"), w, at);
+            q.priority = 4;
+            q.deadline = Some(Ns::millis(400.0));
+            q.build_key = Some(0xD1);
+            queries.push(q);
+        }
+    }
+    for i in 0..2u64 {
+        let mut spec = WorkloadSpec::paper_default(64, k);
+        spec.seed ^= i;
+        let mut q = JoinQuery::new(format!("etl-{i}"), spec.generate(), Ns::ZERO);
+        q.priority = 1;
+        queries.push(q);
+    }
+    for i in 0..2u64 {
+        let mut spec = WorkloadSpec::paper_default(24, k);
+        spec.seed ^= 0xCC00 + i;
+        let mut q = JoinQuery::new(format!("cpu-{i}"), spec.generate(), Ns(5_000.0 * i as f64));
+        q.op = Operator::CpuRadix(CpuRadixJoin::power9(HashScheme::BucketChaining));
+        queries.push(q);
+    }
+    queries
+}
+
+fn tenant_of(name: &str) -> &str {
+    name.split(['-']).next().unwrap_or(name)
+}
+
+fn main() {
+    let k: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .or_else(|| std::env::var("TRITON_SCALE").ok()?.parse().ok())
+        .unwrap_or(512);
+    let hw = HwConfig::ac922().scaled(k);
+    println!("== chaos serving (K = {k}) ==\n");
+
+    // Fault-free reference run (sets the fault schedule's timescale).
+    let clean = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(tenant_mix(k));
+    let span = clean.metrics.makespan.0;
+    println!("clean    : {}", clean.metrics.summary());
+
+    // The hazard schedule, placed relative to the clean makespan: a hard
+    // link flap, then a lingering 60% link, and an ECC retirement of
+    // three fifths of device memory while reservations are live.
+    let plan = FaultPlan::with_seed(42)
+        .flap_link(Ns(span * 0.15), Ns(span * 0.10))
+        .degrade_link(Ns(span * 0.35), Ns(span * 0.50), 0.6)
+        .retire_gpu_mem(Ns(span * 0.40), Bytes(hw.gpu.mem_capacity.0 * 3 / 5))
+        .kernel_fault(Ns(span * 0.55));
+    println!("plan     : {} fault events, seed {}", plan.len(), plan.seed);
+    for e in plan.events() {
+        println!(
+            "           {:>10}  {:<12} dur {}",
+            format!("{}", e.at),
+            e.kind.label(),
+            e.duration
+        );
+    }
+
+    let faulted = Scheduler::new(hw.clone(), SchedulerConfig::default())
+        .run_with_faults(tenant_mix(k), &plan);
+    let fragile = Scheduler::new(hw.clone(), SchedulerConfig::no_resilience())
+        .run_with_faults(tenant_mix(k), &plan);
+    println!("resilient: {}", faulted.metrics.summary());
+    println!("fragile  : {}\n", fragile.metrics.summary());
+
+    // Per-query recovery accounting under the resilient run.
+    println!(
+        "{:<10} {:>10} {:>8} {:>7} {:>10} {:>7} {:>10}",
+        "query", "status", "op", "retries", "downgrades", "revoked", "latency"
+    );
+    for o in &faulted.outcomes {
+        match o {
+            Outcome::Completed(c) => println!(
+                "{:<10} {:>10} {:>8} {:>7} {:>10} {:>7} {:>10}",
+                c.name,
+                "ok",
+                c.operator,
+                c.fault.retries,
+                c.fault.downgrades,
+                c.fault.revocations,
+                format!("{}", c.latency()),
+            ),
+            Outcome::Rejected { name, reason, .. } => {
+                println!("{name:<10} {:>10}  {reason}", "shed")
+            }
+        }
+    }
+
+    // Per-tenant rollup: recovery cost and p99 delta vs the clean run.
+    let mut per_tenant: BTreeMap<&str, (u64, u32, u32, Vec<f64>)> = BTreeMap::new();
+    for c in faulted.completed() {
+        let e = per_tenant
+            .entry(tenant_of(&c.name))
+            .or_insert((0, 0, 0, Vec::new()));
+        e.0 += 1;
+        e.1 += c.fault.retries;
+        e.2 += c.fault.downgrades;
+        e.3.push(c.latency().0);
+    }
+    let mut clean_lat: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
+    for c in clean.completed() {
+        clean_lat
+            .entry(tenant_of(&c.name))
+            .or_default()
+            .push(c.latency().0);
+    }
+    println!(
+        "\n{:<8} {:>5} {:>8} {:>11} {:>12} {:>12} {:>9}",
+        "tenant", "done", "retries", "downgrades", "p99(clean)", "p99(chaos)", "delta"
+    );
+    for (tenant, (done, retries, downgrades, lats)) in &per_tenant {
+        let p99_chaos = triton_exec::percentile(lats, 99.0);
+        let p99_clean = clean_lat
+            .get(tenant)
+            .map_or(0.0, |l| triton_exec::percentile(l, 99.0));
+        let delta = if p99_clean > 0.0 {
+            format!("{:+.1}%", (p99_chaos / p99_clean - 1.0) * 100.0)
+        } else {
+            "n/a".into()
+        };
+        println!(
+            "{:<8} {:>5} {:>8} {:>11} {:>12} {:>12} {:>9}",
+            tenant,
+            done,
+            retries,
+            downgrades,
+            format!("{}", Ns(p99_clean)),
+            format!("{}", Ns(p99_chaos)),
+            delta,
+        );
+    }
+
+    println!(
+        "\nresilience saved {} queries the fragile run shed ({} vs {} rejected)",
+        fragile
+            .metrics
+            .rejected
+            .saturating_sub(faulted.metrics.rejected),
+        faulted.metrics.rejected,
+        fragile.metrics.rejected,
+    );
+    println!("\nmetrics json: {}", faulted.metrics.to_json());
+}

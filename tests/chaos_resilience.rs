@@ -1,0 +1,265 @@
+//! Chaos tests of the fault-injection + resilience layer: a
+//! [`triton_hw::FaultPlan`] replayed against the serving scheduler must
+//! never change answers, the resilient path must shed strictly fewer
+//! queries than the no-resilience baseline on the same plan, and the
+//! whole run must replay byte-identically from its seed.
+//!
+//! Set `TRITON_CHAOS_SEED=<n>` to pin the property tests to one seed
+//! (the CI chaos job fans out over several); unset, a fixed default
+//! seed set runs.
+
+use triton_core::reference_join;
+use triton_datagen::WorkloadSpec;
+use triton_exec::{FaultPlan, JoinQuery, Outcome, RejectReason, Scheduler, SchedulerConfig};
+use triton_hw::units::{Bytes, Ns};
+use triton_hw::HwConfig;
+
+const K: u64 = 512;
+
+fn hw() -> HwConfig {
+    HwConfig::ac922().scaled(K)
+}
+
+/// A deterministic batch of independent tenants arriving together.
+fn tenants(n: usize, m_tuples: u64) -> Vec<JoinQuery> {
+    (0..n)
+        .map(|i| {
+            let mut spec = WorkloadSpec::paper_default(m_tuples, K);
+            spec.seed ^= (i as u64) << 32;
+            JoinQuery::new(format!("tenant-{i}"), spec.generate(), Ns::ZERO)
+        })
+        .collect()
+}
+
+/// Makespan of a clean (fault-free) run, used to place faults mid-run.
+fn clean_makespan(config: SchedulerConfig, queries: Vec<JoinQuery>) -> Ns {
+    Scheduler::new(hw(), config).run(queries).metrics.makespan
+}
+
+/// Seeds under test: `TRITON_CHAOS_SEED` pins one, else a default trio.
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("TRITON_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(s) => vec![s],
+        None => vec![1, 2, 3],
+    }
+}
+
+/// Every completed query's result must equal the reference join of its
+/// workload — faults may change timing and placement, never answers.
+fn assert_exact(queries: &[JoinQuery], outcomes: &[Outcome]) {
+    for (q, o) in queries.iter().zip(outcomes) {
+        if let Some(c) = o.completed() {
+            let exp = reference_join(&q.workload);
+            assert_eq!(
+                c.report.result, exp,
+                "{} produced a wrong result under faults (operator {})",
+                c.name, c.operator
+            );
+        }
+    }
+}
+
+/// The ISSUE acceptance scenario: the link degraded to 50% for the whole
+/// run, a quarter of GPU memory retired mid-run, plus one kernel fault.
+/// The resilient scheduler must complete at least as many queries as the
+/// fault-free serial baseline, with zero wrong results, while the
+/// no-resilience path sheds strictly more on the same plan.
+#[test]
+fn degraded_machine_beats_no_resilience_with_exact_results() {
+    let n = 6;
+    let serial_baseline = Scheduler::new(hw(), SchedulerConfig::serial()).run(tenants(n, 32));
+    let serial_completed = serial_baseline.metrics.completed;
+
+    let horizon = clean_makespan(SchedulerConfig::default(), tenants(n, 32));
+    let cap = hw().gpu.mem_capacity;
+    let plan = FaultPlan::with_seed(7)
+        .degrade_link(Ns::ZERO, Ns(horizon.0 * 8.0), 0.5)
+        .retire_gpu_mem(Ns(horizon.0 * 0.25), Bytes(cap.0 / 4))
+        .kernel_fault(Ns(horizon.0 * 0.4));
+
+    let resilient =
+        Scheduler::new(hw(), SchedulerConfig::default()).run_with_faults(tenants(n, 32), &plan);
+    let baseline = Scheduler::new(hw(), SchedulerConfig::no_resilience())
+        .run_with_faults(tenants(n, 32), &plan);
+
+    assert!(
+        resilient.metrics.completed >= serial_completed,
+        "resilient run completed {} < serial baseline {}",
+        resilient.metrics.completed,
+        serial_completed
+    );
+    assert_exact(&tenants(n, 32), &resilient.outcomes);
+    assert_eq!(
+        resilient.metrics.gpu_retired,
+        Bytes(cap.0 / 4),
+        "the retirement must be accounted"
+    );
+    assert!(
+        resilient.metrics.faults_injected >= 2,
+        "retirement + kernel fault must both strike"
+    );
+
+    // The kernel fault guarantees the baseline loses its victim.
+    assert!(
+        baseline.metrics.shed_faulted >= 1,
+        "no-resilience must shed the kernel-fault victim"
+    );
+    assert!(
+        resilient.metrics.rejected < baseline.metrics.rejected,
+        "resilience must shed strictly fewer: {} vs {}",
+        resilient.metrics.rejected,
+        baseline.metrics.rejected
+    );
+    assert!(
+        resilient.metrics.retries + resilient.metrics.downgrades + resilient.metrics.revocations
+            > 0,
+        "recovery actions must be visible in the metrics"
+    );
+}
+
+/// Same seed + same plan => byte-identical metrics (struct equality and
+/// the stable JSON encoding), across every chaos seed under test.
+#[test]
+fn chaos_runs_replay_byte_identically() {
+    let n = 5;
+    let horizon = clean_makespan(SchedulerConfig::default(), tenants(n, 24));
+    for seed in chaos_seeds() {
+        let plan = FaultPlan::chaos(seed, Ns(horizon.0 * 1.5), &hw());
+        let run = || {
+            Scheduler::new(hw(), SchedulerConfig::default()).run_with_faults(tenants(n, 24), &plan)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics, b.metrics, "seed {seed}: two replays diverged");
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert_eq!(a.outcomes.len(), n);
+        assert_eq!(
+            a.metrics.completed + a.metrics.rejected,
+            n as u64,
+            "seed {seed}: every query needs a terminal outcome"
+        );
+        assert_exact(&tenants(n, 24), &a.outcomes);
+    }
+}
+
+/// A link flap stalls every link-bound query for its window; the run
+/// still completes everything exactly once the link returns.
+#[test]
+fn link_flap_stalls_then_recovers() {
+    let n = 4;
+    let horizon = clean_makespan(SchedulerConfig::default(), tenants(n, 32));
+    let flap_end = horizon.0 * 0.8;
+    let plan =
+        FaultPlan::with_seed(3).flap_link(Ns(horizon.0 * 0.3), Ns(flap_end - horizon.0 * 0.3));
+    let res =
+        Scheduler::new(hw(), SchedulerConfig::default()).run_with_faults(tenants(n, 32), &plan);
+    assert_eq!(
+        res.metrics.completed, n as u64,
+        "flap must not lose queries"
+    );
+    assert!(
+        res.metrics.makespan.0 >= flap_end * 0.999,
+        "link-bound work cannot finish before the flap ends: {} < {flap_end}",
+        res.metrics.makespan
+    );
+    assert_exact(&tenants(n, 32), &res.outcomes);
+}
+
+/// Retiring most of the GPU mid-run revokes the victim's reservation and
+/// walks it down the degradation ladder — it completes on a smaller
+/// operator instead of being shed, and the build-cache circuit breaker
+/// trips.
+#[test]
+fn ecc_retirement_downgrades_instead_of_shedding() {
+    let n = 3;
+    let mut queries = tenants(n, 32);
+    for (i, q) in queries.iter_mut().enumerate() {
+        q.build_key = Some(0xB0 + i as u64); // resident builds to quarantine
+    }
+    let horizon = clean_makespan(SchedulerConfig::default(), queries.clone());
+    let cap = hw().gpu.mem_capacity;
+    let plan = FaultPlan::with_seed(5).retire_gpu_mem(Ns(horizon.0 * 0.3), Bytes(cap.0 * 9 / 10));
+    let res =
+        Scheduler::new(hw(), SchedulerConfig::default()).run_with_faults(queries.clone(), &plan);
+    assert_eq!(
+        res.metrics.completed,
+        n as u64,
+        "every revoked query must recover: {}",
+        res.metrics.summary()
+    );
+    assert!(
+        res.metrics.revocations >= 1,
+        "a reservation must be revoked"
+    );
+    assert!(
+        res.metrics.downgrades >= 1,
+        "10% of the GPU cannot hold a Triton floor; the ladder must engage"
+    );
+    assert!(
+        res.metrics.builds_quarantined >= 1,
+        "resident builds must be quarantined by the breaker"
+    );
+    let downgraded = res.completed().filter(|c| c.operator != "triton").count();
+    assert!(downgraded >= 1, "someone must finish on a lower rung");
+    assert_exact(&queries, &res.outcomes);
+}
+
+/// With resilience disabled, the same retirement sheds with a typed,
+/// displayable [`RejectReason::Faulted`].
+#[test]
+fn no_resilience_sheds_revoked_queries_typed() {
+    let n = 3;
+    let queries = tenants(n, 32);
+    let horizon = clean_makespan(SchedulerConfig::default(), queries.clone());
+    let cap = hw().gpu.mem_capacity;
+    let plan = FaultPlan::with_seed(5).retire_gpu_mem(Ns(horizon.0 * 0.3), Bytes(cap.0 * 9 / 10));
+    let res =
+        Scheduler::new(hw(), SchedulerConfig::no_resilience()).run_with_faults(queries, &plan);
+    assert!(res.metrics.shed_faulted >= 1);
+    let reason = res
+        .outcomes
+        .iter()
+        .find_map(Outcome::rejection)
+        .expect("a shed query must carry its reason");
+    assert!(
+        matches!(reason, RejectReason::Faulted { .. }),
+        "expected Faulted, got {reason:?}"
+    );
+    assert!(reason.to_string().contains("lost to"), "{reason}");
+}
+
+/// Deadlines still bound recovery: a query whose backoff would overrun
+/// its budget is shed with DeadlineExceeded, not retried forever.
+#[test]
+fn deadlines_bound_retry_backoff() {
+    let n = 2;
+    let mut queries = tenants(n, 32);
+    let horizon = clean_makespan(SchedulerConfig::default(), queries.clone());
+    for q in &mut queries {
+        q.deadline = Some(Ns(horizon.0 * 1.05)); // tight but feasible clean
+    }
+    // Hammer the run with repeated kernel faults so retries pile up.
+    let mut plan = FaultPlan::with_seed(9);
+    for i in 1..=6 {
+        plan = plan.kernel_fault(Ns(horizon.0 * 0.15 * i as f64));
+    }
+    let res =
+        Scheduler::new(hw(), SchedulerConfig::default()).run_with_faults(queries.clone(), &plan);
+    assert_eq!(
+        res.metrics.completed + res.metrics.rejected,
+        n as u64,
+        "no query may hang in retry limbo"
+    );
+    for o in &res.outcomes {
+        if let Some(r) = o.rejection() {
+            assert!(
+                matches!(r, RejectReason::DeadlineExceeded { .. }),
+                "faulted deadline queries shed via the deadline path, got {r:?}"
+            );
+        }
+    }
+    assert_exact(&queries, &res.outcomes);
+}

@@ -155,6 +155,7 @@ fn queue_limit_applies_backpressure() {
         SchedulerConfig {
             max_inflight: 1,
             max_queue: 2,
+            ..SchedulerConfig::default()
         },
     )
     .run(tenants(5, 16));
