@@ -13,7 +13,7 @@
 use triton_core::{CpuRadixJoin, HashScheme, TritonJoin};
 use triton_datagen::{Rng, WorkloadSpec};
 use triton_exec::{FaultPlan, JoinQuery, Operator, Scheduler, SchedulerConfig, SchedulerMetrics};
-use triton_hw::units::{Bytes, Ns};
+use triton_hw::units::Ns;
 use triton_hw::HwConfig;
 
 /// One measured operating point.
@@ -138,7 +138,7 @@ pub fn run(hw: &HwConfig, loads: &[f64]) -> Vec<Row> {
             gtps: m.throughput_gtps,
             p50_service_times: m.latency_p50.0 / s_mean.0,
             p99_service_times: m.latency_p99.0 / s_mean.0,
-            peak_mem_frac: m.peak_gpu_reserved.0 as f64 / m.gpu_capacity.0.max(1) as f64,
+            peak_mem_frac: m.peak_gpu_reserved.ratio_of(m.gpu_capacity),
             cache_hits: m.build_cache_hits,
         });
     }
@@ -164,10 +164,10 @@ pub fn run_chaos(hw: &HwConfig) -> (SchedulerMetrics, SchedulerMetrics) {
     let strike = clean
         .completed()
         .max_by(|a, b| a.reserved.cmp(&b.reserved).then(a.id.cmp(&b.id)))
-        .map_or(span * 0.5, |c| Ns((c.start.0 + c.finish.0) * 0.5));
+        .map_or(span * 0.5, |c| (c.start + c.finish) * 0.5);
     let plan = FaultPlan::with_seed(0xFA11)
         .degrade_link(Ns::ZERO, span * 4.0, 0.5)
-        .retire_gpu_mem(strike, Bytes(hw.gpu.mem_capacity.0 * 2 / 3))
+        .retire_gpu_mem(strike, hw.gpu.mem_capacity * 2 / 3)
         .kernel_fault(strike);
     let resilient = Scheduler::new(hw.clone(), SchedulerConfig::default())
         .run_with_faults(queries_at_load(hw, s_mean, CHAOS_LOAD), &plan);

@@ -12,7 +12,8 @@
 //! capacities divided by K, which the scaling argument in `triton-hw`
 //! makes throughput-equivalent.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod figs;
 pub mod json;

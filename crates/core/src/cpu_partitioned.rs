@@ -182,9 +182,9 @@ impl CpuPartitionedJoin {
             (hw.gpu.mem_capacity.0 - hw.gpu.mem_capacity.0 / 8) as f64 / total_bytes.max(1) as f64;
         let f = fits.min(1.0);
         let contention = 1.0 + 0.5 * (1.0 - f);
-        let overlap_stage = Ns(gpu_pipeline.0 * (0.5 + 0.5 * (1.0 - f)));
-        let tail = Ns(gpu_pipeline.0 * 0.5 * (1.0 - f));
-        let total = pr.time + Ns(ps.time.0 * contention).max(overlap_stage) + tail;
+        let overlap_stage = gpu_pipeline * (0.5 + 0.5 * (1.0 - f));
+        let tail = gpu_pipeline * (0.5 * (1.0 - f));
+        let total = pr.time + (ps.time * contention).max(overlap_stage) + tail;
 
         JoinReport {
             name: "CPU-Partitioned Radix Join".into(),

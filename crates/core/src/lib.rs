@@ -32,7 +32,8 @@
 //! println!("{:.2} G tuples/s", report.throughput_gtps());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod bloom;

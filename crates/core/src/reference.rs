@@ -1,6 +1,6 @@
 //! Reference join used to verify every operator's functional result.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use triton_datagen::Workload;
 
@@ -9,7 +9,7 @@ use crate::report::JoinResult;
 /// Straightforward hash join over `(key -> rid)`; the ground truth all
 /// simulated operators are checked against.
 pub fn reference_join(w: &Workload) -> JoinResult {
-    let mut map: HashMap<u64, Vec<u64>> = HashMap::with_capacity(w.r.len());
+    let mut map: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
     for (k, r) in w.r.iter() {
         map.entry(k).or_default().push(r);
     }

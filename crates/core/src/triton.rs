@@ -168,6 +168,7 @@ impl TritonJoin {
     /// larger planner should prefer [`Self::try_run`].
     pub fn run(&self, w: &Workload, hw: &HwConfig) -> JoinReport {
         self.try_run(w, hw)
+            // triton-lint: allow(p1) -- documented panicking wrapper; fallible callers use try_run
             .expect("simulated CPU memory exhausted for the partitioned copy")
     }
 

@@ -7,7 +7,8 @@
 //! hash family; and the full-period LCG driving the random-access
 //! microbenchmarks.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod distributions;
 pub mod hash;

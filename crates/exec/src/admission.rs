@@ -13,7 +13,7 @@
 //! (scaled) GPU capacity — that is enforced by a [`SimAllocator`], the
 //! same capacity arithmetic the operators use.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use triton_core::TritonJoin;
 use triton_datagen::TUPLE_BYTES;
@@ -40,11 +40,11 @@ pub struct AdmissionController {
     alloc: SimAllocator,
     capacity: Bytes,
     initial_capacity: Bytes,
-    grants: HashMap<QueryId, (Allocation, Reservation)>,
+    grants: BTreeMap<QueryId, (Allocation, Reservation)>,
     /// Every id that ever held a grant — the debug guard distinguishing
     /// an idempotent double release from a release of a query that was
     /// never admitted (an accounting bug in the caller).
-    ever_admitted: HashSet<QueryId>,
+    ever_admitted: BTreeSet<QueryId>,
     /// High-water mark of reserved GPU bytes (for metrics/tests).
     pub peak_reserved: Bytes,
 }
@@ -56,8 +56,8 @@ impl AdmissionController {
             alloc: SimAllocator::new(hw),
             capacity: hw.gpu.mem_capacity,
             initial_capacity: hw.gpu.mem_capacity,
-            grants: HashMap::new(),
-            ever_admitted: HashSet::new(),
+            grants: BTreeMap::new(),
+            ever_admitted: BTreeSet::new(),
             peak_reserved: Bytes(0),
         }
     }
@@ -111,18 +111,18 @@ impl AdmissionController {
                 // for the runtime and staging.
                 let b1 = TritonJoin::pass1_bits(r_bytes, total, hw);
                 let pair = (total >> b1).max(1);
-                Bytes(2 * pair + hw.gpu.mem_capacity.0 / 8)
+                Bytes(2 * pair) + hw.gpu.mem_capacity / 8
             }
             // NPJ streams the inputs; only the runtime slice is a floor
             // (the hash table degrades gracefully to CPU memory).
-            Operator::NoPartitioning(_) => Bytes(hw.gpu.mem_capacity.0 / 8),
+            Operator::NoPartitioning(_) => hw.gpu.mem_capacity / 8,
             // The CPU partitions into CPU memory; the GPU only holds the
             // current working-set pair plus a small staging slice — the
             // cheap middle rung of the degradation ladder.
             Operator::CpuPartitioned(_) => {
                 let b1 = TritonJoin::pass1_bits(r_bytes, total, hw);
                 let pair = (total >> b1).max(1);
-                Bytes(2 * pair + hw.gpu.mem_capacity.0 / 16)
+                Bytes(2 * pair) + hw.gpu.mem_capacity / 16
             }
             // CPU operators take no GPU memory at all.
             Operator::CpuRadix(_) => Bytes(0),
@@ -184,7 +184,7 @@ impl AdmissionController {
         let after_floor = free - floor.0;
         let desired = Self::cache_desired(query) >> grant_shrink.min(63);
         let grant = desired.min(after_floor / 2);
-        let total = Bytes(floor.0 + grant);
+        let total = floor + Bytes(grant);
         let allocation = self.alloc.alloc(MemSide::Gpu, total)?;
         let reservation = Reservation {
             reserved: Bytes(allocation.len),

@@ -18,15 +18,15 @@
 //! quarantined key is forced to rebuild (a deliberate miss that closes
 //! the breaker for that key) instead of trusting stale shared state.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Refcounted registry of resident partitioned build relations.
 #[derive(Debug, Default)]
 pub struct BuildCache {
-    entries: HashMap<u64, Entry>,
+    entries: BTreeMap<u64, Entry>,
     /// Keys whose partitioned state a fault invalidated; the next
     /// acquire rebuilds and clears the quarantine.
-    quarantined: HashSet<u64>,
+    quarantined: BTreeSet<u64>,
     /// Queries that found their build side already partitioned.
     pub hits: u64,
     /// Queries that had to partition their build side themselves.

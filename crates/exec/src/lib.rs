@@ -66,7 +66,8 @@
 //! println!("{}", result.metrics.summary());
 //! ```
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod admission;
 pub mod build_cache;

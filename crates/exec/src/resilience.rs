@@ -75,7 +75,7 @@ impl RetryPolicy {
     pub fn backoff_within(&self, id: QueryId, attempt: u32, deadline_slack: Option<Ns>) -> Ns {
         let b = self.backoff(id, attempt);
         match deadline_slack {
-            Some(slack) => Ns(b.0.min(slack.0.max(0.0))),
+            Some(slack) => b.min(slack.max(Ns::ZERO)),
             None => b,
         }
     }

@@ -354,7 +354,7 @@ impl Scheduler {
                 faults_injected += 1;
                 let before = admission.capacity();
                 admission.retire(bytes);
-                gpu_retired = Bytes(gpu_retired.0 + before.0 - admission.capacity().0);
+                gpu_retired += before.saturating_sub(admission.capacity());
                 // The retired pages tear resident partitioned builds:
                 // trip the circuit breaker so followers rebuild instead
                 // of sharing stale state.
@@ -394,7 +394,9 @@ impl Scheduler {
                 faults_injected += 1;
                 let pick =
                     ids[(splitmix64(plan.seed ^ 0xC0DE ^ strike) % ids.len() as u64) as usize];
-                let vi = running.iter().position(|r| r.id == pick).unwrap();
+                let Some(vi) = running.iter().position(|r| r.id == pick) else {
+                    continue;
+                };
                 let victim = running.swap_remove(vi);
                 self.recover_or_shed(
                     victim,
@@ -490,14 +492,13 @@ impl Scheduler {
                 busy_time += dt;
                 weighted_conc += dt * running.len() as f64;
             }
-            clock = Ns(clock.0 + dt);
+            clock += Ns(dt);
             for (r, &s) in running.iter_mut().zip(&rates) {
                 r.remaining = (r.remaining - dt * s).max(0.0);
             }
 
             // --- Arrivals land in the queue (or bounce off its limit).
-            while arrivals.peek().is_some_and(|(_, q)| q.arrival.0 <= clock.0) {
-                let (id, query) = arrivals.next().unwrap();
+            while let Some((id, query)) = arrivals.next_if(|(_, q)| q.arrival.0 <= clock.0) {
                 if queue.len() >= self.config.max_queue {
                     outcomes.push((
                         id,
@@ -651,16 +652,14 @@ impl Scheduler {
         // deadline budget (a wake past the deadline is a guaranteed
         // shed).
         let attempt = fault.retries + fault.revocations - 1;
-        let slack = query
-            .deadline
-            .map(|d| Ns(d.0 - (clock.0 - query.arrival.0)));
+        let slack = query.deadline.map(|d| d - (clock - query.arrival));
         let delay = retry.backoff_within(victim.id, attempt, slack);
         enqueue(
             queue,
             Queued {
                 id: victim.id,
                 query,
-                eligible_at: Ns(clock.0 + delay.0),
+                eligible_at: clock + delay,
                 fault,
                 attempts_at_rung: attempts,
             },
@@ -690,7 +689,7 @@ impl Scheduler {
             if let Some(deadline) = queue[pos].query.deadline {
                 let waited = clock - queue[pos].query.arrival;
                 if waited.0 > deadline.0 {
-                    let q = queue.remove(pos).unwrap();
+                    let Some(q) = queue.remove(pos) else { continue };
                     outcomes.push((
                         q.id,
                         Outcome::Rejected {
@@ -722,7 +721,9 @@ impl Scheduler {
                         continue;
                     }
                 }
-                let q = queue.remove(pos).unwrap();
+                let Some(q) = queue.remove(pos) else {
+                    continue 'admit;
+                };
                 outcomes.push((
                     q.id,
                     Outcome::Rejected {
@@ -738,8 +739,9 @@ impl Scheduler {
             }
 
             let shrink = queue[pos].fault.grant_shrinks;
+            let id = queue[pos].id;
             let Ok(reservation) =
-                admission.try_admit_shrunk(queue[pos].id, &queue[pos].query, &self.hw, shrink)
+                admission.try_admit_shrunk(id, &queue[pos].query, &self.hw, shrink)
             else {
                 // Backpressure: memory is busy, wait for a completion.
                 // (Head-of-line blocking is intentional: priority order
@@ -747,7 +749,12 @@ impl Scheduler {
                 // by small ones slipping past it.)
                 break;
             };
-            let mut q = queue.remove(pos).unwrap();
+            let Some(mut q) = queue.remove(pos) else {
+                // Unreachable (pos indexes a live entry); stop admitting
+                // rather than panic with the reservation held.
+                admission.release(id);
+                break;
+            };
 
             // Build-side sharing.
             let r_bytes = q.query.workload.r.len() as u64 * TUPLE_BYTES;

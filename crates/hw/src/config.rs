@@ -263,7 +263,7 @@ impl HwConfig {
     /// figure shapes.
     pub fn scaled(mut self, k: u64) -> Self {
         assert!(k >= 1, "scale factor must be >= 1");
-        let div = |b: Bytes| Bytes((b.0 / k).max(1));
+        let div = |b: Bytes| (b / k).max(Bytes(1));
         self.gpu.mem_capacity = div(self.gpu.mem_capacity);
         self.cpu.mem_capacity = div(self.cpu.mem_capacity);
         // The CPU LLC stays unscaled: like the scratchpad, it interacts
@@ -281,7 +281,7 @@ impl HwConfig {
         // Re-apply the accumulated scale to the fresh CPU's capacities.
         let k = self.scale;
         self.cpu = cpu;
-        self.cpu.mem_capacity = Bytes((self.cpu.mem_capacity.0 / k).max(1));
+        self.cpu.mem_capacity = (self.cpu.mem_capacity / k).max(Bytes(1));
         self
     }
 
@@ -311,7 +311,7 @@ impl HwConfig {
     /// shared with the remote socket's own traffic) and the base access
     /// latency grows by an inter-socket hop.
     pub fn with_far_numa(mut self) -> Self {
-        self.link.raw_bw_per_dir = BytesPerSec(self.link.raw_bw_per_dir.0.min(38e9));
+        self.link.raw_bw_per_dir = self.link.raw_bw_per_dir.min(BytesPerSec(38e9));
         self.link.base_latency_ns += 180.0;
         self.tlb.cpu_l2_hit_ns += 180.0;
         self.tlb.l3_star_hit_ns += 180.0;
@@ -321,7 +321,7 @@ impl HwConfig {
 
     /// Coverage of one coalesced TLB entry (page size x coalesced pages).
     pub fn tlb_entry_reach(&self) -> Bytes {
-        Bytes(self.tlb.page_size.0 * self.tlb.coalesced_pages)
+        self.tlb.page_size * self.tlb.coalesced_pages
     }
 
     /// Number of entries in the GPU L2 TLB.
@@ -336,12 +336,12 @@ impl HwConfig {
 
     /// GPU L2 TLB coverage (entries x reach): 8 GiB at paper defaults.
     pub fn gpu_l2_coverage(&self) -> Bytes {
-        Bytes(self.gpu_l2_tlb_entries() as u64 * self.tlb_entry_reach().0)
+        self.tlb_entry_reach() * self.gpu_l2_tlb_entries() as u64
     }
 
     /// L3*/IOTLB coverage (entries x reach): 32 GiB at paper defaults.
     pub fn l3_star_coverage(&self) -> Bytes {
-        Bytes(self.l3_star_entries() as u64 * self.tlb_entry_reach().0)
+        self.tlb_entry_reach() * self.l3_star_entries() as u64
     }
 }
 
@@ -386,12 +386,12 @@ impl CpuConfig {
 
     /// Total last-level cache capacity.
     pub fn llc_total(&self) -> Bytes {
-        Bytes(self.llc_per_core.0 * self.cores as u64)
+        self.llc_per_core * self.cores as u64
     }
 
     /// Effective sequential scan bandwidth (tuned kernel).
     pub fn scan_bandwidth(&self) -> BytesPerSec {
-        BytesPerSec(self.mem_bandwidth.0 * self.seq_scan_efficiency)
+        self.mem_bandwidth * self.seq_scan_efficiency
     }
 }
 

@@ -240,7 +240,7 @@ impl FaultPlan {
         for _ in 0..retires {
             let at = Ns(s.range(0.15, 0.7) * h);
             let frac = s.range(0.10, 0.20);
-            let bytes = Bytes((hw.gpu.mem_capacity.0 as f64 * frac) as u64);
+            let bytes = hw.gpu.mem_capacity.scaled(frac);
             plan = plan.retire_gpu_mem(at, bytes);
         }
         let kfaults = 1 + (s.next_u64() % 3) as usize;
@@ -298,16 +298,14 @@ impl FaultPlan {
 
     /// Cumulative GPU bytes retired by ECC events with `at <= t`.
     pub fn retired_through(&self, t: Ns) -> Bytes {
-        Bytes(
-            self.events
-                .iter()
-                .filter(|e| e.at.0 <= t.0)
-                .filter_map(|e| match e.kind {
-                    FaultKind::GpuMemRetire { bytes } => Some(bytes.0),
-                    _ => None,
-                })
-                .sum(),
-        )
+        self.events
+            .iter()
+            .filter(|e| e.at.0 <= t.0)
+            .filter_map(|e| match e.kind {
+                FaultKind::GpuMemRetire { bytes } => Some(bytes),
+                _ => None,
+            })
+            .sum()
     }
 
     /// The `(time, bytes)` schedule of ECC retirements, in time order.
@@ -350,7 +348,7 @@ impl FaultPlan {
     /// Effective link bandwidth per direction at `t`, given a nominal
     /// [`LinkConfig`].
     pub fn effective_link_bw(&self, link: &LinkConfig, t: Ns) -> BytesPerSec {
-        BytesPerSec(link.raw_bw_per_dir.0 * self.link_factor(t))
+        link.raw_bw_per_dir * self.link_factor(t)
     }
 }
 

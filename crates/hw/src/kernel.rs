@@ -52,22 +52,20 @@ impl LinkTraffic {
     pub fn wire_cpu_to_gpu(&self, link: &LinkModel) -> Bytes {
         let line = link.config().max_payload.0;
         let hdr = link.config().header.0;
-        let seq_read_wire = self.seq_read.0 + self.seq_read.div_ceil(line) * hdr;
-        Bytes(seq_read_wire + self.rand_read.wire_data_dir.0 + self.rand_write.wire_ctrl_dir.0)
+        let seq_read_wire = self.seq_read + Bytes(self.seq_read.div_ceil(line) * hdr);
+        seq_read_wire + self.rand_read.wire_data_dir + self.rand_write.wire_ctrl_dir
     }
 
     /// Wire bytes on the GPU -> CPU direction (write data + read control).
     pub fn wire_gpu_to_cpu(&self, link: &LinkModel) -> Bytes {
         let line = link.config().max_payload.0;
         let hdr = link.config().header.0;
-        let seq_write_wire = self.seq_write.0 + self.seq_write.div_ceil(line) * hdr;
-        let seq_read_ctrl = Bytes(self.seq_read.0).div_ceil(line) * hdr;
-        Bytes(
-            seq_write_wire
-                + self.rand_write.wire_data_dir.0
-                + self.rand_read.wire_ctrl_dir.0
-                + seq_read_ctrl,
-        )
+        let seq_write_wire = self.seq_write + Bytes(self.seq_write.div_ceil(line) * hdr);
+        let seq_read_ctrl = Bytes(self.seq_read.div_ceil(line) * hdr);
+        seq_write_wire
+            + self.rand_write.wire_data_dir
+            + self.rand_read.wire_ctrl_dir
+            + seq_read_ctrl
     }
 }
 
@@ -154,12 +152,11 @@ impl KernelCost {
         // (Fig 18 measures the out-of-core case); GPU-memory transactions
         // otherwise. Staging traffic (e.g. Hierarchical's second tier)
         // does not count against the output coalescing metric.
-        let link_txns =
-            self.link.rand_write.transactions + Bytes(self.link.seq_write.0).div_ceil(128);
+        let link_txns = self.link.rand_write.transactions + self.link.seq_write.div_ceil(128);
         let txns = if link_txns > 0 {
             link_txns
         } else {
-            Bytes(self.gpu_mem.write.0 + self.gpu_mem.rand_write.0).div_ceil(128)
+            (self.gpu_mem.write + self.gpu_mem.rand_write).div_ceil(128)
         };
         if txns == 0 {
             return 0.0;
@@ -215,8 +212,7 @@ impl KernelCost {
         // access-rate term for random sectors (MSHR-limited; reproduces
         // the paper's 4.3 G/s probe vs 1.8 G/s build dissection).
         let gm = &self.gpu_mem;
-        let gm_bytes = gm.total().as_f64();
-        let t_gpu_bw = Ns(gm_bytes / hw.gpu.mem_bandwidth.0 * 1e9);
+        let t_gpu_bw = hw.gpu.mem_bandwidth.time_for(gm.total());
         let sector = hw.gpu.gpu_mem_txn.as_f64().max(1.0);
         let t_gpu_rand = Ns((gm.rand_read.as_f64() / sector / hw.gpu.rand_read_rate
             + gm.rand_write.as_f64() / sector / hw.gpu.rand_write_rate)
@@ -297,7 +293,7 @@ impl KernelTiming {
     /// kernel's total time (the paper reports measured bandwidth over the
     /// 75 GB/s electrical limit, which is the same ratio).
     pub fn link_utilization(&self) -> f64 {
-        if self.total.0 == 0.0 {
+        if self.total.0 <= 0.0 {
             return 0.0;
         }
         (self.t_link_up.max(self.t_link_down).0 / self.total.0).min(1.0)

@@ -24,7 +24,8 @@
 //! shrinks capacities so experiments fit on a small host while preserving
 //! the paper's figure shapes (see the module docs in [`config`]).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod config;
 pub mod cpu;

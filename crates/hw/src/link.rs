@@ -79,8 +79,9 @@ impl WireCost {
         if self.payload.0 == 0 {
             return 0.0;
         }
-        (self.wire_data_dir.0 + self.wire_ctrl_dir.0).saturating_sub(self.payload.0) as f64
-            / self.payload.0 as f64
+        (self.wire_data_dir + self.wire_ctrl_dir)
+            .saturating_sub(self.payload)
+            .ratio_of(self.payload)
     }
 }
 
@@ -131,8 +132,8 @@ impl LinkModel {
         let header = self.cfg.header;
         WireCost {
             payload: granularity,
-            wire_data_dir: Bytes(lines * (line.0 + header.0)),
-            wire_ctrl_dir: Bytes(lines * header.0),
+            wire_data_dir: (line + header) * lines,
+            wire_ctrl_dir: header * lines,
             transactions: lines,
             partial_txns: 0,
         }
@@ -270,7 +271,7 @@ impl LinkModel {
             Dir::CpuToGpu => self.read(granularity, alignment),
             Dir::GpuToCpu => self.write(granularity, alignment),
         };
-        let wire_bytes = per.wire_data_dir.0 * n;
+        let wire_bytes = per.wire_data_dir * n;
         // Reads are rate-limited per line fetched; writes only per partial
         // line (full aligned lines stream at wire speed; Fig 6a shows
         // writes matching reads at 128 bytes).
@@ -278,7 +279,7 @@ impl LinkModel {
             Dir::CpuToGpu => (per.transactions * n, self.cfg.read_txn_rate),
             Dir::GpuToCpu => (per.partial_txns * n, self.cfg.write_txn_rate),
         };
-        let t_wire = Ns(wire_bytes as f64 / self.cfg.raw_bw_per_dir.0 * 1e9);
+        let t_wire = self.cfg.raw_bw_per_dir.time_for(wire_bytes);
         let t_txn = Ns(txns as f64 / rate * 1e9);
         t_wire.max(t_txn)
     }

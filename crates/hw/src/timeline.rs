@@ -45,6 +45,7 @@ impl Timeline {
             name: name.into(),
             segments: Vec::new(),
         });
+        // triton-lint: allow(p1) -- last_mut() directly after push() is always Some
         self.lanes.last_mut().unwrap()
     }
 

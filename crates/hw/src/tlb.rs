@@ -13,7 +13,7 @@
 //! IOMMU walker throughput limit (the 100x collapse of the linear-probing
 //! no-partitioning join, Section 6.2.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::config::HwConfig;
 use crate::units::{Bytes, Ns};
@@ -76,12 +76,14 @@ impl TlbStats {
     }
 }
 
-/// A fixed-capacity LRU set of u64 tags, implemented as a hash map into an
-/// intrusive doubly-linked list over a slab. O(1) touch/insert/evict.
+/// A fixed-capacity LRU set of u64 tags, implemented as an ordered map
+/// into an intrusive doubly-linked list over a slab. Touch/insert/evict
+/// are O(log n) over at most `cap` tags, with iteration order (and hence
+/// any derived output) independent of the process's hash seed.
 #[derive(Debug, Clone)]
 pub struct Lru {
     cap: usize,
-    map: HashMap<u64, usize>,
+    map: BTreeMap<u64, usize>,
     // Slab of nodes: (tag, prev, next). usize::MAX is the null index.
     nodes: Vec<(u64, usize, usize)>,
     head: usize,
@@ -97,7 +99,7 @@ impl Lru {
         assert!(cap >= 1);
         Lru {
             cap,
-            map: HashMap::with_capacity(cap * 2),
+            map: BTreeMap::new(),
             nodes: Vec::with_capacity(cap),
             head: NIL,
             tail: NIL,

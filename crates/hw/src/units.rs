@@ -60,6 +60,18 @@ impl Bytes {
         debug_assert!(unit > 0);
         self.0.div_ceil(unit)
     }
+    /// Scale by a non-negative factor, rounding toward zero (e.g. "retire
+    /// 15% of device memory").
+    pub fn scaled(self, factor: f64) -> Bytes {
+        debug_assert!(factor >= 0.0);
+        Bytes((self.0 as f64 * factor) as u64)
+    }
+    /// This byte count as a fraction of `denom` (clamped to at least one
+    /// byte, so a zero denominator reads as a ratio against 1 B rather
+    /// than a NaN).
+    pub fn ratio_of(self, denom: Bytes) -> f64 {
+        self.0 as f64 / denom.0.max(1) as f64
+    }
 }
 
 impl Add for Bytes {
@@ -88,6 +100,12 @@ impl Mul<u64> for Bytes {
     type Output = Bytes;
     fn mul(self, rhs: u64) -> Bytes {
         Bytes(self.0 * rhs)
+    }
+}
+impl Div<u64> for Bytes {
+    type Output = Bytes;
+    fn div(self, rhs: u64) -> Bytes {
+        Bytes(self.0 / rhs)
     }
 }
 impl Sum for Bytes {
@@ -232,6 +250,17 @@ impl BytesPerSec {
     pub fn as_gib(self) -> f64 {
         self.0 / GIB as f64
     }
+    /// Component-wise min (e.g. capping a link at a slower bus rate).
+    pub fn min(self, rhs: BytesPerSec) -> BytesPerSec {
+        BytesPerSec(self.0.min(rhs.0))
+    }
+}
+
+impl Mul<f64> for BytesPerSec {
+    type Output = BytesPerSec;
+    fn mul(self, rhs: f64) -> BytesPerSec {
+        BytesPerSec(self.0 * rhs)
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +281,24 @@ mod tests {
         assert_eq!(Bytes(129).div_ceil(128), 2);
         assert_eq!(Bytes(128).div_ceil(128), 1);
         assert_eq!(Bytes(0).div_ceil(128), 0);
+    }
+
+    #[test]
+    fn bytes_scalar_ops() {
+        assert_eq!(Bytes(1024) / 8, Bytes(128));
+        assert_eq!(Bytes(1000).scaled(0.15), Bytes(150));
+        assert_eq!(Bytes(512).ratio_of(Bytes(1024)), 0.5);
+        assert_eq!(
+            Bytes(512).ratio_of(Bytes(0)),
+            512.0,
+            "zero denom clamps to 1 B"
+        );
+    }
+
+    #[test]
+    fn bandwidth_scalar_ops() {
+        assert_eq!(BytesPerSec(100.0) * 0.5, BytesPerSec(50.0));
+        assert_eq!(BytesPerSec(100.0).min(BytesPerSec(38.0)), BytesPerSec(38.0));
     }
 
     #[test]

@@ -1,0 +1,26 @@
+// Fixture: BTree collections are fine; HashMap in test code, strings,
+// and comments must not trip D1.
+use std::collections::BTreeMap;
+
+/// Mentions HashMap in a doc comment — not a violation.
+pub fn counts(xs: &[u64]) -> usize {
+    let mut m: BTreeMap<u64, u64> = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    let _msg = "HashMap inside a string literal";
+    let _raw = r#"HashSet inside a raw string"#;
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: D1 must flag hash collections in non-test code, including
+// code behind `#[cfg(not(test))]` (which is NOT a test region).
+use std::collections::HashMap;
+
+pub fn counts(xs: &[u64]) -> usize {
+    let mut m: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.len()
+}
+
+#[cfg(not(test))]
+pub fn not_test_is_still_product_code() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}

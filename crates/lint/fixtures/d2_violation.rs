@@ -1,0 +1,9 @@
+// Fixture: wall-clock and ambient entropy outside crates/bench.
+use std::time::{Instant, SystemTime};
+
+pub fn now_ms() -> u128 {
+    let t0 = Instant::now();
+    let _epoch = SystemTime::now();
+    let _state = std::collections::hash_map::RandomState::new();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,8 @@
+// Fixture: a local function named `spawn` is not `thread::spawn`.
+fn spawn(n: u64) -> u64 {
+    n + 1
+}
+
+pub fn not_threading() -> u64 {
+    spawn(41)
+}

@@ -1,0 +1,6 @@
+// Fixture: unmanaged threading.
+pub fn fan_out() {
+    let h = std::thread::spawn(|| 42);
+    let _ = h.join();
+    rayon::scope(|_| {});
+}

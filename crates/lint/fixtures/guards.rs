@@ -1,0 +1,28 @@
+// Fixture: every trigger word in a position the lexer must see through.
+/// Doc comment naming HashMap, Instant, rayon, unwrap, panic! — prose.
+pub fn guarded<'a>(s: &'a str) -> String {
+    let block = /* HashMap in a block comment */ s;
+    let s1 = "HashMap, Instant::now(), thread::spawn, .unwrap(), panic!";
+    let s2 = r#"SystemTime and rayon in a raw string: x.0 as f64 == 0.0"#;
+    let escaped = "escaped quote \" then HashSet";
+    let ch = '"';
+    let byte = b'x';
+    let lifetime_not_char: &'static str = "fine";
+    format!("{block}{s1}{s2}{escaped}{ch}{byte}{lifetime_not_char}")
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::{HashMap, HashSet};
+    use std::time::{Instant, SystemTime};
+
+    #[test]
+    fn everything_is_allowed_in_test_code() {
+        let _m: HashMap<u64, u64> = HashMap::new();
+        let _s: HashSet<u64> = HashSet::new();
+        let _t = (Instant::now(), SystemTime::now());
+        let _h = std::thread::spawn(|| 1.0f64 == 1.0).join().unwrap();
+        let x = (3u64, 4u64);
+        let _y = x.0 as f64;
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture: non-panicking alternatives, and unwrap confined to test
+// code, are fine. `should_panic` and `unwrap_or` must not match.
+pub fn safe(v: &[u64]) -> u64 {
+    let first = v.first().copied().unwrap_or(0);
+    let second = v.get(1).copied().unwrap_or_else(|| 0);
+    first + second
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn test_code_may_panic() {
+        let v: Vec<u64> = vec![];
+        let _ = v[0];
+    }
+
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!([7u64].first().copied().unwrap(), safe(&[7]));
+    }
+}

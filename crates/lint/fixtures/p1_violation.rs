@@ -1,0 +1,9 @@
+// Fixture: panicking calls in library non-test code.
+pub fn risky(v: &[u64]) -> u64 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("needs two elements");
+    if *first == *second {
+        panic!("duplicates");
+    }
+    first + second
+}

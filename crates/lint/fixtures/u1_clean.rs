@@ -1,0 +1,25 @@
+// Fixture: unit-safe arithmetic, plain constructors, and `.0` on
+// ordinary (non-unit-constructor) expressions do not trip U1.
+use triton_hw::units::{Bytes, Ns};
+
+pub fn floor(a: Bytes, b: Bytes) -> Bytes {
+    a + b + Bytes::mib(8)
+}
+
+pub fn advance(clock: Ns, dt: Ns) -> Ns {
+    clock + dt
+}
+
+pub fn frac(used: Bytes, cap: Bytes) -> f64 {
+    used.as_f64() / cap.as_f64()
+}
+
+pub fn pair_field(p: (u64, u64)) -> u64 {
+    // Tuple access with arithmetic, but not inside a unit constructor
+    // and not cast: out of U1's scope.
+    p.0 + 1
+}
+
+pub fn fresh() -> Bytes {
+    Bytes(4096)
+}

@@ -1,0 +1,15 @@
+// Fixture: raw `.0` arithmetic re-wrapped in unit constructors, and
+// `.0 as` casts, outside units.rs.
+use triton_hw::units::{Bytes, Ns};
+
+pub fn floor(total: Bytes, cap: Bytes) -> Bytes {
+    Bytes(2 * total.0 + cap.0 / 8)
+}
+
+pub fn advance(clock: Ns, dt: f64) -> Ns {
+    Ns(clock.0 + dt)
+}
+
+pub fn frac(used: Bytes, cap: Bytes) -> f64 {
+    used.0 as f64 / cap.as_f64()
+}

@@ -1,0 +1,5 @@
+// Fixture: epsilon comparisons, integer equality, and float
+// *inequalities* are all fine.
+pub fn compare(x: f64, n: u64) -> bool {
+    (x - 1.5).abs() < 1e-9 && n == 0 && x <= 0.0 && x >= -1.0
+}

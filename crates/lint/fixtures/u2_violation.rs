@@ -1,0 +1,4 @@
+// Fixture: float equality against literals.
+pub fn degenerate(x: f64, y: f64) -> bool {
+    x == 0.0 || y != 1.5
+}

@@ -1,0 +1,9 @@
+// Fixture: waivers with written reasons cover their own line or the
+// next, and only the named rule.
+use std::collections::HashMap; // triton-lint: allow(d1) -- lookup-only registry, never iterated
+
+// triton-lint: allow(d2) -- fixture exercising the preceding-line form
+pub fn stamped() -> std::time::Instant { std::time::Instant::now() }
+
+// triton-lint: allow(d1) -- same registry; point lookups only
+pub fn lookups(m: &HashMap<u64, u64>, k: u64) -> Option<u64> { m.get(&k).copied() }

@@ -1,0 +1,8 @@
+// Fixture: a pragma without `-- reason` is inert AND reported; a
+// pragma naming a different rule does not waive this one.
+use std::collections::HashMap; // triton-lint: allow(d1)
+
+// triton-lint: allow(u2) -- wrong rule: does not cover the d1 below
+pub fn counts() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,448 @@
+//! A small hand-written Rust lexer — just enough fidelity for the lint
+//! rules: identifiers, numeric literals (with tuple-index `.0` kept
+//! distinct from float literals), string/char/lifetime disambiguation,
+//! and comments collected out-of-band so rules never match inside them.
+//!
+//! The lexer is deliberately forgiving: on malformed input it produces
+//! *some* token stream rather than erroring, because the analyzer must
+//! never block a build on code `rustc` itself will reject with a better
+//! message.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `spawn`, ...).
+    Ident,
+    /// Integer literal (`0`, `42u64`, `0xFF`). Tuple indices lex as this.
+    Int,
+    /// Float literal (`0.0`, `1e9`, `2.5f64`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`) — distinct from [`TokKind::Char`].
+    Lifetime,
+    /// A single punctuation character (`.`, `(`, `=`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// Source text (single character for [`TokKind::Punct`]).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment (line, block, or doc) with the line it starts on.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Tokenize `src`, returning the token stream and the comments
+/// separately (so rules can match tokens without comment noise, while
+/// the waiver parser still sees every comment).
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+
+    while let Some(c) = cur.peek() {
+        let line = cur.line;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                cur.eat_while(|c| c != b'\n');
+                comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&cur) => {
+                lex_raw_or_byte_string(&mut cur, &mut tokens, line);
+            }
+            b'"' => {
+                cur.bump();
+                lex_quoted(&mut cur, b'"');
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a lifetime is `'` + ident with no closing `'`.
+                let is_lifetime = match (cur.peek_at(1), cur.peek_at(2)) {
+                    (Some(c1), Some(c2)) => is_ident_start(c1) && c1 != b'\\' && c2 != b'\'',
+                    (Some(c1), None) => is_ident_start(c1),
+                    _ => false,
+                };
+                cur.bump();
+                if is_lifetime {
+                    cur.eat_while(is_ident_continue);
+                    tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: String::new(),
+                        line,
+                    });
+                } else {
+                    lex_quoted(&mut cur, b'\'');
+                    tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = cur.pos;
+                let kind = lex_number(&mut cur);
+                tokens.push(Token {
+                    kind,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            c if is_ident_start(c) => {
+                let start = cur.pos;
+                cur.eat_while(is_ident_continue);
+                tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&cur.src[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                cur.bump();
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+            }
+        }
+    }
+    (tokens, comments)
+}
+
+/// Does the cursor sit on `r"`, `r#"`, `b"`, `br"`, `b'`, or `br#"`?
+fn starts_raw_or_byte_string(cur: &Cursor<'_>) -> bool {
+    let c0 = cur.peek();
+    match c0 {
+        Some(b'r') => {
+            let mut i = 1;
+            while cur.peek_at(i) == Some(b'#') {
+                i += 1;
+            }
+            cur.peek_at(i) == Some(b'"')
+        }
+        Some(b'b') => match cur.peek_at(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => {
+                let mut i = 2;
+                while cur.peek_at(i) == Some(b'#') {
+                    i += 1;
+                }
+                cur.peek_at(i) == Some(b'"')
+            }
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+fn lex_raw_or_byte_string(cur: &mut Cursor<'_>, tokens: &mut Vec<Token>, line: u32) {
+    let mut raw = false;
+    if cur.peek() == Some(b'b') {
+        cur.bump();
+    }
+    if cur.peek() == Some(b'r') {
+        raw = true;
+        cur.bump();
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while cur.peek() == Some(b'#') {
+            hashes += 1;
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+        loop {
+            match cur.bump() {
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && cur.peek() == Some(b'#') {
+                        seen += 1;
+                        cur.bump();
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        tokens.push(Token {
+            kind: TokKind::Str,
+            text: String::new(),
+            line,
+        });
+    } else {
+        let quote = cur.bump().unwrap_or(b'"'); // `"` or `'`
+        lex_quoted(cur, quote);
+        tokens.push(Token {
+            kind: if quote == b'\'' {
+                TokKind::Char
+            } else {
+                TokKind::Str
+            },
+            text: String::new(),
+            line,
+        });
+    }
+}
+
+/// Consume a quoted literal body (opening quote already consumed),
+/// honoring backslash escapes, through the closing `quote`.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: u8) {
+    loop {
+        match cur.bump() {
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(c) if c == quote => break,
+            Some(_) => {}
+            None => break,
+        }
+    }
+}
+
+/// Consume a numeric literal; decide integer vs float.
+///
+/// `1.0`, `1.`, `1e9`, `1.5e-3`, `2f64` are floats; `0`, `0xFF`,
+/// `42_000u64` are integers. A `.` is part of the number only when *not*
+/// followed by an identifier or another `.` — so `x.0` and `0..n` keep
+/// their `0` an integer (which is what the unit-bypass rule matches on).
+fn lex_number(cur: &mut Cursor<'_>) -> TokKind {
+    let mut float = false;
+    if cur.peek() == Some(b'0')
+        && matches!(
+            cur.peek_at(1),
+            Some(b'x') | Some(b'X') | Some(b'b') | Some(b'B') | Some(b'o') | Some(b'O')
+        )
+    {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+        return TokKind::Int;
+    }
+    cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+    if cur.peek() == Some(b'.') {
+        let next = cur.peek_at(1);
+        let part_of_float = match next {
+            Some(c) => c.is_ascii_digit(),
+            // Trailing `1.` at end of input is a float.
+            None => true,
+        };
+        let range_or_field = matches!(next, Some(b'.')) || next.is_some_and(is_ident_start);
+        if part_of_float && !range_or_field {
+            float = true;
+            cur.bump();
+            cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        }
+    }
+    if matches!(cur.peek(), Some(b'e') | Some(b'E')) {
+        let (sign, digit) = (cur.peek_at(1), cur.peek_at(2));
+        let exp = match sign {
+            Some(b'+') | Some(b'-') => digit.is_some_and(|d| d.is_ascii_digit()),
+            Some(d) => d.is_ascii_digit(),
+            None => false,
+        };
+        if exp {
+            float = true;
+            cur.bump();
+            if matches!(cur.peek(), Some(b'+') | Some(b'-')) {
+                cur.bump();
+            }
+            cur.eat_while(|c| c.is_ascii_digit() || c == b'_');
+        }
+    }
+    // Type suffix (`u64`, `f64`, ...). `f32`/`f64` forces float.
+    if cur.peek() == Some(b'f') && (cur.peek_at(1) == Some(b'3') || cur.peek_at(1) == Some(b'6')) {
+        float = true;
+    }
+    cur.eat_while(is_ident_continue);
+    if float {
+        TokKind::Float
+    } else {
+        TokKind::Int
+    }
+}
+
+/// Per-token flag: is this token inside test-only code?
+///
+/// Marks the body of any item annotated `#[cfg(test)]` / `#[test]`
+/// (modules, functions), so rules can exempt test code. `#[cfg(not(test))]`
+/// is *not* a test region.
+pub fn test_regions(tokens: &[Token]) -> Vec<bool> {
+    let mut in_test = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokKind::Punct
+            && tokens[i].text == "#"
+            && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            // Collect the attribute's tokens to the matching `]`.
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < tokens.len() && depth > 0 {
+                match (tokens[j].kind, tokens[j].text.as_str()) {
+                    (TokKind::Punct, "[" | "(") => depth += 1,
+                    (TokKind::Punct, "]" | ")") => depth -= 1,
+                    (TokKind::Ident, name) => idents.push(name),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let first = idents.first().copied().unwrap_or("");
+            let is_test_attr = idents.contains(&"test")
+                && !idents.contains(&"not")
+                && matches!(first, "cfg" | "test" | "cfg_attr");
+            if is_test_attr {
+                // Skip any further attributes, then mark to the end of
+                // the annotated item: its brace-matched body, or the
+                // first `;` when it has none.
+                let mut k = j;
+                while k + 1 < tokens.len() && tokens[k].text == "#" && tokens[k + 1].text == "[" {
+                    let mut d = 1u32;
+                    k += 2;
+                    while k < tokens.len() && d > 0 {
+                        match tokens[k].text.as_str() {
+                            "[" | "(" => d += 1,
+                            "]" | ")" => d -= 1,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                let mut end = k;
+                let mut braces = 0u32;
+                let mut entered = false;
+                while end < tokens.len() {
+                    match tokens[end].text.as_str() {
+                        "{" => {
+                            braces += 1;
+                            entered = true;
+                        }
+                        "}" => braces = braces.saturating_sub(1),
+                        ";" if !entered => break,
+                        _ => {}
+                    }
+                    if entered && braces == 0 {
+                        break;
+                    }
+                    end += 1;
+                }
+                let end = end.min(tokens.len().saturating_sub(1));
+                for flag in in_test.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    in_test
+}

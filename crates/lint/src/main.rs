@@ -1,0 +1,70 @@
+//! `triton-lint` — scan the workspace for determinism & unit-safety
+//! violations.
+//!
+//! ```text
+//! triton-lint [--json <path>] [<workspace-root>]
+//! ```
+//!
+//! Exits 0 when every finding is waived (with a written reason), 1 when
+//! any unwaived violation or reasonless waiver exists, 2 on usage/IO
+//! errors. `--json <path>` additionally writes a JSON Lines report
+//! (bench-harness conventions) to `<path>`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use triton_lint::analyze_workspace;
+
+/// Default workspace root: two levels above this crate's manifest.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}
+
+fn run() -> Result<bool, String> {
+    let mut json_out: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| "--json requires a path argument".to_string())?;
+                json_out = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                println!("usage: triton-lint [--json <path>] [<workspace-root>]");
+                return Ok(true);
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let report = analyze_workspace(&root)?;
+    print!("{}", report.render_text());
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.render_json())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("json report written to {}", path.display());
+    }
+    Ok(!report.failed())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("triton-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

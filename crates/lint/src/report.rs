@@ -1,0 +1,187 @@
+//! Report assembly: the per-file analyses roll up into one
+//! [`WorkspaceReport`] with text and JSON renderings. The JSON mode
+//! follows the workspace's bench conventions (`triton_bench::json`):
+//! JSON Lines, one object per row, stable key order.
+
+use triton_bench::json::JsonObject;
+
+use crate::rules::{FileAnalysis, Finding, Rule, ALL_RULES};
+
+/// One file's findings, tagged with its workspace-relative path.
+#[derive(Debug)]
+pub struct FileReport {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// The analysis for this file.
+    pub analysis: FileAnalysis,
+}
+
+/// The whole run's results.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Per-file reports, in path order.
+    pub files: Vec<FileReport>,
+    /// Total files scanned (including clean ones).
+    pub files_scanned: usize,
+}
+
+impl WorkspaceReport {
+    /// Findings that no waiver covers, as `(path, finding)` pairs.
+    pub fn unwaived(&self) -> impl Iterator<Item = (&str, &Finding)> {
+        self.files.iter().flat_map(|f| {
+            f.analysis
+                .findings
+                .iter()
+                .filter(|v| v.waived.is_none())
+                .map(move |v| (f.path.as_str(), v))
+        })
+    }
+
+    /// Findings a waiver covers, as `(path, finding)` pairs.
+    pub fn waived(&self) -> impl Iterator<Item = (&str, &Finding)> {
+        self.files.iter().flat_map(|f| {
+            f.analysis
+                .findings
+                .iter()
+                .filter(|v| v.waived.is_some())
+                .map(move |v| (f.path.as_str(), v))
+        })
+    }
+
+    /// `(path, line)` of every pragma missing its mandatory reason.
+    pub fn malformed_waivers(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.files.iter().flat_map(|f| {
+            f.analysis
+                .malformed_waivers
+                .iter()
+                .map(move |&l| (f.path.as_str(), l))
+        })
+    }
+
+    /// Does the run fail (any unwaived finding, or any reasonless
+    /// pragma)?
+    pub fn failed(&self) -> bool {
+        self.unwaived().next().is_some() || self.malformed_waivers().next().is_some()
+    }
+
+    /// Count of findings for `rule`, waived or not.
+    pub fn count_for(&self, rule: Rule) -> usize {
+        self.files
+            .iter()
+            .flat_map(|f| f.analysis.findings.iter())
+            .filter(|v| v.rule == rule)
+            .count()
+    }
+
+    /// Human-readable report: violations, then the waiver inventory
+    /// (waiver creep must stay visible), then a per-rule summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (path, v) in self.unwaived() {
+            out.push_str(&format!(
+                "{path}:{line}: {rule} — {msg}\n",
+                line = v.line,
+                rule = v.rule.code().to_ascii_uppercase(),
+                msg = v.message
+            ));
+        }
+        for (path, line) in self.malformed_waivers() {
+            out.push_str(&format!(
+                "{path}:{line}: WAIVER — pragma without a `-- reason` clause; \
+                 every waiver must say why\n"
+            ));
+        }
+        let waived: Vec<(&str, &Finding)> = self.waived().collect();
+        if !waived.is_empty() {
+            out.push_str(&format!("\nwaivers in effect ({}):\n", waived.len()));
+            for (path, v) in &waived {
+                let reason = v.waived.as_deref().unwrap_or("");
+                out.push_str(&format!(
+                    "  {path}:{line}: {rule} — {reason}\n",
+                    line = v.line,
+                    rule = v.rule.code().to_ascii_uppercase(),
+                ));
+            }
+        }
+        let unwaived = self.unwaived().count();
+        let malformed = self.malformed_waivers().count();
+        out.push_str(&format!(
+            "\n{files} files scanned; {unwaived} violations, {} waived",
+            waived.len(),
+            files = self.files_scanned,
+        ));
+        if malformed > 0 {
+            out.push_str(&format!(", {malformed} reasonless waivers"));
+        }
+        out.push('\n');
+        for rule in ALL_RULES {
+            let n = self.count_for(rule);
+            if n > 0 {
+                out.push_str(&format!(
+                    "  {}: {} ({})\n",
+                    rule.code().to_ascii_uppercase(),
+                    n,
+                    rule.describe()
+                ));
+            }
+        }
+        out
+    }
+
+    /// JSON Lines report: one `finding` row per hit (waived included),
+    /// one `waiver` row per pragma, and a final `summary` row.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        for f in &self.files {
+            for v in &f.analysis.findings {
+                let mut row = JsonObject::new()
+                    .str("kind", "finding")
+                    .str("file", &f.path)
+                    .int("line", u64::from(v.line))
+                    .str("rule", v.rule.code())
+                    .str("message", &v.message)
+                    .bool("waived", v.waived.is_some());
+                if let Some(reason) = &v.waived {
+                    row = row.str("reason", reason);
+                }
+                out.push_str(&row.render());
+                out.push('\n');
+            }
+            for w in &f.analysis.waivers {
+                out.push_str(
+                    &JsonObject::new()
+                        .str("kind", "waiver")
+                        .str("file", &f.path)
+                        .int("line", u64::from(w.line))
+                        .str("rules", &w.rules.join(","))
+                        .str("reason", &w.reason)
+                        .render(),
+                );
+                out.push('\n');
+            }
+            for &l in &f.analysis.malformed_waivers {
+                out.push_str(
+                    &JsonObject::new()
+                        .str("kind", "malformed_waiver")
+                        .str("file", &f.path)
+                        .int("line", u64::from(l))
+                        .render(),
+                );
+                out.push('\n');
+            }
+        }
+        let mut summary = JsonObject::new()
+            .str("kind", "summary")
+            .int("files_scanned", self.files_scanned as u64)
+            .int("violations", self.unwaived().count() as u64)
+            .int("waived", self.waived().count() as u64)
+            .int("malformed_waivers", self.malformed_waivers().count() as u64)
+            .bool("failed", self.failed());
+        for rule in ALL_RULES {
+            summary = summary.int(rule.code(), self.count_for(rule) as u64);
+        }
+        out.push_str(&summary.render());
+        out.push('\n');
+        out
+    }
+}

@@ -1,0 +1,48 @@
+//! Deterministic workspace traversal: which `.rs` files the analyzer
+//! scans, in sorted order (directory-listing order is itself
+//! nondeterministic — the tool practices what it preaches).
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, VCS metadata,
+/// and the lint fixtures (which violate rules on purpose).
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "fixtures"];
+
+/// Collect every `.rs` file under the workspace roots we own:
+/// `crates/`, top-level `tests/`, and top-level `examples/`.
+pub fn workspace_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, files: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative label with forward slashes, for stable reports
+/// across platforms.
+pub fn rel_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.to_string_lossy().replace('\\', "/")
+}

@@ -1,0 +1,244 @@
+//! Fixture-driven self-tests: one violating and one clean case per
+//! rule, waiver parsing, and false-positive guards (strings, comments,
+//! `#[cfg(test)]` regions). Deleting any single rule's implementation
+//! must fail at least one case here.
+
+use std::path::Path;
+
+use triton_lint::{analyze_source, FileClass, Rule, ALL_RULES};
+
+/// Expected result of analyzing one fixture under one classification.
+struct Case {
+    fixture: &'static str,
+    /// Synthetic workspace-relative path deciding rule scopes.
+    classify_as: &'static str,
+    /// Exact expected unwaived count per rule (d1..p1 order).
+    unwaived: [usize; 6],
+    /// Expected count of findings covered by a valid waiver.
+    waived: usize,
+    /// Expected count of reasonless/typoed pragmas.
+    malformed: usize,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        fixture: "d1_violation.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [5, 0, 0, 0, 0, 0],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "d1_clean.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "d2_violation.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0, 5, 0, 0, 0, 0],
+        waived: 0,
+        malformed: 0,
+    },
+    // The same wall-clock code is legal inside the bench crate.
+    Case {
+        fixture: "d2_violation.rs",
+        classify_as: "crates/bench/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "d3_violation.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0, 0, 2, 0, 0, 0],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "d3_clean.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "u1_violation.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0, 0, 0, 3, 0, 0],
+        waived: 0,
+        malformed: 0,
+    },
+    // units.rs itself is the one home of raw unit arithmetic.
+    Case {
+        fixture: "u1_violation.rs",
+        classify_as: "crates/hw/src/units.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "u1_clean.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "u2_violation.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0, 0, 0, 0, 2, 0],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "u2_clean.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "p1_violation.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0, 0, 0, 0, 0, 3],
+        waived: 0,
+        malformed: 0,
+    },
+    // P1 is scoped to library crates: examples and bench are exempt.
+    Case {
+        fixture: "p1_violation.rs",
+        classify_as: "examples/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "p1_violation.rs",
+        classify_as: "crates/bench/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "p1_clean.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "waiver_ok.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 4,
+        malformed: 0,
+    },
+    Case {
+        fixture: "waiver_reasonless.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [3, 0, 0, 0, 0, 0],
+        waived: 0,
+        malformed: 1,
+    },
+    Case {
+        fixture: "guards.rs",
+        classify_as: "crates/core/src/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    // Integration tests and bench harnesses are test code for every
+    // rule.
+    Case {
+        fixture: "d1_violation.rs",
+        classify_as: "tests/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "p1_violation.rs",
+        classify_as: "crates/core/benches/fixture.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+];
+
+fn load(fixture: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(fixture);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn fixture_table() {
+    for case in CASES {
+        let src = load(case.fixture);
+        let class = FileClass::classify(case.classify_as);
+        let analysis = analyze_source(&class, &src);
+        let label = format!("{} as {}", case.fixture, case.classify_as);
+        for (i, rule) in ALL_RULES.iter().enumerate() {
+            let got = analysis
+                .findings
+                .iter()
+                .filter(|f| f.rule == *rule && f.waived.is_none())
+                .count();
+            assert_eq!(
+                got,
+                case.unwaived[i],
+                "{label}: unwaived {} count (findings: {:#?})",
+                rule.code(),
+                analysis.findings
+            );
+        }
+        let waived = analysis
+            .findings
+            .iter()
+            .filter(|f| f.waived.is_some())
+            .count();
+        assert_eq!(waived, case.waived, "{label}: waived count");
+        assert_eq!(
+            analysis.malformed_waivers.len(),
+            case.malformed,
+            "{label}: malformed waiver count"
+        );
+    }
+}
+
+#[test]
+fn every_rule_is_exercised_by_some_fixture() {
+    // The acceptance bar: deleting any one rule's implementation must
+    // fail a fixture case. That holds iff every rule has a case
+    // expecting a non-zero unwaived count.
+    for (i, rule) in ALL_RULES.iter().enumerate() {
+        assert!(
+            CASES.iter().any(|c| c.unwaived[i] > 0),
+            "no fixture exercises rule {}",
+            rule.code()
+        );
+    }
+}
+
+#[test]
+fn waiver_reasons_surface_in_findings() {
+    let src = load("waiver_ok.rs");
+    let class = FileClass::classify("crates/core/src/fixture.rs");
+    let analysis = analyze_source(&class, &src);
+    let d1_reason = analysis
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::D1)
+        .and_then(|f| f.waived.clone())
+        .expect("d1 finding should carry its waiver reason");
+    assert!(
+        d1_reason.contains("lookup-only"),
+        "reason text should round-trip: {d1_reason}"
+    );
+    assert_eq!(analysis.waivers.len(), 3);
+    assert!(analysis.waivers.iter().all(|w| !w.reason.is_empty()));
+}

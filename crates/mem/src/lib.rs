@@ -10,7 +10,8 @@
 //!   pages, interleaved in proportion to the cached fraction, into one
 //!   contiguous virtual array.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod alloc;
 pub mod interleave;

@@ -298,6 +298,7 @@ impl Partitioned {
 
     /// Total tuples.
     pub fn len(&self) -> usize {
+        // triton-lint: allow(p1) -- offsets holds fanout+1 entries by construction, never empty
         *self.offsets.last().unwrap()
     }
 

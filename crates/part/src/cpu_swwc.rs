@@ -95,7 +95,7 @@ pub fn cpu_partition_time(tuples_modeled: u64, radix_bits: u32, passes: u32, hw:
     let fanout_per_pass = 1u64 << bits_per_pass;
     // SWWC buffer pressure on the LLC slows the scatter as the buffers
     // approach the per-core cache share.
-    let pressure = (fanout_per_pass * SWWC_BUFFER_BYTES) as f64 / cpu.llc_per_core.0 as f64;
+    let pressure = (fanout_per_pass * SWWC_BUFFER_BYTES) as f64 / cpu.llc_per_core.as_f64();
     let spill = 1.0 + 0.25 * pressure.min(1.0);
 
     let mut total = Ns::ZERO;

@@ -18,7 +18,8 @@
 //! All GPU partitioners execute functionally at warp granularity and
 //! account every access against `triton-hw`'s link/TLB/memory models.
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod common;
 pub mod cpu_swwc;

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use triton_core::{CpuRadixJoin, HashScheme};
 use triton_datagen::WorkloadSpec;
 use triton_exec::{FaultPlan, JoinQuery, Operator, Outcome, Scheduler, SchedulerConfig};
-use triton_hw::units::{Bytes, Ns};
+use triton_hw::units::Ns;
 use triton_hw::HwConfig;
 
 /// The serve-demo tenant mix: dashboard probe bursts sharing one build
@@ -82,7 +82,7 @@ fn main() {
     let plan = FaultPlan::with_seed(42)
         .flap_link(Ns(span * 0.15), Ns(span * 0.10))
         .degrade_link(Ns(span * 0.35), Ns(span * 0.50), 0.6)
-        .retire_gpu_mem(Ns(span * 0.40), Bytes(hw.gpu.mem_capacity.0 * 3 / 5))
+        .retire_gpu_mem(Ns(span * 0.40), hw.gpu.mem_capacity * 3 / 5)
         .kernel_fault(Ns(span * 0.55));
     println!("plan     : {} fault events, seed {}", plan.len(), plan.seed);
     for e in plan.events() {

@@ -73,7 +73,7 @@ fn main() {
         .seg("PS1+Part1", Ns::ZERO, setup)
         .seg("PS2+Part2", setup, stage_a);
     tl.lane("SMs 40-79")
-        .seg("Join", setup + Ns(stage_a.0 * 0.15), t("Join"));
+        .seg("Join", setup + stage_a * 0.15, t("Join"));
     println!("\nconcurrent-kernel pipeline (Fig 11):");
     print!("{}", tl.render(56));
 }
