@@ -12,7 +12,7 @@
 
 use triton_core::{CpuRadixJoin, HashScheme, TritonJoin};
 use triton_datagen::{Rng, WorkloadSpec};
-use triton_exec::{FaultPlan, JoinQuery, Operator, Scheduler, SchedulerConfig, SchedulerMetrics};
+use triton_exec::{FaultPlan, JoinQuery, Operator, Scheduler, SchedulerConfig, ServeResult};
 use triton_hw::units::Ns;
 use triton_hw::HwConfig;
 
@@ -153,9 +153,10 @@ const CHAOS_LOAD: f64 = 1.0;
 /// thirds of device memory and a kernel fault both aimed at the
 /// heaviest GPU query's execution window (the degraded link only
 /// stretches windows, so the faults land on live reservations) — once
-/// with the resilience layer and once without. Returns
-/// (resilient, fragile).
-pub fn run_chaos(hw: &HwConfig) -> (SchedulerMetrics, SchedulerMetrics) {
+/// with the resilience layer and once without. Returns the full
+/// (resilient, fragile) serving results — metrics plus the recorded
+/// trace, so callers can account for fault instants and flight dumps.
+pub fn run_chaos(hw: &HwConfig) -> (ServeResult, ServeResult) {
     let s_mean = mean_service_time(hw);
     let clean = Scheduler::new(hw.clone(), SchedulerConfig::default())
         .run(queries_at_load(hw, s_mean, CHAOS_LOAD));
@@ -173,7 +174,7 @@ pub fn run_chaos(hw: &HwConfig) -> (SchedulerMetrics, SchedulerMetrics) {
         .run_with_faults(queries_at_load(hw, s_mean, CHAOS_LOAD), &plan);
     let fragile = Scheduler::new(hw.clone(), SchedulerConfig::no_resilience())
         .run_with_faults(queries_at_load(hw, s_mean, CHAOS_LOAD), &plan);
-    (resilient.metrics, fragile.metrics)
+    (resilient, fragile)
 }
 
 /// Print the experiment.
@@ -230,19 +231,40 @@ pub fn print(hw: &HwConfig, loads: &[f64]) {
     // the recovery ladder. Full fault accounting lands in the JSON.
     let (resilient, fragile) = run_chaos(hw);
     println!("\nchaos point (load {CHAOS_LOAD}, halved link + 66% ECC retirement + kernel fault):");
-    println!("  resilient: {}", resilient.summary());
-    println!("  fragile  : {}", fragile.summary());
-    for (mode, m) in [("resilient", &resilient), ("fragile", &fragile)] {
+    println!("  resilient: {}", resilient.metrics.summary());
+    println!("  fragile  : {}", fragile.metrics.summary());
+    for (mode, r) in [("resilient", &resilient), ("fragile", &fragile)] {
         println!(
             "{{\"fig\":\"serve_load_chaos\",\"mode\":\"{mode}\",\"metrics\":{}}}",
-            m.to_json()
+            r.metrics.to_json()
         );
     }
+    // Trace accounting for the resilient run: how much the flight
+    // recorder captured around the injected faults.
+    let count = |name: &str| {
+        resilient
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.name == name)
+            .count() as u64
+    };
+    println!(
+        "{}",
+        crate::json::JsonObject::new()
+            .str("fig", "serve_load_chaos_trace")
+            .int("trace_events", resilient.trace.len() as u64)
+            .int("flight_dumps", count("flight.dump"))
+            .int("kernel_faults", count("kernel-fault"))
+            .int("ecc_retirements", count("ecc-retirement"))
+            .render()
+    );
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use triton_exec::to_chrome_json;
 
     #[test]
     fn sweep_saturates_and_stays_within_memory() {
@@ -261,11 +283,21 @@ mod tests {
     fn chaos_point_recovers_more_than_it_sheds() {
         let hw = HwConfig::ac922().scaled(2048);
         let (resilient, fragile) = run_chaos(&hw);
-        assert!(resilient.completed >= fragile.completed);
-        assert!(resilient.shed_faulted == 0, "ladder must absorb the faults");
-        // Replays are byte-identical: same plan, same seed, same report.
+        assert!(resilient.metrics.completed >= fragile.metrics.completed);
+        assert!(
+            resilient.metrics.shed_faulted == 0,
+            "ladder must absorb the faults"
+        );
+        // The injected kernel fault must land in the trace and trip the
+        // flight recorder.
+        let json = to_chrome_json(&resilient.trace);
+        assert!(json.contains("kernel-fault"), "fault instant missing");
+        assert!(json.contains("flight.dump"), "flight dump missing");
+        // Replays are byte-identical: same plan, same seed, same report
+        // — and the same trace bytes.
         let (again, _) = run_chaos(&hw);
-        assert_eq!(resilient, again);
-        assert_eq!(resilient.to_json(), again.to_json());
+        assert_eq!(resilient.metrics, again.metrics);
+        assert_eq!(resilient.metrics.to_json(), again.metrics.to_json());
+        assert_eq!(json, to_chrome_json(&again.trace));
     }
 }

@@ -205,6 +205,7 @@ impl GpuAggregation {
                 checksum: result.sum_digest,
             },
             executor: Executor::Gpu,
+            overlap: None,
         };
         (result, report)
     }
@@ -284,6 +285,7 @@ pub fn npj_style_aggregate(rel: &Relation, hw: &HwConfig) -> (AggregateResult, J
             checksum: result.sum_digest,
         },
         executor: Executor::Gpu,
+        overlap: None,
     };
     (result, report)
 }

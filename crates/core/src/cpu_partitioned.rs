@@ -194,6 +194,7 @@ impl CpuPartitionedJoin {
             tuples_modeled: w.total_tuples_modeled(),
             result,
             executor: Executor::Gpu,
+            overlap: None,
         }
     }
 }

@@ -124,6 +124,7 @@ impl CpuRadixJoin {
             tuples_modeled: w.total_tuples_modeled(),
             result,
             executor: Executor::Cpu,
+            overlap: None,
         }
     }
 

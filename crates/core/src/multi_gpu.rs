@@ -125,6 +125,7 @@ impl MultiGpuTritonJoin {
             tuples_modeled: w.total_tuples_modeled(),
             result,
             executor: Executor::Gpu,
+            overlap: None,
         }
     }
 }

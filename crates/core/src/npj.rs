@@ -220,6 +220,7 @@ impl NoPartitioningJoin {
             tuples_modeled: w.total_tuples_modeled(),
             result,
             executor: Executor::Gpu,
+            overlap: None,
         }
     }
 }

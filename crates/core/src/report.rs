@@ -79,6 +79,52 @@ impl JoinResult {
     }
 }
 
+/// Per-pair stage times of a Section 5.2 concurrent-kernel pipeline:
+/// stage A (second pass) of pair *i+1* overlaps stage B (join) of pair
+/// *i* on disjoint SM halves. Carried on the [`JoinReport`] so tracing
+/// can draw the overlap as two lanes instead of inferring it from the
+/// pipelined total.
+#[derive(Debug, Clone, Default)]
+pub struct OverlapLanes {
+    /// Per-pair stage A (second pass + sched) times, in pair order.
+    pub stage_a: Vec<Ns>,
+    /// Per-pair stage B (join) times, in pair order.
+    pub stage_b: Vec<Ns>,
+}
+
+impl OverlapLanes {
+    /// Start offsets `(a_start, b_start)` of each pair relative to the
+    /// pipeline's begin, under the barrier semantics of
+    /// [`triton_hw::kernel::pipeline2`]: A of pair *i+1* and B of pair
+    /// *i* launch together, and the next barrier waits for both.
+    pub fn schedule(&self) -> Vec<(Ns, Ns)> {
+        let n = self.stage_a.len().min(self.stage_b.len());
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut a_start = vec![Ns::ZERO; n];
+        let mut b_start = vec![Ns::ZERO; n];
+        let mut barrier = self.stage_a[0];
+        for i in 1..n {
+            a_start[i] = barrier;
+            b_start[i - 1] = barrier;
+            barrier += self.stage_a[i].max(self.stage_b[i - 1]);
+        }
+        b_start[n - 1] = barrier;
+        a_start.into_iter().zip(b_start).collect()
+    }
+
+    /// End-to-end pipeline time implied by the schedule; equals
+    /// [`triton_hw::kernel::pipeline2`] over the same stages.
+    pub fn total(&self) -> Ns {
+        let n = self.stage_a.len().min(self.stage_b.len());
+        match self.schedule().last() {
+            Some((_, b_start)) => *b_start + self.stage_b[n - 1],
+            None => Ns::ZERO,
+        }
+    }
+}
+
 /// Complete report of one join execution.
 #[derive(Debug, Clone)]
 pub struct JoinReport {
@@ -97,6 +143,10 @@ pub struct JoinReport {
     pub result: JoinResult,
     /// Which processor ran the join (for the power model).
     pub executor: Executor,
+    /// Per-pair stage lanes when the operator ran its stages as
+    /// concurrent kernels on split SM halves (`None` for serial
+    /// operators and ablations).
+    pub overlap: Option<OverlapLanes>,
 }
 
 impl JoinReport {
@@ -169,6 +219,29 @@ mod tests {
     use super::*;
 
     #[test]
+    fn overlap_schedule_matches_pipeline2() {
+        let lanes = OverlapLanes {
+            stage_a: vec![Ns(10.0), Ns(20.0), Ns(5.0)],
+            stage_b: vec![Ns(15.0), Ns(8.0), Ns(30.0)],
+        };
+        let sched = lanes.schedule();
+        assert_eq!(sched.len(), 3);
+        // A0 at 0; A1 and B0 launch together at the first barrier.
+        assert_eq!(sched[0].0, Ns::ZERO);
+        assert_eq!(sched[1].0, Ns(10.0));
+        assert_eq!(sched[0].1, Ns(10.0));
+        // Next barrier waits for max(A1, B0) = 20.
+        assert_eq!(sched[2].0, Ns(30.0));
+        assert_eq!(sched[1].1, Ns(30.0));
+        // Last join starts after max(A2, B1) and runs to the end.
+        assert_eq!(sched[2].1, Ns(38.0));
+        let expected = triton_hw::kernel::pipeline2(&lanes.stage_a, &lanes.stage_b);
+        assert!((lanes.total().0 - expected.0).abs() < 1e-12);
+        assert!(OverlapLanes::default().schedule().is_empty());
+        assert_eq!(OverlapLanes::default().total(), Ns::ZERO);
+    }
+
+    #[test]
     fn join_result_checksum_is_order_independent() {
         let mut a = JoinResult::empty();
         a.add(1, 2);
@@ -201,6 +274,7 @@ mod tests {
             tuples_modeled: 4_000_000_000,
             result: JoinResult::empty(),
             executor: Executor::Gpu,
+            overlap: None,
         };
         assert!((r.throughput_gtps() - 2.0).abs() < 1e-12);
     }
@@ -219,6 +293,7 @@ mod tests {
             tuples_modeled: 1,
             result: JoinResult::empty(),
             executor: Executor::Cpu,
+            overlap: None,
         };
         let bd = r.time_breakdown();
         assert_eq!(bd.len(), 2);

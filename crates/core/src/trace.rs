@@ -1,0 +1,178 @@
+//! Bridges join reports into `triton-trace` spans.
+//!
+//! The serving runtime (`triton-exec`) records one trace track group per
+//! query; this module knows how to unfold a [`JoinReport`] onto those
+//! tracks: the merged per-kernel phases as a sequential span chain, and —
+//! when the operator ran with concurrent kernels — the Section 5.2
+//! SM-half overlap as two parallel lanes.
+//!
+//! Attribute keys follow the workspace convention: `snake_case`, with the
+//! unit as a suffix (`_ns`, `_bytes`); dimensionless counts carry no
+//! suffix. Phase names are normalised with [`phase_key`] wherever they
+//! become keys (rollups), and kept verbatim where they become span names
+//! (so Perfetto shows the paper's kernel labels).
+
+use crate::report::{JoinReport, OverlapLanes, PhaseReport};
+use triton_hw::HwConfig;
+use triton_trace::{Attr, Trace};
+
+/// Normalise a phase name into a rollup key: lowercase, with every run of
+/// non-alphanumeric characters collapsed to a single `_` ("PS 1" →
+/// `ps_1`, "Part 2" → `part_2`).
+pub fn phase_key(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.extend(c.to_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Bytes a phase moved, for rollups: interconnect payload plus GPU memory
+/// traffic. CPU phases carry no cost model and report zero.
+pub fn phase_bytes(p: &PhaseReport) -> u64 {
+    match &p.cost {
+        Some(c) => {
+            let link = c.link.payload();
+            let mem = c.gpu_mem.total();
+            (link + mem).0
+        }
+        None => 0,
+    }
+}
+
+/// Record a report's phases as a sequential span chain on `(pid, tid)`
+/// starting at `t0_ns`, with every duration scaled by `stretch` (so the
+/// chain can be stretched to cover exactly the query's scheduled
+/// `[start, finish]` window even though isolated phase times ignore
+/// pipeline overlap). Each span carries `isolated_time_ns` plus the full
+/// kernel cost attributes for GPU phases. Returns the timestamp where the
+/// chain ended.
+pub fn record_report(
+    trace: &mut Trace,
+    pid: u64,
+    tid: u64,
+    t0_ns: f64,
+    stretch: f64,
+    report: &JoinReport,
+    hw: &HwConfig,
+) -> f64 {
+    let mut ts = t0_ns;
+    for p in &report.phases {
+        let dur = (p.time.0 * stretch).max(0.0);
+        let ev = trace.span(pid, tid, p.name.clone(), ts, dur);
+        ev.attr(Attr::f64("isolated_time_ns", p.time.0));
+        if let Some(cost) = &p.cost {
+            ev.attrs(cost.trace_attrs(hw));
+        }
+        ts += dur;
+    }
+    ts
+}
+
+/// Record the Section 5.2 concurrent-kernel schedule as two lanes:
+/// per-pair second-pass spans on `tid_a` and join spans on `tid_b`, at
+/// the barrier offsets of [`OverlapLanes::schedule`], all relative to
+/// `t0_ns` with times scaled by `scale`. This is what makes the SM-half
+/// overlap *visible* in a Chrome trace: pair *i+1*'s partitioning pass
+/// runs on top of pair *i*'s join.
+pub fn record_overlap(
+    trace: &mut Trace,
+    pid: u64,
+    tid_a: u64,
+    tid_b: u64,
+    t0_ns: f64,
+    scale: f64,
+    lanes: &OverlapLanes,
+) {
+    for (i, (a_start, b_start)) in lanes.schedule().into_iter().enumerate() {
+        let a_dur = (lanes.stage_a[i].0 * scale).max(0.0);
+        let b_dur = (lanes.stage_b[i].0 * scale).max(0.0);
+        trace
+            .span(
+                pid,
+                tid_a,
+                format!("pass2 p{i}"),
+                t0_ns + a_start.0 * scale,
+                a_dur,
+            )
+            .attr(Attr::u64("pair", i as u64));
+        trace
+            .span(
+                pid,
+                tid_b,
+                format!("join p{i}"),
+                t0_ns + b_start.0 * scale,
+                b_dur,
+            )
+            .attr(Attr::u64("pair", i as u64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{JoinResult, PhaseReport};
+    use triton_hw::power::Executor;
+    use triton_hw::units::Ns;
+
+    #[test]
+    fn phase_key_normalises() {
+        assert_eq!(phase_key("PS 1"), "ps_1");
+        assert_eq!(phase_key("Part 2"), "part_2");
+        assert_eq!(phase_key("Join"), "join");
+        assert_eq!(phase_key("  CPU -- merge  "), "cpu_merge");
+        assert_eq!(phase_key(""), "");
+    }
+
+    #[test]
+    fn record_report_stretches_to_window() {
+        let report = JoinReport {
+            name: "x".into(),
+            phases: vec![
+                PhaseReport::cpu("a", Ns(30.0)),
+                PhaseReport::cpu("b", Ns(70.0)),
+            ],
+            total: Ns(100.0),
+            tuples_actual: 1,
+            tuples_modeled: 1,
+            result: JoinResult::empty(),
+            executor: Executor::Cpu,
+            overlap: None,
+        };
+        let hw = HwConfig::ac922().scaled(65536);
+        let mut trace = Trace::new();
+        // Stretch the 100 ns of isolated time over a 200 ns window.
+        let end = record_report(&mut trace, 3, 1, 1000.0, 2.0, &report, &hw);
+        assert!((end - 1200.0).abs() < 1e-9);
+        assert_eq!(trace.len(), 2);
+        let first = &trace.events()[0];
+        assert_eq!(first.name, "a");
+        assert!((first.ts_ns - 1000.0).abs() < 1e-9);
+        assert!((trace.span_ns() - 1200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_overlap_draws_two_lanes() {
+        let lanes = OverlapLanes {
+            stage_a: vec![Ns(10.0), Ns(20.0)],
+            stage_b: vec![Ns(15.0), Ns(5.0)],
+        };
+        let mut trace = Trace::new();
+        record_overlap(&mut trace, 2, 1, 2, 100.0, 1.0, &lanes);
+        assert_eq!(trace.len(), 4);
+        // Pair 1's pass2 and pair 0's join launch together at the barrier.
+        let a1 = &trace.events()[2];
+        let b0 = &trace.events()[1];
+        assert_eq!(a1.name, "pass2 p1");
+        assert_eq!(b0.name, "join p0");
+        assert!((a1.ts_ns - b0.ts_ns).abs() < 1e-9);
+        assert!((a1.ts_ns - 110.0).abs() < 1e-9);
+    }
+}

@@ -31,7 +31,7 @@ use triton_part::{
 
 use crate::bloom::BloomFilter;
 use crate::hash_table::{BucketChainTable, HashScheme, BUCKET_CHAIN_ENTRIES};
-use crate::report::{JoinReport, JoinResult, PhaseReport};
+use crate::report::{JoinReport, JoinResult, OverlapLanes, PhaseReport};
 
 /// Target tuples per second-pass sub-partition: the build side must fit a
 /// scratchpad bucket-chaining table (2048 buckets + chained tuples within
@@ -500,6 +500,11 @@ impl TritonJoin {
             tuples_modeled: w.total_tuples_modeled(),
             result,
             executor: Executor::Gpu,
+            overlap: if self.overlap {
+                Some(OverlapLanes { stage_a, stage_b })
+            } else {
+                None
+            },
         })
     }
 }

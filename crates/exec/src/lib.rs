@@ -74,6 +74,7 @@ pub mod build_cache;
 pub mod demand;
 pub mod fault;
 pub mod metrics;
+pub mod observe;
 pub mod query;
 pub mod resilience;
 pub mod scheduler;
@@ -82,7 +83,8 @@ pub use admission::{operator_with_grant, AdmissionController, Reservation};
 pub use build_cache::BuildCache;
 pub use demand::ResourceDemand;
 pub use fault::{degraded_vector, FaultCause, FaultOutcome};
-pub use metrics::{percentile, SchedulerMetrics};
+pub use metrics::{percentile, PhaseRollup, SchedulerMetrics};
+pub use observe::{query_pid, Recorder, SCHEDULER_PID, SCHED_TID_FLIGHT, TID_LIFECYCLE};
 pub use query::{JoinQuery, Operator, QueryId};
 pub use resilience::{downgrade_operator, ResilienceConfig, RetryPolicy};
 pub use scheduler::{
@@ -91,3 +93,6 @@ pub use scheduler::{
 // Re-exported so serving callers can build fault plans without a direct
 // triton-hw dependency.
 pub use triton_hw::FaultPlan;
+// Re-exported so serving callers can export and validate traces without
+// a direct triton-trace dependency.
+pub use triton_trace::{to_chrome_json, validate_chrome, Trace};

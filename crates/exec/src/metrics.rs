@@ -6,6 +6,28 @@ use triton_hw::units::{Bytes, Ns};
 
 use crate::scheduler::{Outcome, RejectReason};
 
+/// Aggregated time and bytes of one `(operator, phase)` pair across every
+/// completed query of a run — the paper's Fig 11 phase breakdown, lifted
+/// to the serving runtime. Phase times are *stretched* onto each query's
+/// scheduled `[start, finish]` window (plus a synthetic `queue` phase for
+/// `[arrival, start]`), so for every query its rollup contributions sum
+/// to its recorded latency within one simulated nanosecond.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRollup {
+    /// Operator label (`triton`, `npj`, `cpu-part`, `cpu-radix`).
+    pub operator: String,
+    /// Normalised phase key (`ps_1`, `part_2`, `join`, `queue`, ...; see
+    /// [`triton_core::phase_key`]).
+    pub phase: String,
+    /// Occurrences across completed queries.
+    pub count: u64,
+    /// Total wall time attributed to this phase.
+    pub time: Ns,
+    /// Total bytes the phase moved (interconnect payload plus GPU memory
+    /// traffic; zero for CPU phases and queueing).
+    pub bytes: Bytes,
+}
+
 /// Aggregate metrics over one serving run.
 ///
 /// Derives `PartialEq` so chaos tests can assert byte-identical replay:
@@ -64,6 +86,9 @@ pub struct SchedulerMetrics {
     pub downgrades: u64,
     /// Reservation revocations across all queries.
     pub revocations: u64,
+    /// Per-`(operator, phase)` time/byte rollups over completed queries,
+    /// sorted by operator then phase (deterministic order).
+    pub phases: Vec<PhaseRollup>,
 }
 
 /// Non-outcome counters a run hands to [`SchedulerMetrics::from_run`].
@@ -82,7 +107,17 @@ pub(crate) struct RunTotals {
 }
 
 /// `p`-th percentile (0..=100) of an unsorted sample, by the
-/// nearest-rank method. Returns 0 for an empty sample.
+/// **nearest-rank** method: the value at 1-based rank `⌈p/100 · n⌉` of
+/// the sorted sample, with the rank clamped to `[1, n]` (so `p = 0`
+/// returns the minimum and `p = 100` the maximum). Returns 0 for an
+/// empty sample.
+///
+/// The rank product is computed with a small negative epsilon before the
+/// ceiling: `p/100 · n` is evaluated in floating point, and when the
+/// exact product is an integer the rounding error can land just *above*
+/// it (e.g. `0.35 * 20 == 7.000000000000001`), which would shift the
+/// ceiling one rank too high. The epsilon is far smaller than the gap to
+/// the next meaningful product, so non-integer products are unaffected.
 #[must_use]
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
@@ -90,13 +125,18 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 impl SchedulerMetrics {
-    /// Assemble from a finished run's outcomes and counters.
-    pub(crate) fn from_run(outcomes: &[Outcome], totals: RunTotals) -> Self {
+    /// Assemble from a finished run's outcomes, counters, and the phase
+    /// rollups accumulated by the run's [`crate::observe::Recorder`].
+    pub(crate) fn from_run(
+        outcomes: &[Outcome],
+        totals: RunTotals,
+        phases: Vec<PhaseRollup>,
+    ) -> Self {
         let mut latencies: Vec<f64> = Vec::new();
         let mut tuples = 0u64;
         let (mut completed, mut rejected) = (0u64, 0u64);
@@ -159,6 +199,7 @@ impl SchedulerMetrics {
             retries,
             downgrades,
             revocations,
+            phases,
         }
     }
 
@@ -201,6 +242,17 @@ impl SchedulerMetrics {
     /// machine-readable reports.
     #[must_use]
     pub fn to_json(&self) -> String {
+        let mut phases = String::from("[");
+        for (i, r) in self.phases.iter().enumerate() {
+            if i > 0 {
+                phases.push(',');
+            }
+            phases.push_str(&format!(
+                "{{\"op\":\"{}\",\"phase\":\"{}\",\"count\":{},\"time_ns\":{},\"bytes\":{}}}",
+                r.operator, r.phase, r.count, r.time.0, r.bytes.0,
+            ));
+        }
+        phases.push(']');
         format!(
             concat!(
                 "{{\"completed\":{},\"rejected\":{},\"shed_deadline\":{},",
@@ -211,7 +263,8 @@ impl SchedulerMetrics {
                 "\"peak_concurrency\":{},\"mean_concurrency\":{},",
                 "\"build_cache_hits\":{},\"build_cache_misses\":{},",
                 "\"builds_quarantined\":{},\"faults_injected\":{},",
-                "\"retries\":{},\"downgrades\":{},\"revocations\":{}}}"
+                "\"retries\":{},\"downgrades\":{},\"revocations\":{},",
+                "\"phases\":{}}}"
             ),
             self.completed,
             self.rejected,
@@ -237,6 +290,7 @@ impl SchedulerMetrics {
             self.retries,
             self.downgrades,
             self.revocations,
+            phases,
         )
     }
 }
@@ -256,13 +310,66 @@ mod tests {
     }
 
     #[test]
+    fn percentile_single_sample_is_that_sample() {
+        // n = 1: every p maps to rank 1.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0, "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentile_two_samples_split_at_the_median() {
+        // n = 2: rank ⌈p/100 · 2⌉ is 1 for p <= 50, 2 above.
+        let v = [10.0, 20.0];
+        assert_eq!(percentile(&v, 0.0), 10.0);
+        assert_eq!(percentile(&v, 25.0), 10.0);
+        assert_eq!(percentile(&v, 50.0), 10.0);
+        assert_eq!(percentile(&v, 50.1), 20.0);
+        assert_eq!(percentile(&v, 99.0), 20.0);
+        assert_eq!(percentile(&v, 100.0), 20.0);
+    }
+
+    #[test]
+    fn percentile_hundred_samples_hit_exact_ranks() {
+        // n = 100, unsorted input: p maps straight to the p-th value.
+        let mut v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        v.reverse();
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(
+            percentile(&v, 35.0),
+            35.0,
+            "exact-product rank must not round up"
+        );
+        assert_eq!(percentile(&v, 35.5), 36.0);
+        assert_eq!(percentile(&v, 90.0), 90.0);
+        assert_eq!(percentile(&v, 0.0), 1.0, "p=0 clamps to the minimum");
+    }
+
+    #[test]
     fn json_is_stable_and_wellformed() {
-        let m = SchedulerMetrics::from_run(&[], RunTotals::default());
+        let m = SchedulerMetrics::from_run(&[], RunTotals::default(), Vec::new());
         let a = m.to_json();
         let b = m.clone().to_json();
         assert_eq!(a, b);
         assert!(a.starts_with('{') && a.ends_with('}'));
         assert!(a.contains("\"faults_injected\":0"));
+        assert!(a.ends_with("\"phases\":[]}"));
         assert_eq!(m, m.clone(), "PartialEq must hold for identical runs");
+    }
+
+    #[test]
+    fn json_encodes_phase_rollups() {
+        let phases = vec![PhaseRollup {
+            operator: "triton".into(),
+            phase: "ps_1".into(),
+            count: 3,
+            time: Ns(1.5),
+            bytes: Bytes(4096),
+        }];
+        let m = SchedulerMetrics::from_run(&[], RunTotals::default(), phases);
+        let j = m.to_json();
+        assert!(j.contains(
+            "\"phases\":[{\"op\":\"triton\",\"phase\":\"ps_1\",\"count\":3,\"time_ns\":1.5,\"bytes\":4096}]"
+        ), "{j}");
     }
 }

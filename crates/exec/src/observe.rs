@@ -1,0 +1,394 @@
+//! The scheduler's observability recorder: per-query span tracks, a
+//! scheduler-wide fault track, phase rollups, and a bounded flight
+//! recorder dumped automatically on faults and ladder steps.
+//!
+//! # Track layout
+//!
+//! Chrome `trace_event` organises spans into *processes* and *threads*;
+//! the recorder maps the serving runtime onto them as:
+//!
+//! * pid [`SCHEDULER_PID`] — the scheduler itself: tid
+//!   [`SCHED_TID_FAULTS`] carries fault instants (`ecc-retirement`,
+//!   `kernel-fault`), tid [`SCHED_TID_FLIGHT`] receives flight-recorder
+//!   dumps (a `flight.dump` marker followed by the replayed ring).
+//! * pid [`query_pid`]`(id)` — one process per query, named
+//!   `q<id>:<name>`: tid [`TID_LIFECYCLE`] has the `queue` span plus
+//!   lifecycle instants (`enqueue`, `admit`, `retry`, `downgrade`,
+//!   `revoked`, `complete`, `shed`), tid [`TID_PHASES`] the per-phase
+//!   span chain stretched over the execution window, and tids
+//!   [`TID_SM_A`] / [`TID_SM_B`] the Section 5.2 SM-half overlap lanes
+//!   when the operator pipelined its stages.
+//!
+//! All timestamps come from the simulated clock; event order is the
+//! deterministic simulation order, so equal runs serialise to
+//! byte-identical traces (pinned by `tests/replay.rs`).
+
+use std::collections::BTreeMap;
+
+use triton_core::{phase_bytes, phase_key, record_overlap, record_report};
+use triton_hw::units::{Bytes, Ns};
+use triton_hw::HwConfig;
+use triton_trace::{Attr, FlightRecorder, Trace, TraceEvent};
+
+use crate::metrics::PhaseRollup;
+use crate::query::{JoinQuery, QueryId};
+use crate::scheduler::{CompletedQuery, RejectReason};
+
+/// Track group of the scheduler itself.
+pub const SCHEDULER_PID: u64 = 0;
+/// Scheduler track carrying fault instants.
+pub const SCHED_TID_FAULTS: u64 = 0;
+/// Scheduler track receiving flight-recorder dumps.
+pub const SCHED_TID_FLIGHT: u64 = 1;
+/// Per-query track carrying the queue span and lifecycle instants.
+pub const TID_LIFECYCLE: u64 = 0;
+/// Per-query track carrying the stretched phase span chain.
+pub const TID_PHASES: u64 = 1;
+/// Per-query overlap lane of the second partitioning pass (SM half A).
+pub const TID_SM_A: u64 = 2;
+/// Per-query overlap lane of the join (SM half B).
+pub const TID_SM_B: u64 = 3;
+
+/// Track group of a query: scheduler ids are dense from 0, and pid 0 is
+/// the scheduler, so queries shift up by one.
+#[must_use]
+pub fn query_pid(id: QueryId) -> u64 {
+    id.0 + 1
+}
+
+/// Short label of a rejection for `shed` events and rollup keys.
+fn reject_kind(reason: &RejectReason) -> &'static str {
+    match reason {
+        RejectReason::QueueFull { .. } => "queue-full",
+        RejectReason::OverCapacity { .. } => "over-capacity",
+        RejectReason::Oom(_) => "oom",
+        RejectReason::DeadlineExceeded { .. } => "deadline",
+        RejectReason::Faulted { .. } => "faulted",
+    }
+}
+
+/// Collects one serving run's trace, flight-recorder ring, and phase
+/// rollups. The scheduler drives it at every lifecycle transition; it
+/// never influences scheduling decisions (pure observation).
+#[derive(Debug)]
+pub struct Recorder {
+    trace: Trace,
+    flight: FlightRecorder,
+    /// `(operator, phase)` → `(count, time_ns, bytes)`; `BTreeMap` keeps
+    /// the export order deterministic.
+    rollup: BTreeMap<(String, String), (u64, f64, u64)>,
+}
+
+impl Recorder {
+    /// New recorder with a flight ring of `flight_capacity` events.
+    #[must_use]
+    pub fn new(flight_capacity: usize) -> Self {
+        let mut trace = Trace::new();
+        trace.name_process(SCHEDULER_PID, "scheduler");
+        trace.name_thread(SCHEDULER_PID, SCHED_TID_FAULTS, "faults");
+        trace.name_thread(SCHEDULER_PID, SCHED_TID_FLIGHT, "flight-recorder");
+        Recorder {
+            trace,
+            flight: FlightRecorder::new(flight_capacity),
+            rollup: BTreeMap::new(),
+        }
+    }
+
+    /// Record a lifecycle instant on a query's lifecycle track and mirror
+    /// it into the flight ring.
+    fn lifecycle(&mut self, id: QueryId, name: &str, ts: Ns, attrs: Vec<Attr>) {
+        let ev = self
+            .trace
+            .instant(query_pid(id), TID_LIFECYCLE, name, ts.0)
+            .attrs(attrs)
+            .clone();
+        self.flight.record(ev);
+    }
+
+    /// A query landed in the admission queue.
+    pub fn enqueue(&mut self, id: QueryId, q: &JoinQuery, ts: Ns) {
+        self.trace
+            .name_process(query_pid(id), format!("{id}:{}", q.name));
+        let mut attrs = vec![
+            Attr::str("operator", q.op.label()),
+            Attr::u64("priority", u64::from(q.priority)),
+        ];
+        if let Some(d) = q.deadline {
+            attrs.push(Attr::f64("deadline_ns", d.0));
+        }
+        self.lifecycle(id, "enqueue", ts, attrs);
+    }
+
+    /// A query was admitted: memory reserved, operator chosen, running.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit(
+        &mut self,
+        id: QueryId,
+        ts: Ns,
+        operator: &'static str,
+        reserved: Bytes,
+        cache_grant: Bytes,
+        build_cache_hit: bool,
+        grant_shrinks: u32,
+    ) {
+        self.lifecycle(
+            id,
+            "admit",
+            ts,
+            vec![
+                Attr::str("operator", operator),
+                Attr::u64("reserved_bytes", reserved.0),
+                Attr::u64("cache_grant_bytes", cache_grant.0),
+                Attr::bool("build_cache_hit", build_cache_hit),
+                Attr::u64("grant_shrinks", u64::from(grant_shrinks)),
+            ],
+        );
+    }
+
+    /// A faulted attempt re-entered the queue with backoff.
+    pub fn retry(&mut self, id: QueryId, ts: Ns, cause: &'static str, attempt: u32, backoff: Ns) {
+        self.lifecycle(
+            id,
+            "retry",
+            ts,
+            vec![
+                Attr::str("cause", cause),
+                Attr::u64("attempt", u64::from(attempt)),
+                Attr::f64("backoff_ns", backoff.0),
+            ],
+        );
+    }
+
+    /// A query's reservation was revoked by capacity loss.
+    pub fn revoked(&mut self, id: QueryId, ts: Ns) {
+        self.lifecycle(id, "revoked", ts, Vec::new());
+    }
+
+    /// A query descended the degradation ladder. Ladder steps are part of
+    /// the failure story, so the flight ring is dumped alongside.
+    pub fn downgrade(
+        &mut self,
+        id: QueryId,
+        ts: Ns,
+        from: &'static str,
+        to: &'static str,
+        reason: &'static str,
+    ) {
+        self.lifecycle(
+            id,
+            "downgrade",
+            ts,
+            vec![
+                Attr::str("from", from),
+                Attr::str("to", to),
+                Attr::str("reason", reason),
+            ],
+        );
+        self.dump("downgrade", ts);
+    }
+
+    /// A query was refused with a typed reason.
+    pub fn shed(&mut self, id: QueryId, ts: Ns, reason: &RejectReason) {
+        self.lifecycle(
+            id,
+            "shed",
+            ts,
+            vec![
+                Attr::str("kind", reject_kind(reason)),
+                Attr::str("reason", reason.to_string()),
+            ],
+        );
+    }
+
+    /// A hardware fault struck the run: recorded on the scheduler's fault
+    /// track, mirrored into the ring, and the ring is dumped.
+    pub fn fault(&mut self, kind: &'static str, ts: Ns, attrs: Vec<Attr>) {
+        let ev = self
+            .trace
+            .instant(SCHEDULER_PID, SCHED_TID_FAULTS, kind, ts.0)
+            .attrs(attrs)
+            .clone();
+        self.flight.record(ev);
+        self.dump(kind, ts);
+    }
+
+    /// Dump the flight ring onto the scheduler's flight track.
+    fn dump(&mut self, reason: &str, ts: Ns) {
+        self.flight.dump(
+            &mut self.trace,
+            SCHEDULER_PID,
+            SCHED_TID_FLIGHT,
+            reason,
+            ts.0,
+        );
+    }
+
+    /// A query completed: emit its queue span, stretched phase chain,
+    /// overlap lanes, and `complete` instant, and fold its phases into
+    /// the rollup. For every query the rollup contributions sum to
+    /// `latency()` within one simulated nanosecond: `queue` covers
+    /// `[arrival, start]` and the stretched phases cover exactly
+    /// `[start, finish]`.
+    pub fn complete(&mut self, c: &CompletedQuery, hw: &HwConfig) {
+        let pid = query_pid(c.id);
+        let queue_wait = (c.start - c.arrival).0.max(0.0);
+        self.trace
+            .span(pid, TID_LIFECYCLE, "queue", c.arrival.0, queue_wait);
+        self.add_rollup(c.operator, "queue", queue_wait, 0);
+
+        let window = (c.finish - c.start).0.max(0.0);
+        let iso: f64 = c.report.phases.iter().map(|p| p.time.0).sum();
+        self.trace.name_thread(pid, TID_PHASES, "phases");
+        if iso > 0.0 {
+            let stretch = window / iso;
+            record_report(
+                &mut self.trace,
+                pid,
+                TID_PHASES,
+                c.start.0,
+                stretch,
+                &c.report,
+                hw,
+            );
+            for p in &c.report.phases {
+                self.add_rollup(
+                    c.operator,
+                    &phase_key(&p.name),
+                    p.time.0 * stretch,
+                    phase_bytes(p),
+                );
+            }
+        } else {
+            // Degenerate report (no phases): one opaque span.
+            self.trace.span(pid, TID_PHASES, "run", c.start.0, window);
+            self.add_rollup(c.operator, "run", window, 0);
+        }
+
+        if let Some(lanes) = &c.report.overlap {
+            if c.report.total.0 > 0.0 {
+                // The overlap pipeline is the tail of the report; scale it
+                // with the same factor that maps the report onto the
+                // scheduled window so the lanes end exactly at `finish`.
+                let scale = window / c.report.total.0;
+                let tail = lanes.total().0 * scale;
+                self.trace.name_thread(pid, TID_SM_A, "sm-half-a");
+                self.trace.name_thread(pid, TID_SM_B, "sm-half-b");
+                record_overlap(
+                    &mut self.trace,
+                    pid,
+                    TID_SM_A,
+                    TID_SM_B,
+                    c.finish.0 - tail,
+                    scale,
+                    lanes,
+                );
+            }
+        }
+
+        self.lifecycle(
+            c.id,
+            "complete",
+            c.finish,
+            vec![
+                Attr::str("operator", c.operator),
+                Attr::f64("latency_ns", c.latency().0),
+                Attr::f64("dedicated_ns", c.dedicated.0),
+                Attr::u64("reserved_bytes", c.reserved.0),
+                Attr::bool("build_cache_hit", c.build_cache_hit),
+                Attr::u64("retries", u64::from(c.fault.retries)),
+                Attr::u64("downgrades", u64::from(c.fault.downgrades)),
+                Attr::u64("revocations", u64::from(c.fault.revocations)),
+            ],
+        );
+    }
+
+    fn add_rollup(&mut self, operator: &str, phase: &str, time_ns: f64, bytes: u64) {
+        let cell = self
+            .rollup
+            .entry((operator.to_string(), phase.to_string()))
+            .or_insert((0, 0.0, 0));
+        cell.0 += 1;
+        cell.1 += time_ns;
+        cell.2 += bytes;
+    }
+
+    /// The accumulated phase rollups, sorted by `(operator, phase)`.
+    #[must_use]
+    pub fn rollups(&self) -> Vec<PhaseRollup> {
+        self.rollup
+            .iter()
+            .map(|((op, phase), &(count, time_ns, bytes))| PhaseRollup {
+                operator: op.clone(),
+                phase: phase.clone(),
+                count,
+                time: Ns(time_ns),
+                bytes: Bytes(bytes),
+            })
+            .collect()
+    }
+
+    /// Events currently buffered in the flight ring (most recent last).
+    #[must_use]
+    pub fn flight_snapshot(&self) -> Vec<TraceEvent> {
+        self.flight.snapshot()
+    }
+
+    /// Finish the run and take the trace.
+    #[must_use]
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_dumps_the_preceding_lifecycle() {
+        let mut obs = Recorder::new(8);
+        let q = JoinQuery::new(
+            "t",
+            triton_datagen::WorkloadSpec::paper_default(2, 256).generate(),
+            Ns::ZERO,
+        );
+        obs.enqueue(QueryId(0), &q, Ns(0.0));
+        obs.admit(
+            QueryId(0),
+            Ns(5.0),
+            "triton",
+            Bytes(128),
+            Bytes(64),
+            false,
+            0,
+        );
+        obs.fault("kernel-fault", Ns(9.0), vec![Attr::str("victim", "q0")]);
+        let trace = obs.into_trace();
+        // The dump replays enqueue + admit + the fault itself onto the
+        // scheduler's flight track, after a flight.dump marker.
+        let flight: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.pid == SCHEDULER_PID && e.tid == SCHED_TID_FLIGHT)
+            .collect();
+        assert_eq!(flight.len(), 4, "marker + 3 replayed events");
+        assert_eq!(flight[0].name, "flight.dump");
+        assert_eq!(flight[1].name, "enqueue");
+        assert_eq!(flight[2].name, "admit");
+        assert_eq!(flight[3].name, "kernel-fault");
+    }
+
+    #[test]
+    fn rollups_sorted_and_accumulated() {
+        let mut obs = Recorder::new(4);
+        obs.add_rollup("triton", "queue", 5.0, 0);
+        obs.add_rollup("cpu-radix", "join", 2.0, 7);
+        obs.add_rollup("triton", "queue", 3.0, 0);
+        let r = obs.rollups();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].operator, "cpu-radix");
+        assert_eq!(r[1].phase, "queue");
+        assert_eq!(r[1].count, 2);
+        assert_eq!(r[1].time, Ns(8.0));
+    }
+}

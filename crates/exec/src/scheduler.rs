@@ -38,11 +38,14 @@ use triton_hw::units::{Bytes, Ns};
 use triton_hw::{fair_share_rates, FaultPlan, HwConfig, ResourceVector};
 use triton_mem::OutOfMemory;
 
+use triton_trace::{Attr, Trace};
+
 use crate::admission::{operator_with_grant, AdmissionController, Reservation};
 use crate::build_cache::BuildCache;
 use crate::demand::ResourceDemand;
 use crate::fault::{degraded_vector, FaultCause, FaultOutcome};
 use crate::metrics::{RunTotals, SchedulerMetrics};
+use crate::observe::Recorder;
 use crate::query::{JoinQuery, QueryId};
 use crate::resilience::downgrade_operator;
 pub use crate::resilience::ResilienceConfig;
@@ -187,6 +190,9 @@ pub struct SchedulerConfig {
     pub max_queue: usize,
     /// Fault-recovery policies (see [`crate::resilience`]).
     pub resilience: ResilienceConfig,
+    /// Capacity of the flight-recorder ring (most recent trace events
+    /// kept for the automatic dump on faults and ladder steps).
+    pub flight_capacity: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -195,6 +201,7 @@ impl Default for SchedulerConfig {
             max_inflight: 8,
             max_queue: 64,
             resilience: ResilienceConfig::default(),
+            flight_capacity: 64,
         }
     }
 }
@@ -227,6 +234,12 @@ pub struct ServeResult {
     pub outcomes: Vec<Outcome>,
     /// Aggregate scheduler metrics.
     pub metrics: SchedulerMetrics,
+    /// The run's span/event trace (see [`crate::observe`]): per-query
+    /// lifecycle and phase tracks, fault instants, and flight-recorder
+    /// dumps, all on the simulated clock. Export with
+    /// [`triton_trace::to_chrome_json`] or render with
+    /// [`triton_hw::Timeline::from_trace`].
+    pub trace: Trace,
 }
 
 impl ServeResult {
@@ -335,6 +348,7 @@ impl Scheduler {
         let mut builds_quarantined = 0u64;
         let mut gpu_retired = Bytes(0);
 
+        let mut obs = Recorder::new(self.config.flight_capacity);
         let mut admission = AdmissionController::new(&self.hw);
         let mut cache = BuildCache::new();
         let mut queue: VecDeque<Queued> = VecDeque::new();
@@ -354,11 +368,21 @@ impl Scheduler {
                 faults_injected += 1;
                 let before = admission.capacity();
                 admission.retire(bytes);
-                gpu_retired += before.saturating_sub(admission.capacity());
+                let retired_now = before.saturating_sub(admission.capacity());
+                gpu_retired += retired_now;
                 // The retired pages tear resident partitioned builds:
                 // trip the circuit breaker so followers rebuild instead
                 // of sharing stale state.
-                builds_quarantined += cache.quarantine_all() as u64;
+                let quarantined = cache.quarantine_all() as u64;
+                builds_quarantined += quarantined;
+                obs.fault(
+                    "ecc-retirement",
+                    clock,
+                    vec![
+                        Attr::u64("retired_bytes", retired_now.0),
+                        Attr::u64("builds_quarantined", quarantined),
+                    ],
+                );
                 // Revoke reservations until the shrunk device fits them.
                 while admission.overcommitted().0 > 0 {
                     let Some(vi) = victim_index(&running) else {
@@ -373,6 +397,7 @@ impl Scheduler {
                         &mut admission,
                         &mut cache,
                         &mut outcomes,
+                        &mut obs,
                     );
                 }
             }
@@ -397,6 +422,11 @@ impl Scheduler {
                 let Some(vi) = running.iter().position(|r| r.id == pick) else {
                     continue;
                 };
+                obs.fault(
+                    "kernel-fault",
+                    clock,
+                    vec![Attr::str("victim", pick.to_string())],
+                );
                 let victim = running.swap_remove(vi);
                 self.recover_or_shed(
                     victim,
@@ -406,6 +436,7 @@ impl Scheduler {
                     &mut admission,
                     &mut cache,
                     &mut outcomes,
+                    &mut obs,
                 );
             }
 
@@ -417,6 +448,7 @@ impl Scheduler {
                 &mut admission,
                 &mut cache,
                 &mut outcomes,
+                &mut obs,
             );
             peak_concurrency = peak_concurrency.max(running.len());
 
@@ -436,15 +468,17 @@ impl Scheduler {
                 // left to free memory): shed it as over-capacity backlog.
                 while let Some(q) = queue.pop_front() {
                     let floor = AdmissionController::min_reserve(&q.query, &self.hw);
+                    let reason = RejectReason::OverCapacity {
+                        needed: floor,
+                        capacity: admission.capacity(),
+                    };
+                    obs.shed(q.id, clock, &reason);
                     outcomes.push((
                         q.id,
                         Outcome::Rejected {
                             id: q.id,
                             name: q.query.name.clone(),
-                            reason: RejectReason::OverCapacity {
-                                needed: floor,
-                                capacity: admission.capacity(),
-                            },
+                            reason,
                         },
                     ));
                 }
@@ -500,18 +534,21 @@ impl Scheduler {
             // --- Arrivals land in the queue (or bounce off its limit).
             while let Some((id, query)) = arrivals.next_if(|(_, q)| q.arrival.0 <= clock.0) {
                 if queue.len() >= self.config.max_queue {
+                    let reason = RejectReason::QueueFull {
+                        limit: self.config.max_queue,
+                    };
+                    obs.shed(id, clock, &reason);
                     outcomes.push((
                         id,
                         Outcome::Rejected {
                             id,
                             name: query.name.clone(),
-                            reason: RejectReason::QueueFull {
-                                limit: self.config.max_queue,
-                            },
+                            reason,
                         },
                     ));
                     continue;
                 }
+                obs.enqueue(id, &query, query.arrival);
                 let eligible_at = query.arrival;
                 enqueue(
                     &mut queue,
@@ -534,22 +571,21 @@ impl Scheduler {
                     if let Some(k) = r.query.build_key {
                         cache.release(k);
                     }
-                    outcomes.push((
-                        r.id,
-                        Outcome::Completed(Box::new(CompletedQuery {
-                            id: r.id,
-                            name: r.query.name.clone(),
-                            arrival: r.query.arrival,
-                            start: r.start,
-                            finish: clock,
-                            dedicated: r.dedicated,
-                            report: r.report,
-                            reserved: r.reservation.reserved,
-                            build_cache_hit: r.build_cache_hit,
-                            operator: r.op_label,
-                            fault: r.fault,
-                        })),
-                    ));
+                    let c = CompletedQuery {
+                        id: r.id,
+                        name: r.query.name.clone(),
+                        arrival: r.query.arrival,
+                        start: r.start,
+                        finish: clock,
+                        dedicated: r.dedicated,
+                        report: r.report,
+                        reserved: r.reservation.reserved,
+                        build_cache_hit: r.build_cache_hit,
+                        operator: r.op_label,
+                        fault: r.fault,
+                    };
+                    obs.complete(&c, &self.hw);
+                    outcomes.push((c.id, Outcome::Completed(Box::new(c))));
                 } else {
                     i += 1;
                 }
@@ -576,8 +612,13 @@ impl Scheduler {
                 builds_quarantined,
                 faults_injected,
             },
+            obs.rollups(),
         );
-        ServeResult { outcomes, metrics }
+        ServeResult {
+            outcomes,
+            metrics,
+            trace: obs.into_trace(),
+        }
     }
 
     /// Recover a faulted in-flight query (retry / shrink / downgrade per
@@ -595,6 +636,7 @@ impl Scheduler {
         admission: &mut AdmissionController,
         cache: &mut BuildCache,
         outcomes: &mut Vec<(QueryId, Outcome)>,
+        obs: &mut Recorder,
     ) {
         admission.release(victim.id);
         if let Some(k) = victim.query.build_key {
@@ -608,18 +650,23 @@ impl Scheduler {
                 fault.retries += 1;
                 attempts += 1;
             }
-            FaultCause::Revoked => fault.revocations += 1,
+            FaultCause::Revoked => {
+                fault.revocations += 1;
+                obs.revoked(victim.id, clock);
+            }
         }
         if !self.config.resilience.enabled {
+            let reason = RejectReason::Faulted {
+                fault: cause.label().to_string(),
+                retries: fault.retries,
+            };
+            obs.shed(victim.id, clock, &reason);
             outcomes.push((
                 victim.id,
                 Outcome::Rejected {
                     id: victim.id,
                     name: query.name.clone(),
-                    reason: RejectReason::Faulted {
-                        fault: cause.label().to_string(),
-                        retries: fault.retries,
-                    },
+                    reason,
                 },
             ));
             return;
@@ -632,18 +679,34 @@ impl Scheduler {
                 if fault.revocations <= 1 {
                     fault.grant_shrinks += 1;
                 } else if let Some(op) = downgrade_operator(&query.op) {
+                    let from = query.op.label();
                     query.op = op;
                     fault.downgrades += 1;
                     attempts = 0;
+                    obs.downgrade(
+                        victim.id,
+                        clock,
+                        from,
+                        query.op.label(),
+                        "repeat-revocation",
+                    );
                 }
             }
             // Retries exhausted on this rung: descend.
             FaultCause::Transient => {
                 if attempts > retry.max_retries {
                     if let Some(op) = downgrade_operator(&query.op) {
+                        let from = query.op.label();
                         query.op = op;
                         fault.downgrades += 1;
                         attempts = 0;
+                        obs.downgrade(
+                            victim.id,
+                            clock,
+                            from,
+                            query.op.label(),
+                            "retries-exhausted",
+                        );
                     }
                 }
             }
@@ -654,6 +717,7 @@ impl Scheduler {
         let attempt = fault.retries + fault.revocations - 1;
         let slack = query.deadline.map(|d| d - (clock - query.arrival));
         let delay = retry.backoff_within(victim.id, attempt, slack);
+        obs.retry(victim.id, clock, cause.label(), attempt, delay);
         enqueue(
             queue,
             Queued {
@@ -669,6 +733,7 @@ impl Scheduler {
     /// Admit queued queries in priority order while memory, the
     /// concurrency cap, and deadlines allow. Entries sleeping out a
     /// retry backoff are skipped until eligible.
+    #[allow(clippy::too_many_arguments)]
     fn admit_ready(
         &self,
         clock: Ns,
@@ -677,6 +742,7 @@ impl Scheduler {
         admission: &mut AdmissionController,
         cache: &mut BuildCache,
         outcomes: &mut Vec<(QueryId, Outcome)>,
+        obs: &mut Recorder,
     ) {
         'admit: while running.len() < self.config.max_inflight {
             // Highest-priority eligible entry (sleepers excluded).
@@ -690,12 +756,14 @@ impl Scheduler {
                 let waited = clock - queue[pos].query.arrival;
                 if waited.0 > deadline.0 {
                     let Some(q) = queue.remove(pos) else { continue };
+                    let reason = RejectReason::DeadlineExceeded { deadline, waited };
+                    obs.shed(q.id, clock, &reason);
                     outcomes.push((
                         q.id,
                         Outcome::Rejected {
                             id: q.id,
                             name: q.query.name.clone(),
-                            reason: RejectReason::DeadlineExceeded { deadline, waited },
+                            reason,
                         },
                     ));
                     continue;
@@ -715,24 +783,29 @@ impl Scheduler {
                 let shrunk_by_fault = admission.capacity() < admission.initial_capacity();
                 if self.config.resilience.enabled && shrunk_by_fault {
                     if let Some(op) = downgrade_operator(&queue[pos].query.op) {
+                        let from = queue[pos].query.op.label();
                         queue[pos].query.op = op;
                         queue[pos].fault.downgrades += 1;
                         queue[pos].attempts_at_rung = 0;
+                        let (id, to) = (queue[pos].id, queue[pos].query.op.label());
+                        obs.downgrade(id, clock, from, to, "capacity-floor");
                         continue;
                     }
                 }
                 let Some(q) = queue.remove(pos) else {
                     continue 'admit;
                 };
+                let reason = RejectReason::OverCapacity {
+                    needed: floor,
+                    capacity: admission.capacity(),
+                };
+                obs.shed(q.id, clock, &reason);
                 outcomes.push((
                     q.id,
                     Outcome::Rejected {
                         id: q.id,
                         name: q.query.name.clone(),
-                        reason: RejectReason::OverCapacity {
-                            needed: floor,
-                            capacity: admission.capacity(),
-                        },
+                        reason,
                     },
                 ));
                 continue 'admit;
@@ -778,26 +851,39 @@ impl Scheduler {
                         if let Some(next) = downgrade_operator(&q.query.op) {
                             // OOM inside the operator: descend and retry
                             // immediately (the radix floor never OOMs).
+                            let from = q.query.op.label();
                             q.query.op = next;
                             q.fault.downgrades += 1;
                             q.attempts_at_rung = 0;
                             q.eligible_at = clock;
+                            obs.downgrade(q.id, clock, from, q.query.op.label(), "oom");
                             enqueue(queue, q);
                             continue;
                         }
                     }
+                    let reason = RejectReason::Oom(e);
+                    obs.shed(q.id, clock, &reason);
                     outcomes.push((
                         q.id,
                         Outcome::Rejected {
                             id: q.id,
                             name: q.query.name.clone(),
-                            reason: RejectReason::Oom(e),
+                            reason,
                         },
                     ));
                     continue;
                 }
             };
 
+            obs.admit(
+                q.id,
+                clock,
+                op.label(),
+                reservation.reserved,
+                reservation.cache_grant,
+                hit,
+                q.fault.grant_shrinks,
+            );
             let demand = ResourceDemand::from_report(&report, hit, probe_frac);
             running.push(Running {
                 id: q.id,

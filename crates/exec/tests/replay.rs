@@ -9,7 +9,7 @@
 //! distinct arrival times is the same serving run.
 
 use triton_datagen::WorkloadSpec;
-use triton_exec::{FaultPlan, JoinQuery, Scheduler, SchedulerConfig};
+use triton_exec::{to_chrome_json, FaultPlan, JoinQuery, Scheduler, SchedulerConfig};
 use triton_hw::units::Ns;
 use triton_hw::HwConfig;
 
@@ -78,4 +78,35 @@ fn repeated_runs_are_byte_identical() {
     let a = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(batch());
     let b = Scheduler::new(hw, SchedulerConfig::default()).run(batch());
     assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+}
+
+#[test]
+fn clean_trace_is_byte_identical_across_replays() {
+    // The trace carries every span and instant of the run on the
+    // simulated clock; same batch, same machine → the serialized Chrome
+    // JSON must match byte for byte.
+    let hw = HwConfig::ac922().scaled(512);
+    let a = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(batch());
+    let b = Scheduler::new(hw, SchedulerConfig::default()).run(batch());
+    let ja = to_chrome_json(&a.trace);
+    let jb = to_chrome_json(&b.trace);
+    assert!(!ja.is_empty() && !a.trace.is_empty());
+    assert_eq!(ja, jb, "trace replay must be byte-identical");
+}
+
+#[test]
+fn faulted_trace_is_byte_identical_across_replays() {
+    // Fault instants, retries, downgrades, and flight-recorder dumps all
+    // enter the trace; the same seeded plan must replay them exactly.
+    let hw = HwConfig::ac922().scaled(512);
+    let clean = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(batch());
+    let mid = Ns(clean.metrics.makespan.0 * 0.4);
+    let plan = FaultPlan::with_seed(11).kernel_fault(mid);
+    let a = Scheduler::new(hw.clone(), SchedulerConfig::default()).run_with_faults(batch(), &plan);
+    let b = Scheduler::new(hw, SchedulerConfig::default()).run_with_faults(batch(), &plan);
+    let ja = to_chrome_json(&a.trace);
+    let jb = to_chrome_json(&b.trace);
+    assert!(ja.contains("kernel-fault"), "the fault must be traced");
+    assert!(ja.contains("flight.dump"), "the fault must dump the ring");
+    assert_eq!(ja, jb, "faulted trace replay must be byte-identical");
 }

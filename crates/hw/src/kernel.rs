@@ -67,6 +67,16 @@ impl LinkTraffic {
             + self.rand_read.wire_ctrl_dir
             + seq_read_ctrl
     }
+
+    /// Typed trace attributes for the interconnect demand, wire costs
+    /// included (they need the link's packet geometry).
+    pub fn trace_attrs(&self, link: &LinkModel) -> Vec<triton_trace::Attr> {
+        vec![
+            triton_trace::Attr::u64("link_payload_bytes", self.payload().0),
+            triton_trace::Attr::u64("link_wire_up_bytes", self.wire_cpu_to_gpu(link).0),
+            triton_trace::Attr::u64("link_wire_down_bytes", self.wire_gpu_to_cpu(link).0),
+        ]
+    }
 }
 
 /// GPU memory demand of one kernel.
@@ -170,6 +180,24 @@ impl KernelCost {
             return 0.0;
         }
         self.tlb.full_misses as f64 / self.tuples_in as f64
+    }
+
+    /// Typed trace attributes describing this kernel's resource demand
+    /// (interconnect, GPU memory, compute, TLB) under the `triton-trace`
+    /// naming convention: `snake_case` keys, units as suffixes.
+    pub fn trace_attrs(&self, hw: &HwConfig) -> Vec<triton_trace::Attr> {
+        let link = LinkModel::new(&hw.link);
+        let mut attrs = self.link.trace_attrs(&link);
+        attrs.push(triton_trace::Attr::u64(
+            "gpu_mem_bytes",
+            self.gpu_mem.total().0,
+        ));
+        attrs.push(triton_trace::Attr::u64("instructions", self.instructions));
+        attrs.push(triton_trace::Attr::u64("tuples_in", self.tuples_in));
+        attrs.push(triton_trace::Attr::u64("tuples_out", self.tuples_out));
+        attrs.push(triton_trace::Attr::u64("sms", u64::from(self.sms)));
+        attrs.extend(self.tlb.trace_attrs());
+        attrs
     }
 
     /// Compute the roofline timing of this kernel under `hw`.

@@ -104,6 +104,45 @@ impl Timeline {
     }
 }
 
+impl Timeline {
+    /// Build a timeline from a recorded trace: one lane per `(pid, tid)`
+    /// track that carries span events, in track order, labeled from the
+    /// trace's process/thread names. `pids` filters to the given track
+    /// groups; empty means all. Instants carry no duration and are
+    /// skipped — the ASCII renderer draws intervals.
+    pub fn from_trace(trace: &triton_trace::Trace, pids: &[u64]) -> Timeline {
+        let mut tracks: Vec<(u64, u64)> = Vec::new();
+        for ev in trace.events() {
+            if matches!(ev.kind, triton_trace::EventKind::Span { .. })
+                && (pids.is_empty() || pids.contains(&ev.pid))
+                && !tracks.contains(&(ev.pid, ev.tid))
+            {
+                tracks.push((ev.pid, ev.tid));
+            }
+        }
+        tracks.sort_unstable();
+        let mut timeline = Timeline::new();
+        for (pid, tid) in tracks {
+            let group = trace
+                .process_name(pid)
+                .map_or_else(|| format!("p{pid}"), str::to_string);
+            let lane_label = trace
+                .thread_name(pid, tid)
+                .map_or_else(|| format!("t{tid}"), str::to_string);
+            let lane = timeline.lane(format!("{group}/{lane_label}"));
+            for ev in trace.events() {
+                if ev.pid != pid || ev.tid != tid {
+                    continue;
+                }
+                if let triton_trace::EventKind::Span { dur_ns } = ev.kind {
+                    lane.seg(ev.name.clone(), Ns(ev.ts_ns), Ns(dur_ns));
+                }
+            }
+        }
+        timeline
+    }
+}
+
 impl Lane {
     /// Append a segment starting at `start` for `dur`.
     pub fn seg(&mut self, label: impl Into<String>, start: Ns, dur: Ns) -> &mut Self {
@@ -147,6 +186,27 @@ mod tests {
         assert_eq!(t.span(), Ns::ZERO);
         let s = t.render(20);
         assert_eq!(s.lines().count(), 1);
+    }
+
+    #[test]
+    fn from_trace_maps_tracks_to_lanes() {
+        let mut trace = triton_trace::Trace::new();
+        trace.name_process(1, "q0");
+        trace.name_thread(1, 1, "sm-a");
+        trace.span(1, 1, "pass2", 0.0, 50.0);
+        trace.span(1, 2, "join", 50.0, 50.0);
+        trace.instant(1, 1, "admit", 0.0); // no duration: skipped
+        trace.span(7, 0, "other", 0.0, 10.0);
+        let t = Timeline::from_trace(&trace, &[1]);
+        let art = t.render(40);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3, "two lanes + axis:\n{art}");
+        assert!(lines[0].contains("q0/sm-a"));
+        assert!(lines[1].contains("q0/t2"), "unnamed lane gets t<tid>");
+        assert!((t.span().0 - 100.0).abs() < 1e-12);
+        // Unfiltered: the second pid appears too.
+        let all = Timeline::from_trace(&trace, &[]);
+        assert_eq!(all.render(40).lines().count(), 4);
     }
 
     #[test]

@@ -74,6 +74,18 @@ impl TlbStats {
         self.gpu_misses += other.gpu_misses;
         self.serialized_walks += other.serialized_walks;
     }
+
+    /// Typed trace attributes (event counts carry no unit suffix per
+    /// the `triton-trace` naming convention).
+    pub fn trace_attrs(&self) -> Vec<triton_trace::Attr> {
+        vec![
+            triton_trace::Attr::u64("tlb_l2_hits", self.l2_hits),
+            triton_trace::Attr::u64("tlb_l3_star_hits", self.l3_star_hits),
+            triton_trace::Attr::u64("tlb_full_misses", self.full_misses),
+            triton_trace::Attr::u64("tlb_gpu_misses", self.gpu_misses),
+            triton_trace::Attr::u64("tlb_serialized_walks", self.serialized_walks),
+        ]
+    }
 }
 
 /// A fixed-capacity LRU set of u64 tags, implemented as an ordered map

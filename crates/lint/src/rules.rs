@@ -78,7 +78,9 @@ pub struct FileClass {
 /// Library crates: panics in their non-test code take the whole serving
 /// process down, so P1 applies. `bench` is a reporting harness and
 /// exempt; `lint` holds itself to the same bar as the libraries.
-const LIB_CRATES: [&str; 7] = ["core", "hw", "mem", "part", "datagen", "exec", "lint"];
+const LIB_CRATES: [&str; 8] = [
+    "core", "hw", "mem", "part", "datagen", "exec", "lint", "trace",
+];
 
 impl FileClass {
     /// Classify a workspace-relative path (forward slashes).

@@ -50,6 +50,15 @@ const CASES: &[Case] = &[
         waived: 0,
         malformed: 0,
     },
+    // The trace layer is the determinism-critical path: wall-clock reads
+    // inside crates/trace must trip D2 like any other library crate.
+    Case {
+        fixture: "d2_violation.rs",
+        classify_as: "crates/trace/src/fixture.rs",
+        unwaived: [0, 5, 0, 0, 0, 0],
+        waived: 0,
+        malformed: 0,
+    },
     Case {
         fixture: "d3_violation.rs",
         classify_as: "crates/core/src/fixture.rs",
@@ -126,6 +135,14 @@ const CASES: &[Case] = &[
         fixture: "p1_clean.rs",
         classify_as: "crates/core/src/fixture.rs",
         unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
+    // crates/trace is a library crate: panics are banned there too.
+    Case {
+        fixture: "p1_violation.rs",
+        classify_as: "crates/trace/src/fixture.rs",
+        unwaived: [0, 0, 0, 0, 0, 3],
         waived: 0,
         malformed: 0,
     },

@@ -1,0 +1,118 @@
+//! Trace events and their typed attributes.
+
+/// A typed attribute value. Exporters format each variant exactly once,
+/// so the encoding (and therefore the trace bytes) never depends on the
+/// producer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// An unsigned counter (bytes, tuples, misses, ...).
+    U64(u64),
+    /// A signed quantity.
+    I64(i64),
+    /// A real-valued quantity (simulated nanoseconds, fractions, ...).
+    F64(f64),
+    /// A short label (operator names, fault kinds, reject reasons).
+    Str(String),
+    /// A flag.
+    Bool(bool),
+}
+
+/// One `key: value` attribute. Keys are `snake_case` with the unit as a
+/// suffix (`_ns`, `_bytes`); see the crate docs for the convention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attr {
+    /// Attribute name.
+    pub key: String,
+    /// Typed value.
+    pub value: AttrValue,
+}
+
+impl Attr {
+    /// An unsigned-counter attribute.
+    pub fn u64(key: impl Into<String>, value: u64) -> Attr {
+        Attr {
+            key: key.into(),
+            value: AttrValue::U64(value),
+        }
+    }
+
+    /// A real-valued attribute.
+    pub fn f64(key: impl Into<String>, value: f64) -> Attr {
+        Attr {
+            key: key.into(),
+            value: AttrValue::F64(value),
+        }
+    }
+
+    /// A string attribute.
+    pub fn str(key: impl Into<String>, value: impl Into<String>) -> Attr {
+        Attr {
+            key: key.into(),
+            value: AttrValue::Str(value.into()),
+        }
+    }
+
+    /// A boolean attribute.
+    pub fn bool(key: impl Into<String>, value: bool) -> Attr {
+        Attr {
+            key: key.into(),
+            value: AttrValue::Bool(value),
+        }
+    }
+}
+
+/// What kind of event this is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// An interval with a duration (Chrome `ph: "X"`).
+    Span {
+        /// Duration in simulated nanoseconds.
+        dur_ns: f64,
+    },
+    /// A point-in-time marker (Chrome `ph: "i"`).
+    // triton-lint: allow(d2) -- names the Chrome instant event phase, not std::time::Instant
+    Instant,
+}
+
+/// One recorded event. Tracks are addressed Chrome-style: a `pid` groups
+/// related lanes (one per query, plus the scheduler), a `tid` is one
+/// lane within the group (lifecycle, SM half A, SM half B, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Track group (Chrome "process").
+    pub pid: u64,
+    /// Lane within the group (Chrome "thread").
+    pub tid: u64,
+    /// Event name (span label / instant marker).
+    pub name: String,
+    /// Start time in simulated nanoseconds.
+    pub ts_ns: f64,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Typed attributes, in insertion order.
+    pub attrs: Vec<Attr>,
+}
+
+impl TraceEvent {
+    /// Append an attribute (builder-style; call on the `&mut` returned
+    /// by [`crate::Trace::span`] / [`crate::Trace::instant`]).
+    pub fn attr(&mut self, attr: Attr) -> &mut TraceEvent {
+        self.attrs.push(attr);
+        self
+    }
+
+    /// Append several attributes at once.
+    pub fn attrs(&mut self, attrs: impl IntoIterator<Item = Attr>) -> &mut TraceEvent {
+        self.attrs.extend(attrs);
+        self
+    }
+
+    /// End time of a span; the timestamp itself for an instant.
+    pub fn end_ns(&self) -> f64 {
+        match self.kind {
+            EventKind::Span { dur_ns } => self.ts_ns + dur_ns,
+            // triton-lint: allow(d2) -- matches the Chrome instant variant, not std::time::Instant
+            EventKind::Instant => self.ts_ns,
+        }
+    }
+}

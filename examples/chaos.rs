@@ -10,13 +10,18 @@
 //!
 //! Run with `cargo run --example chaos -p triton-exec [K]` (K = capacity
 //! scale, default 512). Everything is deterministic: same K, same plan,
-//! same output.
+//! same output. Pass `--trace <path>` to export the resilient faulted
+//! run as Chrome `trace_event` JSON — fault instants and flight-recorder
+//! dumps land on the scheduler's tracks.
 
 use std::collections::BTreeMap;
 
 use triton_core::{CpuRadixJoin, HashScheme};
 use triton_datagen::WorkloadSpec;
-use triton_exec::{FaultPlan, JoinQuery, Operator, Outcome, Scheduler, SchedulerConfig};
+use triton_exec::{
+    to_chrome_json, validate_chrome, FaultPlan, JoinQuery, Operator, Outcome, Scheduler,
+    SchedulerConfig,
+};
 use triton_hw::units::Ns;
 use triton_hw::HwConfig;
 
@@ -62,12 +67,26 @@ fn tenant_of(name: &str) -> &str {
     name.split(['-']).next().unwrap_or(name)
 }
 
-fn main() {
-    let k: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+/// Parse `[K] [--trace <path>]` in any order.
+fn parse_args() -> (u64, Option<String>) {
+    let mut k: Option<u64> = None;
+    let mut trace: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace = args.next();
+        } else if let Ok(v) = a.parse() {
+            k = Some(v);
+        }
+    }
+    let k = k
         .or_else(|| std::env::var("TRITON_SCALE").ok()?.parse().ok())
         .unwrap_or(512);
+    (k, trace)
+}
+
+fn main() {
+    let (k, trace_path) = parse_args();
     let hw = HwConfig::ac922().scaled(k);
     println!("== chaos serving (K = {k}) ==\n");
 
@@ -178,4 +197,22 @@ fn main() {
         fragile.metrics.rejected,
     );
     println!("\nmetrics json: {}", faulted.metrics.to_json());
+
+    if let Some(path) = trace_path {
+        let json = to_chrome_json(&faulted.trace);
+        let dumps = faulted
+            .trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "flight.dump")
+            .count();
+        match validate_chrome(&json) {
+            Ok(n) => println!("\ntrace: {n} events, {dumps} flight dumps -> {path}"),
+            Err(e) => println!("\ntrace: INVALID ({e})"),
+        }
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("trace: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }

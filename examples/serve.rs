@@ -10,20 +10,39 @@
 //!
 //! Run with `cargo run --example serve -p triton-exec [K]` (K = capacity
 //! scale, default 512 — admission budgets scale with it just like the
-//! workloads).
+//! workloads). Pass `--trace <path>` to export the run as Chrome
+//! `trace_event` JSON (open in Perfetto / `chrome://tracing`) and print
+//! an ASCII timeline of the per-query tracks.
 
 use triton_core::{CpuRadixJoin, HashScheme};
 use triton_datagen::WorkloadSpec;
-use triton_exec::{JoinQuery, Operator, Outcome, Scheduler, SchedulerConfig};
+use triton_exec::{
+    query_pid, to_chrome_json, validate_chrome, JoinQuery, Operator, Outcome, Scheduler,
+    SchedulerConfig,
+};
 use triton_hw::units::Ns;
-use triton_hw::HwConfig;
+use triton_hw::{HwConfig, Timeline};
 
-fn main() {
-    let k: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
+/// Parse `[K] [--trace <path>]` in any order.
+fn parse_args() -> (u64, Option<String>) {
+    let mut k: Option<u64> = None;
+    let mut trace: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            trace = args.next();
+        } else if let Ok(v) = a.parse() {
+            k = Some(v);
+        }
+    }
+    let k = k
         .or_else(|| std::env::var("TRITON_SCALE").ok()?.parse().ok())
         .unwrap_or(512);
+    (k, trace)
+}
+
+fn main() {
+    let (k, trace_path) = parse_args();
     let hw = HwConfig::ac922().scaled(k);
     println!("== multi-tenant join serving (K = {k}) ==\n");
 
@@ -110,4 +129,19 @@ fn main() {
         res.metrics.shed_queue_full,
         res.metrics.shed_capacity
     );
+
+    if let Some(path) = trace_path {
+        let json = to_chrome_json(&res.trace);
+        match validate_chrome(&json) {
+            Ok(n) => println!("\ntrace: {n} events -> {path} (open in Perfetto)"),
+            Err(e) => println!("\ntrace: INVALID ({e})"),
+        }
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("trace: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        // ASCII rendering of the first few completed queries' tracks.
+        let pids: Vec<u64> = res.completed().take(4).map(|c| query_pid(c.id)).collect();
+        print!("{}", Timeline::from_trace(&res.trace, &pids).render(72));
+    }
 }
