@@ -16,6 +16,7 @@ pub mod fig21;
 pub mod fig22;
 pub mod fig23;
 pub mod fig24;
+pub mod fig_skew;
 pub mod serve_load;
 pub mod table1;
 

@@ -206,6 +206,7 @@ impl GpuAggregation {
             },
             executor: Executor::Gpu,
             overlap: None,
+            placement: None,
         };
         (result, report)
     }
@@ -286,6 +287,7 @@ pub fn npj_style_aggregate(rel: &Relation, hw: &HwConfig) -> (AggregateResult, J
         },
         executor: Executor::Gpu,
         overlap: None,
+        placement: None,
     };
     (result, report)
 }

@@ -195,6 +195,7 @@ impl CpuPartitionedJoin {
             result,
             executor: Executor::Gpu,
             overlap: None,
+            placement: None,
         }
     }
 }

@@ -125,6 +125,7 @@ impl CpuRadixJoin {
             result,
             executor: Executor::Cpu,
             overlap: None,
+            placement: None,
         }
     }
 

@@ -45,6 +45,7 @@ pub mod multi_gpu;
 pub mod npj;
 pub mod reference;
 pub mod report;
+pub mod skew;
 pub mod trace;
 pub mod triton;
 
@@ -62,6 +63,9 @@ pub use materialize::{run_with_materialization, Materialization};
 pub use multi_gpu::MultiGpuTritonJoin;
 pub use npj::NoPartitioningJoin;
 pub use reference::reference_join;
-pub use report::{JoinReport, JoinResult, OverlapLanes, PhaseReport};
+pub use report::{
+    JoinReport, JoinResult, OverlapLanes, PairPlacement, PhaseReport, PlacementReport,
+};
+pub use skew::{SkewMechanisms, SkewPolicy};
 pub use trace::{phase_bytes, phase_key, record_overlap, record_report};
 pub use triton::TritonJoin;

@@ -126,6 +126,7 @@ impl MultiGpuTritonJoin {
             result,
             executor: Executor::Gpu,
             overlap: None,
+            placement: None,
         }
     }
 }

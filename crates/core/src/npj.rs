@@ -221,6 +221,7 @@ impl NoPartitioningJoin {
             result,
             executor: Executor::Gpu,
             overlap: None,
+            placement: None,
         }
     }
 }

@@ -90,38 +90,103 @@ pub struct OverlapLanes {
     pub stage_a: Vec<Ns>,
     /// Per-pair stage B (join) times, in pair order.
     pub stage_b: Vec<Ns>,
+    /// Execution order chosen by the scheduler: `order[k]` is the lane
+    /// index of the pair fed through the pipeline k-th. Empty means
+    /// submission (index) order — the pre-skew-aware behavior.
+    pub order: Vec<usize>,
 }
 
 impl OverlapLanes {
+    /// The effective execution order: the recorded permutation, or the
+    /// identity when none was recorded (or it is malformed).
+    pub fn execution_order(&self) -> Vec<usize> {
+        let n = self.stage_a.len().min(self.stage_b.len());
+        if self.order.len() == n {
+            let mut seen = vec![false; n];
+            let valid = self.order.iter().all(|&i| {
+                let ok = i < n && !seen[i];
+                if i < n {
+                    seen[i] = true;
+                }
+                ok
+            });
+            if valid {
+                return self.order.clone();
+            }
+        }
+        (0..n).collect()
+    }
+
     /// Start offsets `(a_start, b_start)` of each pair relative to the
     /// pipeline's begin, under the barrier semantics of
-    /// [`triton_hw::kernel::pipeline2`]: A of pair *i+1* and B of pair
-    /// *i* launch together, and the next barrier waits for both.
+    /// [`triton_hw::kernel::pipeline2`]: A of the next scheduled pair and
+    /// B of the current one launch together, and the next barrier waits
+    /// for both. Indexed by *lane* (pair), not by schedule position.
     pub fn schedule(&self) -> Vec<(Ns, Ns)> {
-        let n = self.stage_a.len().min(self.stage_b.len());
+        let order = self.execution_order();
+        let n = order.len();
         if n == 0 {
             return Vec::new();
         }
         let mut a_start = vec![Ns::ZERO; n];
         let mut b_start = vec![Ns::ZERO; n];
-        let mut barrier = self.stage_a[0];
-        for i in 1..n {
-            a_start[i] = barrier;
-            b_start[i - 1] = barrier;
-            barrier += self.stage_a[i].max(self.stage_b[i - 1]);
+        let mut barrier = self.stage_a[order[0]];
+        for k in 1..n {
+            a_start[order[k]] = barrier;
+            b_start[order[k - 1]] = barrier;
+            barrier += self.stage_a[order[k]].max(self.stage_b[order[k - 1]]);
         }
-        b_start[n - 1] = barrier;
+        b_start[order[n - 1]] = barrier;
         a_start.into_iter().zip(b_start).collect()
     }
 
     /// End-to-end pipeline time implied by the schedule; equals
-    /// [`triton_hw::kernel::pipeline2`] over the same stages.
+    /// [`triton_hw::kernel::pipeline2_scheduled`] over the same stages
+    /// and order ([`triton_hw::kernel::pipeline2`] when no order is
+    /// recorded).
     pub fn total(&self) -> Ns {
-        let n = self.stage_a.len().min(self.stage_b.len());
-        match self.schedule().last() {
-            Some((_, b_start)) => *b_start + self.stage_b[n - 1],
+        let order = self.execution_order();
+        match order.last() {
+            Some(&last) => self.schedule()[last].1 + self.stage_b[last],
             None => Ns::ZERO,
         }
+    }
+}
+
+/// Cache placement decision for one partition pair of a hybrid join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairPlacement {
+    /// Pass-1 partition index of the pair.
+    pub part: u64,
+    /// Combined pair payload (R + S) in bytes.
+    pub bytes: u64,
+    /// Bytes of the pair resident in GPU memory.
+    pub gpu_bytes: u64,
+    /// Whether the planner pinned the whole pair GPU-resident.
+    pub cached: bool,
+}
+
+/// How a join placed its partitioned working set across GPU and CPU
+/// memory — the observable outcome of the cache policy, per pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementReport {
+    /// Placement policy label (`"interleaved"`, `"prefix"`, `"planned"`).
+    pub policy: String,
+    /// GPU cache budget the policy distributed, in bytes.
+    pub cache_budget_bytes: u64,
+    /// Working-set bytes resident in GPU memory (cache hits at read
+    /// time).
+    pub cache_hit_bytes: u64,
+    /// Working-set bytes spilled to CPU memory.
+    pub spilled_bytes: u64,
+    /// Per-pair decisions, in pass-1 partition order (non-empty pairs).
+    pub pairs: Vec<PairPlacement>,
+}
+
+impl PlacementReport {
+    /// Number of pairs pinned whole.
+    pub fn pairs_cached(&self) -> u64 {
+        self.pairs.iter().filter(|p| p.cached).count() as u64
     }
 }
 
@@ -147,6 +212,9 @@ pub struct JoinReport {
     /// concurrent kernels on split SM halves (`None` for serial
     /// operators and ablations).
     pub overlap: Option<OverlapLanes>,
+    /// Cache placement decisions of hybrid-caching operators (`None` for
+    /// operators without a GPU-cached working set).
+    pub placement: Option<PlacementReport>,
 }
 
 impl JoinReport {
@@ -223,6 +291,7 @@ mod tests {
         let lanes = OverlapLanes {
             stage_a: vec![Ns(10.0), Ns(20.0), Ns(5.0)],
             stage_b: vec![Ns(15.0), Ns(8.0), Ns(30.0)],
+            order: vec![],
         };
         let sched = lanes.schedule();
         assert_eq!(sched.len(), 3);
@@ -239,6 +308,56 @@ mod tests {
         assert!((lanes.total().0 - expected.0).abs() < 1e-12);
         assert!(OverlapLanes::default().schedule().is_empty());
         assert_eq!(OverlapLanes::default().total(), Ns::ZERO);
+    }
+
+    #[test]
+    fn ordered_schedule_matches_pipeline2_scheduled() {
+        let lanes = OverlapLanes {
+            stage_a: vec![Ns(10.0), Ns(1.0)],
+            stage_b: vec![Ns(1.0), Ns(10.0)],
+            order: vec![1, 0],
+        };
+        let expected =
+            triton_hw::kernel::pipeline2_scheduled(&lanes.stage_a, &lanes.stage_b, &[1, 0]);
+        assert!((lanes.total().0 - expected.0).abs() < 1e-12);
+        assert_eq!(lanes.total(), Ns(12.0));
+        // Pair 1 runs first: its A starts at 0; pair 0's A at the first
+        // barrier, its B last.
+        let sched = lanes.schedule();
+        assert_eq!(sched[1].0, Ns::ZERO);
+        assert_eq!(sched[0].0, Ns(1.0));
+        assert_eq!(sched[0].1, Ns(11.0));
+        // A malformed order falls back to submission order.
+        let bad = OverlapLanes {
+            order: vec![1, 1],
+            ..lanes.clone()
+        };
+        assert_eq!(bad.execution_order(), vec![0, 1]);
+    }
+
+    #[test]
+    fn placement_report_counts_cached_pairs() {
+        let p = PlacementReport {
+            policy: "planned".into(),
+            cache_budget_bytes: 1024,
+            cache_hit_bytes: 700,
+            spilled_bytes: 300,
+            pairs: vec![
+                PairPlacement {
+                    part: 0,
+                    bytes: 700,
+                    gpu_bytes: 700,
+                    cached: true,
+                },
+                PairPlacement {
+                    part: 3,
+                    bytes: 300,
+                    gpu_bytes: 0,
+                    cached: false,
+                },
+            ],
+        };
+        assert_eq!(p.pairs_cached(), 1);
     }
 
     #[test]
@@ -275,6 +394,7 @@ mod tests {
             result: JoinResult::empty(),
             executor: Executor::Gpu,
             overlap: None,
+            placement: None,
         };
         assert!((r.throughput_gtps() - 2.0).abs() < 1e-12);
     }
@@ -294,6 +414,7 @@ mod tests {
             result: JoinResult::empty(),
             executor: Executor::Cpu,
             overlap: None,
+            placement: None,
         };
         let bd = r.time_breakdown();
         assert_eq!(bd.len(), 2);

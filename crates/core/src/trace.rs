@@ -12,7 +12,7 @@
 //! become keys (rollups), and kept verbatim where they become span names
 //! (so Perfetto shows the paper's kernel labels).
 
-use crate::report::{JoinReport, OverlapLanes, PhaseReport};
+use crate::report::{JoinReport, OverlapLanes, PhaseReport, PlacementReport};
 use triton_hw::HwConfig;
 use triton_trace::{Attr, Trace};
 
@@ -80,8 +80,12 @@ pub fn record_report(
 /// per-pair second-pass spans on `tid_a` and join spans on `tid_b`, at
 /// the barrier offsets of [`OverlapLanes::schedule`], all relative to
 /// `t0_ns` with times scaled by `scale`. This is what makes the SM-half
-/// overlap *visible* in a Chrome trace: pair *i+1*'s partitioning pass
-/// runs on top of pair *i*'s join.
+/// overlap *visible* in a Chrome trace: the partitioning pass of the next
+/// scheduled pair runs on top of the current pair's join. When the
+/// scheduler reordered pairs (skew-aware LPT), each span carries its
+/// schedule position so traces stay reconcilable with submission order;
+/// `placement` adds the cache decision of each pair.
+#[allow(clippy::too_many_arguments)]
 pub fn record_overlap(
     trace: &mut Trace,
     pid: u64,
@@ -90,28 +94,41 @@ pub fn record_overlap(
     t0_ns: f64,
     scale: f64,
     lanes: &OverlapLanes,
+    placement: Option<&PlacementReport>,
 ) {
+    let order = lanes.execution_order();
+    let mut sched_pos = vec![0u64; order.len()];
+    for (k, &lane) in order.iter().enumerate() {
+        sched_pos[lane] = k as u64;
+    }
     for (i, (a_start, b_start)) in lanes.schedule().into_iter().enumerate() {
         let a_dur = (lanes.stage_a[i].0 * scale).max(0.0);
         let b_dur = (lanes.stage_b[i].0 * scale).max(0.0);
-        trace
-            .span(
-                pid,
-                tid_a,
-                format!("pass2 p{i}"),
-                t0_ns + a_start.0 * scale,
-                a_dur,
-            )
-            .attr(Attr::u64("pair", i as u64));
-        trace
-            .span(
-                pid,
-                tid_b,
-                format!("join p{i}"),
-                t0_ns + b_start.0 * scale,
-                b_dur,
-            )
-            .attr(Attr::u64("pair", i as u64));
+        let pair_attrs = |ev: &mut triton_trace::TraceEvent| {
+            ev.attr(Attr::u64("pair", i as u64));
+            ev.attr(Attr::u64("sched_pos", sched_pos[i]));
+            if let Some(p) = placement.and_then(|p| p.pairs.get(i)) {
+                ev.attr(Attr::u64("part", p.part));
+                ev.attr(Attr::u64("cached", u64::from(p.cached)));
+                ev.attr(Attr::u64("pair_gpu_bytes", p.gpu_bytes));
+            }
+        };
+        let ev = trace.span(
+            pid,
+            tid_a,
+            format!("pass2 p{i}"),
+            t0_ns + a_start.0 * scale,
+            a_dur,
+        );
+        pair_attrs(ev);
+        let ev = trace.span(
+            pid,
+            tid_b,
+            format!("join p{i}"),
+            t0_ns + b_start.0 * scale,
+            b_dur,
+        );
+        pair_attrs(ev);
     }
 }
 
@@ -145,6 +162,7 @@ mod tests {
             result: JoinResult::empty(),
             executor: Executor::Cpu,
             overlap: None,
+            placement: None,
         };
         let hw = HwConfig::ac922().scaled(65536);
         let mut trace = Trace::new();
@@ -163,9 +181,10 @@ mod tests {
         let lanes = OverlapLanes {
             stage_a: vec![Ns(10.0), Ns(20.0)],
             stage_b: vec![Ns(15.0), Ns(5.0)],
+            order: vec![],
         };
         let mut trace = Trace::new();
-        record_overlap(&mut trace, 2, 1, 2, 100.0, 1.0, &lanes);
+        record_overlap(&mut trace, 2, 1, 2, 100.0, 1.0, &lanes, None);
         assert_eq!(trace.len(), 4);
         // Pair 1's pass2 and pair 0's join launch together at the barrier.
         let a1 = &trace.events()[2];
@@ -174,5 +193,59 @@ mod tests {
         assert_eq!(b0.name, "join p0");
         assert!((a1.ts_ns - b0.ts_ns).abs() < 1e-9);
         assert!((a1.ts_ns - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_overlap_carries_schedule_and_placement() {
+        use crate::report::{PairPlacement, PlacementReport};
+        let lanes = OverlapLanes {
+            stage_a: vec![Ns(10.0), Ns(1.0)],
+            stage_b: vec![Ns(1.0), Ns(10.0)],
+            order: vec![1, 0],
+        };
+        let placement = PlacementReport {
+            policy: "planned".into(),
+            cache_budget_bytes: 100,
+            cache_hit_bytes: 60,
+            spilled_bytes: 40,
+            pairs: vec![
+                PairPlacement {
+                    part: 2,
+                    bytes: 60,
+                    gpu_bytes: 60,
+                    cached: true,
+                },
+                PairPlacement {
+                    part: 5,
+                    bytes: 40,
+                    gpu_bytes: 0,
+                    cached: false,
+                },
+            ],
+        };
+        let mut trace = Trace::new();
+        record_overlap(&mut trace, 1, 1, 2, 0.0, 1.0, &lanes, Some(&placement));
+        assert_eq!(trace.len(), 4);
+        // Pair 1 is scheduled first: its pass2 span starts at 0.
+        let a1 = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "pass2 p1")
+            .unwrap();
+        assert!((a1.ts_ns - 0.0).abs() < 1e-9);
+        let get = |e: &triton_trace::TraceEvent, k: &str| {
+            e.attrs
+                .iter()
+                .find_map(|a| (a.key == k).then(|| a.value.clone()))
+        };
+        assert_eq!(format!("{:?}", get(a1, "sched_pos").unwrap()), "U64(0)");
+        let a0 = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "pass2 p0")
+            .unwrap();
+        assert_eq!(format!("{:?}", get(a0, "sched_pos").unwrap()), "U64(1)");
+        assert_eq!(format!("{:?}", get(a0, "cached").unwrap()), "U64(1)");
+        assert_eq!(format!("{:?}", get(a0, "part").unwrap()), "U64(2)");
     }
 }

@@ -71,6 +71,11 @@ pub struct SchedulerMetrics {
     pub peak_concurrency: usize,
     /// Time-weighted mean queries in flight (while any ran).
     pub mean_concurrency: f64,
+    /// Bytes of partitioned working sets the completed joins held
+    /// GPU-resident (summed over each query's placement report).
+    pub cache_hit_bytes: Bytes,
+    /// Bytes of partitioned working sets spilled to CPU memory.
+    pub cache_spilled_bytes: Bytes,
     /// Build-cache hits (probe batches reusing a partitioned build side).
     pub build_cache_hits: u64,
     /// Build-cache misses (build sides partitioned from scratch).
@@ -143,12 +148,17 @@ impl SchedulerMetrics {
         let (mut shed_deadline, mut shed_queue_full) = (0u64, 0u64);
         let (mut shed_capacity, mut shed_faulted) = (0u64, 0u64);
         let (mut retries, mut downgrades, mut revocations) = (0u64, 0u64, 0u64);
+        let (mut cache_hit_bytes, mut cache_spilled_bytes) = (0u64, 0u64);
         for o in outcomes {
             match o {
                 Outcome::Completed(c) => {
                     completed += 1;
                     tuples += c.report.tuples_actual;
                     latencies.push(c.latency().0);
+                    if let Some(p) = &c.report.placement {
+                        cache_hit_bytes += p.cache_hit_bytes;
+                        cache_spilled_bytes += p.spilled_bytes;
+                    }
                     retries += u64::from(c.fault.retries);
                     downgrades += u64::from(c.fault.downgrades);
                     revocations += u64::from(c.fault.revocations);
@@ -192,6 +202,8 @@ impl SchedulerMetrics {
             gpu_retired: totals.gpu_retired,
             peak_concurrency: totals.peak_concurrency,
             mean_concurrency: totals.mean_concurrency,
+            cache_hit_bytes: Bytes(cache_hit_bytes),
+            cache_spilled_bytes: Bytes(cache_spilled_bytes),
             build_cache_hits: totals.build_cache_hits,
             build_cache_misses: totals.build_cache_misses,
             builds_quarantined: totals.builds_quarantined,
@@ -261,6 +273,7 @@ impl SchedulerMetrics {
                 "\"latency_p50_ns\":{},\"latency_p99_ns\":{},\"latency_max_ns\":{},",
                 "\"peak_gpu_reserved\":{},\"gpu_capacity\":{},\"gpu_retired\":{},",
                 "\"peak_concurrency\":{},\"mean_concurrency\":{},",
+                "\"cache_hit_bytes\":{},\"cache_spilled_bytes\":{},",
                 "\"build_cache_hits\":{},\"build_cache_misses\":{},",
                 "\"builds_quarantined\":{},\"faults_injected\":{},",
                 "\"retries\":{},\"downgrades\":{},\"revocations\":{},",
@@ -283,6 +296,8 @@ impl SchedulerMetrics {
             self.gpu_retired.0,
             self.peak_concurrency,
             self.mean_concurrency,
+            self.cache_hit_bytes.0,
+            self.cache_spilled_bytes.0,
             self.build_cache_hits,
             self.build_cache_misses,
             self.builds_quarantined,
@@ -353,6 +368,7 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.starts_with('{') && a.ends_with('}'));
         assert!(a.contains("\"faults_injected\":0"));
+        assert!(a.contains("\"cache_hit_bytes\":0,\"cache_spilled_bytes\":0"));
         assert!(a.ends_with("\"phases\":[]}"));
         assert_eq!(m, m.clone(), "PartialEq must hold for identical runs");
     }

@@ -281,25 +281,28 @@ impl Recorder {
                     c.finish.0 - tail,
                     scale,
                     lanes,
+                    c.report.placement.as_ref(),
                 );
             }
         }
 
-        self.lifecycle(
-            c.id,
-            "complete",
-            c.finish,
-            vec![
-                Attr::str("operator", c.operator),
-                Attr::f64("latency_ns", c.latency().0),
-                Attr::f64("dedicated_ns", c.dedicated.0),
-                Attr::u64("reserved_bytes", c.reserved.0),
-                Attr::bool("build_cache_hit", c.build_cache_hit),
-                Attr::u64("retries", u64::from(c.fault.retries)),
-                Attr::u64("downgrades", u64::from(c.fault.downgrades)),
-                Attr::u64("revocations", u64::from(c.fault.revocations)),
-            ],
-        );
+        let mut attrs = vec![
+            Attr::str("operator", c.operator),
+            Attr::f64("latency_ns", c.latency().0),
+            Attr::f64("dedicated_ns", c.dedicated.0),
+            Attr::u64("reserved_bytes", c.reserved.0),
+            Attr::bool("build_cache_hit", c.build_cache_hit),
+            Attr::u64("retries", u64::from(c.fault.retries)),
+            Attr::u64("downgrades", u64::from(c.fault.downgrades)),
+            Attr::u64("revocations", u64::from(c.fault.revocations)),
+        ];
+        if let Some(p) = &c.report.placement {
+            attrs.push(Attr::str("placement_policy", p.policy.clone()));
+            attrs.push(Attr::u64("cache_hit_bytes", p.cache_hit_bytes));
+            attrs.push(Attr::u64("cache_spilled_bytes", p.spilled_bytes));
+            attrs.push(Attr::u64("pairs_cached", p.pairs_cached()));
+        }
+        self.lifecycle(c.id, "complete", c.finish, attrs);
     }
 
     fn add_rollup(&mut self, operator: &str, phase: &str, time_ns: f64, bytes: u64) {

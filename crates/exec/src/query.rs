@@ -1,6 +1,8 @@
 //! Query descriptors submitted to the serving runtime.
 
-use triton_core::{CpuPartitionedJoin, CpuRadixJoin, JoinReport, NoPartitioningJoin, TritonJoin};
+use triton_core::{
+    CpuPartitionedJoin, CpuRadixJoin, JoinReport, NoPartitioningJoin, SkewPolicy, TritonJoin,
+};
 use triton_datagen::{Rng, Workload};
 use triton_hw::units::Ns;
 use triton_hw::HwConfig;
@@ -35,6 +37,23 @@ impl Operator {
     /// Default Triton configuration.
     pub fn triton() -> Self {
         Operator::Triton(TritonJoin::default())
+    }
+
+    /// Triton with the skew-aware policy (hotness-weighted placement,
+    /// LPT pipeline scheduling, heavy-hitter splitting) enabled.
+    pub fn triton_skew_aware() -> Self {
+        Operator::Triton(TritonJoin {
+            skew: SkewPolicy::aware(),
+            ..TritonJoin::default()
+        })
+    }
+
+    /// The skew policy this operator runs with, when it is a Triton join.
+    pub fn skew(&self) -> Option<SkewPolicy> {
+        match self {
+            Operator::Triton(j) => Some(j.skew),
+            _ => None,
+        }
     }
 
     /// Execute the operator functionally, surfacing simulated OOM.
@@ -101,6 +120,16 @@ impl JoinQuery {
             arrival,
             build_key: None,
         }
+    }
+
+    /// Set the skew policy of this query's Triton operator; a no-op for
+    /// non-Triton operators.
+    #[must_use]
+    pub fn with_skew(mut self, policy: SkewPolicy) -> Self {
+        if let Operator::Triton(j) = &mut self.op {
+            j.skew = policy;
+        }
+        self
     }
 
     /// Derive a probe batch against the same build relation: keeps `R`

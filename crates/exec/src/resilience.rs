@@ -17,7 +17,7 @@
 //! Faults may change timing, placement, and operator choice — never
 //! answers: every recovered query still produces an exact result.
 
-use triton_core::{CpuPartitionedJoin, CpuRadixJoin, HashScheme};
+use triton_core::{CpuPartitionedJoin, CpuRadixJoin, HashScheme, SkewPolicy, TritonJoin};
 use triton_hw::fault::unit_f64;
 use triton_hw::units::Ns;
 
@@ -83,12 +83,20 @@ impl RetryPolicy {
 
 /// The next rung of the degradation ladder, or `None` at the bottom.
 ///
-/// Triton → CPU-partitioned GPU join (tiny GPU footprint) → CPU radix
-/// join (no GPU at all). The no-partitioning join degrades the same way:
-/// its global hash table is what GPU faults keep killing.
+/// Skew-aware Triton → plain Triton → CPU-partitioned GPU join (tiny
+/// GPU footprint) → CPU radix join (no GPU at all). The first rung
+/// drops only the skew policy: the planned placement and pair chunking
+/// are the most speculative machinery, so a faulting query falls back
+/// to the uniform executor before giving up GPU partitioning entirely.
+/// The no-partitioning join degrades like plain Triton: its global hash
+/// table is what GPU faults keep killing.
 #[must_use]
 pub fn downgrade_operator(op: &Operator) -> Option<Operator> {
     match op {
+        Operator::Triton(j) if j.skew.is_aware() => Some(Operator::Triton(TritonJoin {
+            skew: SkewPolicy::Off,
+            ..j.clone()
+        })),
         Operator::Triton(_) | Operator::NoPartitioning(_) => {
             Some(Operator::CpuPartitioned(CpuPartitionedJoin::default()))
         }
@@ -168,5 +176,29 @@ mod tests {
         }
         assert_eq!(rungs, vec!["triton", "cpu-part", "cpu-radix"]);
         assert!(!op.uses_gpu(), "the bottom rung must not need the GPU");
+    }
+
+    #[test]
+    fn skew_aware_downgrades_to_plain_triton_first() {
+        let op = Operator::Triton(TritonJoin {
+            skew: SkewPolicy::aware(),
+            ..TritonJoin::default()
+        });
+        let next = downgrade_operator(&op).unwrap();
+        match &next {
+            Operator::Triton(j) => assert!(
+                !j.skew.is_aware(),
+                "first rung must only drop the skew policy"
+            ),
+            other => panic!("expected plain Triton, got {}", other.label()),
+        }
+        // The rest of the ladder is unchanged and still terminates.
+        let mut op = next;
+        let mut rungs = vec![op.label()];
+        while let Some(next) = downgrade_operator(&op) {
+            op = next;
+            rungs.push(op.label());
+        }
+        assert_eq!(rungs, vec!["triton", "cpu-part", "cpu-radix"]);
     }
 }

@@ -530,6 +530,43 @@ pub fn pipeline2(a: &[Ns], b: &[Ns]) -> Ns {
     total
 }
 
+/// [`pipeline2`] with an execution order: items are fed through the
+/// two-stage pipeline in the sequence given by `order` (a permutation of
+/// `0..a.len()`), so a scheduler can reorder partition pairs without the
+/// caller re-shuffling its lane vectors. `order = [0, 1, 2, ...]`
+/// reproduces `pipeline2(a, b)` exactly.
+pub fn pipeline2_scheduled(a: &[Ns], b: &[Ns], order: &[usize]) -> Ns {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), order.len());
+    if order.is_empty() {
+        return Ns::ZERO;
+    }
+    let mut total = a[order[0]];
+    for w in order.windows(2) {
+        total += a[w[1]].max(b[w[0]]);
+    }
+    total += b[order[order.len() - 1]];
+    total
+}
+
+/// Longest-processing-time-first order for a two-stage pipeline: items
+/// sorted by descending total stage time (`a_i + b_i`), ties broken by
+/// ascending index so the permutation is deterministic. Running the heavy
+/// pairs first gives the pipeline the longest runway to hide stage-A
+/// transfers behind stage-B joins — the skew scheduler's heuristic.
+pub fn lpt_order(a: &[Ns], b: &[Ns]) -> Vec<usize> {
+    assert_eq!(a.len(), b.len());
+    let mut order: Vec<usize> = (0..a.len()).collect();
+    order.sort_by(|&x, &y| {
+        let tx = a[x] + b[x];
+        let ty = a[y] + b[y];
+        // Descending by time; `total_cmp` keeps the sort total even if a
+        // cost model ever produces a NaN.
+        ty.0.total_cmp(&tx.0).then(x.cmp(&y))
+    });
+    order
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +655,36 @@ mod tests {
         let b2 = [Ns(20.0), Ns(20.0), Ns(20.0)];
         // a0 + b chain dominates: 10 + 20 + 20 + 20 = 70.
         assert_eq!(pipeline2(&a, &b2), Ns(70.0));
+    }
+
+    #[test]
+    fn pipeline2_scheduled_identity_matches_pipeline2() {
+        let a = [Ns(10.0), Ns(3.0), Ns(7.0), Ns(1.0)];
+        let b = [Ns(2.0), Ns(9.0), Ns(5.0), Ns(6.0)];
+        let identity: Vec<usize> = (0..a.len()).collect();
+        assert_eq!(pipeline2_scheduled(&a, &b, &identity), pipeline2(&a, &b));
+        assert_eq!(pipeline2_scheduled(&[], &[], &[]), Ns::ZERO);
+    }
+
+    #[test]
+    fn pipeline2_scheduled_reorders() {
+        // In submission order both heavy stages are exposed (10 + 1 + 10);
+        // running the join-heavy pair first hides the transfer-heavy
+        // pair's stage A behind it (1 + 10 + 1).
+        let a = [Ns(10.0), Ns(1.0)];
+        let b = [Ns(1.0), Ns(10.0)];
+        let submission = pipeline2(&a, &b);
+        let reordered = pipeline2_scheduled(&a, &b, &[1, 0]);
+        assert_eq!(submission, Ns(21.0));
+        assert_eq!(reordered, Ns(12.0));
+    }
+
+    #[test]
+    fn lpt_order_sorts_by_total_time_descending() {
+        let a = [Ns(1.0), Ns(5.0), Ns(2.0), Ns(5.0)];
+        let b = [Ns(1.0), Ns(5.0), Ns(9.0), Ns(5.0)];
+        // Totals: 2, 10, 11, 10 → order [2, 1, 3, 0] (tie 1 vs 3 by index).
+        assert_eq!(lpt_order(&a, &b), vec![2, 1, 3, 0]);
     }
 
     #[test]

@@ -1,0 +1,18 @@
+// Fixture: the real placement-plan idiom — ordered range lists and
+// arithmetic through the unit newtypes' operators — is clean under
+// D1/U1.
+use std::collections::BTreeMap;
+
+use triton_hw::units::Bytes;
+
+pub fn resident_pages(ranges: &BTreeMap<u64, (u64, u64)>) -> u64 {
+    ranges.values().map(|&(s, e)| e - s).sum()
+}
+
+pub fn resident_bytes(pages: u64, page_size: Bytes) -> Bytes {
+    page_size * pages
+}
+
+pub fn gpu_fraction(gpu: Bytes, total: Bytes) -> f64 {
+    gpu.ratio_of(total)
+}

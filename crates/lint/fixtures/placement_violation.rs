@@ -1,0 +1,19 @@
+// Fixture: placement-plan bookkeeping (the skew-aware planner's
+// GPU-resident page ranges in crates/mem) must stay deterministic and
+// unit-honest — hash-ordered plan ranges trip D1, raw page/byte
+// arithmetic re-wrapped in `Bytes` trips U1.
+use std::collections::HashMap;
+
+use triton_hw::units::Bytes;
+
+pub fn resident_pages(ranges: &HashMap<u64, (u64, u64)>) -> u64 {
+    ranges.values().map(|&(s, e)| e - s).sum()
+}
+
+pub fn resident_bytes(pages: u64, page_size: Bytes) -> Bytes {
+    Bytes(pages * page_size.0)
+}
+
+pub fn gpu_fraction(gpu: Bytes, total: Bytes) -> f64 {
+    gpu.0 as f64 / total.as_f64()
+}

@@ -167,6 +167,24 @@ const CASES: &[Case] = &[
         waived: 0,
         malformed: 0,
     },
+    // The skew-aware planner's placement-plan code lives in crates/mem:
+    // hash-ordered plan ranges and raw page/byte arithmetic must trip
+    // D1/U1 there like in any library crate, and the real idiom
+    // (ordered ranges, unit-operator arithmetic) must stay clean.
+    Case {
+        fixture: "placement_violation.rs",
+        classify_as: "crates/mem/src/interleave.rs",
+        unwaived: [2, 0, 0, 2, 0, 0],
+        waived: 0,
+        malformed: 0,
+    },
+    Case {
+        fixture: "placement_clean.rs",
+        classify_as: "crates/mem/src/interleave.rs",
+        unwaived: [0; 6],
+        waived: 0,
+        malformed: 0,
+    },
     // Integration tests and bench harnesses are test code for every
     // rule.
     Case {

@@ -10,7 +10,7 @@ use std::fmt;
 
 use triton_hw::{Bytes, HwConfig, MemSide};
 
-use crate::interleave::{HybridLayout, InterleavePattern, Placement};
+use crate::interleave::{HybridLayout, InterleavePattern, Placement, PlacementPlan};
 
 /// Error returned when a device cannot satisfy an allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -232,6 +232,56 @@ impl SimAllocator {
         ))
     }
 
+    /// Allocate a hybrid array of `len` bytes with an explicit
+    /// [`PlacementPlan`] of GPU-resident page ranges — the skew-aware
+    /// planner's "keep whole hot partition pairs device-resident" policy.
+    ///
+    /// Like [`Self::alloc_hybrid`], a GPU shortfall degrades gracefully:
+    /// the plan is truncated in page order until the resident share fits
+    /// what the device has free. The call fails only if *CPU* memory
+    /// cannot hold the spilled remainder.
+    pub fn alloc_hybrid_planned(
+        &mut self,
+        len: Bytes,
+        plan: PlacementPlan,
+    ) -> Result<HybridLayout, OutOfMemory> {
+        let total_pages = len.0.div_ceil(self.page_size).max(1);
+        // Clip the plan to the array, then to what the GPU has free.
+        let plan = PlacementPlan::new(
+            plan.ranges()
+                .iter()
+                .map(|&(s, e)| (s, e.min(total_pages)))
+                .collect(),
+        );
+        let gpu_avail_pages = self.available(MemSide::Gpu).0 / self.page_size;
+        let plan = if plan.gpu_pages_among(total_pages) > gpu_avail_pages {
+            plan.truncated(gpu_avail_pages)
+        } else {
+            plan
+        };
+        let gpu_pages = plan.gpu_pages_among(total_pages);
+        let cpu_pages = total_pages - gpu_pages;
+        let cpu_bytes = cpu_pages * self.page_size;
+        let cpu_avail = self.available(MemSide::Cpu).0;
+        if cpu_bytes > cpu_avail {
+            return Err(OutOfMemory {
+                side: MemSide::Cpu,
+                requested: Bytes(cpu_bytes),
+                available: Bytes(cpu_avail),
+            });
+        }
+        self.gpu_used += gpu_pages * self.page_size;
+        self.cpu_used += cpu_bytes;
+        let base = self.next_vaddr;
+        self.next_vaddr += total_pages * self.page_size;
+        Ok(HybridLayout::with_placement(
+            base,
+            len.0,
+            self.page_size,
+            Placement::Planned(plan),
+        ))
+    }
+
     /// Free a hybrid layout.
     pub fn free_hybrid(&mut self, layout: &HybridLayout) {
         let total_pages = layout.len().div_ceil(self.page_size).max(1);
@@ -330,6 +380,50 @@ mod tests {
         a.free_hybrid(&layout);
         assert_eq!(a.used(MemSide::Gpu), g0);
         assert_eq!(a.used(MemSide::Cpu), c0);
+    }
+
+    #[test]
+    fn planned_alloc_pins_exact_ranges() {
+        let mut a = small_alloc();
+        let ps = a.page_size();
+        let g0 = a.used(MemSide::Gpu).0;
+        // 16 pages; pin pages 4..8 and 12..14 (6 resident pages).
+        let plan = PlacementPlan::new(vec![(4, 8), (12, 14)]);
+        let layout = a.alloc_hybrid_planned(Bytes(16 * ps), plan).unwrap();
+        assert_eq!(layout.gpu_bytes(), 6 * ps);
+        assert_eq!(layout.cpu_bytes(), 10 * ps);
+        assert_eq!(a.used(MemSide::Gpu).0, g0 + 6 * ps);
+        // Resident window reads charge zero CPU bytes.
+        assert_eq!(layout.split_range(4 * ps, 4 * ps), (4 * ps, 0));
+        a.free_hybrid(&layout);
+        assert_eq!(a.used(MemSide::Gpu).0, g0);
+    }
+
+    #[test]
+    fn planned_alloc_degrades_when_gpu_short() {
+        let mut a = small_alloc();
+        let ps = a.page_size();
+        let gpu_cap = a.available(MemSide::Gpu).0;
+        // Leave exactly 2 pages of GPU headroom.
+        let hold = a.alloc(MemSide::Gpu, Bytes(gpu_cap - 2 * ps)).unwrap();
+        let plan = PlacementPlan::new(vec![(0, 8)]);
+        let layout = a.alloc_hybrid_planned(Bytes(8 * ps), plan).unwrap();
+        // The plan is truncated in page order, not rejected.
+        assert_eq!(layout.gpu_bytes(), 2 * ps);
+        assert_eq!(layout.cpu_bytes(), 6 * ps);
+        a.free(hold);
+    }
+
+    #[test]
+    fn planned_alloc_clips_plan_to_array() {
+        let mut a = small_alloc();
+        let ps = a.page_size();
+        // Plan ranges entirely past the 4-page array contribute nothing.
+        let plan = PlacementPlan::new(vec![(2, 3), (100, 200)]);
+        let g0 = a.used(MemSide::Gpu).0;
+        let layout = a.alloc_hybrid_planned(Bytes(4 * ps), plan).unwrap();
+        assert_eq!(layout.gpu_bytes(), ps);
+        assert_eq!(a.used(MemSide::Gpu).0, g0 + ps);
     }
 
     #[test]

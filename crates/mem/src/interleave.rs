@@ -73,14 +73,89 @@ impl InterleavePattern {
     }
 }
 
+/// An explicit list of GPU-resident page ranges: the placement a
+/// skew-aware planner computes when it decides *which partitions* stay
+/// device-resident instead of spreading a fixed fraction evenly.
+///
+/// Ranges are half-open `[start, end)` page indices, kept sorted and
+/// disjoint (overlapping or touching input ranges are merged), so
+/// membership queries are a deterministic binary search.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementPlan {
+    /// Sorted, disjoint half-open page ranges resident in GPU memory.
+    ranges: Vec<(u64, u64)>,
+}
+
+impl PlacementPlan {
+    /// Build a plan from arbitrary `[start, end)` page ranges. Empty and
+    /// inverted ranges are dropped; overlapping or adjacent ranges merge.
+    pub fn new(mut ranges: Vec<(u64, u64)>) -> Self {
+        ranges.retain(|&(s, e)| e > s);
+        ranges.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(ranges.len());
+        for (s, e) in ranges {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        PlacementPlan { ranges: merged }
+    }
+
+    /// The sorted, disjoint GPU-resident page ranges.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Total GPU-resident pages in the plan.
+    pub fn gpu_pages_total(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// Whether `page_index` is GPU-resident under this plan.
+    pub fn contains(&self, page_index: u64) -> bool {
+        // Binary search for the last range starting at or before the page.
+        let idx = self.ranges.partition_point(|&(s, _)| s <= page_index);
+        idx > 0 && page_index < self.ranges[idx - 1].1
+    }
+
+    /// GPU pages among the first `n` pages.
+    pub fn gpu_pages_among(&self, n: u64) -> u64 {
+        self.ranges
+            .iter()
+            .take_while(|&&(s, _)| s < n)
+            .map(|&(s, e)| e.min(n) - s)
+            .sum()
+    }
+
+    /// A copy of the plan truncated (in page order) to at most
+    /// `max_gpu_pages` resident pages — how the allocator degrades a plan
+    /// gracefully when device memory cannot hold all of it.
+    pub fn truncated(&self, max_gpu_pages: u64) -> Self {
+        let mut left = max_gpu_pages;
+        let mut out = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            if left == 0 {
+                break;
+            }
+            let take = (e - s).min(left);
+            out.push((s, s + take));
+            left -= take;
+        }
+        PlacementPlan { ranges: out }
+    }
+}
+
 /// How the GPU-resident pages of a hybrid array are placed.
 ///
 /// The paper's design (Section 5.3) interleaves them evenly so the
 /// interconnect stays busy throughout execution; the strawman it argues
 /// against caches a *prefix* (the classic hybrid hash join's R0), which
 /// leaves the interconnect idle while the GPU works on the cached share.
-/// Both are available so the ablation can measure the difference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Both are available so the ablation can measure the difference. The
+/// third policy pins an explicit [`PlacementPlan`] of page ranges — the
+/// skew-aware cache keeps whole hot partition pairs device-resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Placement {
     /// Evenly interleaved GPU pages (the Triton join's scheme).
     Interleaved(InterleavePattern),
@@ -89,6 +164,8 @@ pub enum Placement {
         /// Number of leading pages resident in GPU memory.
         gpu_pages: u64,
     },
+    /// Explicit GPU-resident page ranges chosen by a placement planner.
+    Planned(PlacementPlan),
 }
 
 impl Placement {
@@ -103,6 +180,13 @@ impl Placement {
                     MemSide::Cpu
                 }
             }
+            Placement::Planned(plan) => {
+                if plan.contains(page_index) {
+                    MemSide::Gpu
+                } else {
+                    MemSide::Cpu
+                }
+            }
         }
     }
 
@@ -111,6 +195,7 @@ impl Placement {
         match self {
             Placement::Interleaved(p) => p.gpu_pages_among(n),
             Placement::Prefix { gpu_pages } => n.min(*gpu_pages),
+            Placement::Planned(plan) => plan.gpu_pages_among(n),
         }
     }
 }
@@ -160,8 +245,8 @@ impl HybridLayout {
     }
 
     /// The placement policy.
-    pub fn pattern(&self) -> Placement {
-        self.pattern
+    pub fn pattern(&self) -> &Placement {
+        &self.pattern
     }
 
     /// Number of pages backing the array.
@@ -297,6 +382,52 @@ mod tests {
             (64, 64),
             (9_990, 10),
         ] {
+            let (gpu, cpu) = l.split_range(off, len);
+            let exact: u64 = (off..off + len)
+                .filter(|&b| l.side_of(b) == MemSide::Gpu)
+                .count() as u64;
+            assert_eq!(gpu, exact, "off={off} len={len}");
+            assert_eq!(gpu + cpu, len);
+        }
+    }
+
+    #[test]
+    fn plan_merges_and_counts() {
+        let plan = PlacementPlan::new(vec![(8, 4), (0, 2), (2, 5), (10, 12), (11, 14), (20, 20)]);
+        // (8,4) inverted → dropped; (0,2)+(2,5) merge; (10,12)+(11,14) merge.
+        assert_eq!(plan.ranges(), &[(0, 5), (10, 14)]);
+        assert_eq!(plan.gpu_pages_total(), 9);
+        for p in 0..20 {
+            let expect = (0..5).contains(&p) || (10..14).contains(&p);
+            assert_eq!(plan.contains(p), expect, "page {p}");
+        }
+        for n in [0u64, 1, 5, 9, 10, 12, 14, 100] {
+            let exact = (0..n).filter(|&p| plan.contains(p)).count() as u64;
+            assert_eq!(plan.gpu_pages_among(n), exact, "n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_truncation_keeps_page_order() {
+        let plan = PlacementPlan::new(vec![(0, 4), (10, 14)]);
+        assert_eq!(plan.truncated(6).ranges(), &[(0, 4), (10, 12)]);
+        assert_eq!(plan.truncated(4).ranges(), &[(0, 4)]);
+        assert_eq!(plan.truncated(0).ranges(), &[] as &[(u64, u64)]);
+        assert_eq!(plan.truncated(100), plan);
+    }
+
+    #[test]
+    fn planned_layout_splits_by_resident_ranges() {
+        // Pages 2..4 resident on a 10-page array.
+        let plan = PlacementPlan::new(vec![(2, 4)]);
+        let l = HybridLayout::with_placement(0, 10 * 64, 64, Placement::Planned(plan));
+        assert_eq!(l.gpu_bytes(), 2 * 64);
+        assert_eq!(l.cpu_bytes(), 8 * 64);
+        // A range fully inside the resident window never touches the CPU.
+        assert_eq!(l.split_range(2 * 64, 2 * 64), (2 * 64, 0));
+        // A straddling range is charged per page.
+        assert_eq!(l.split_range(64, 3 * 64), (2 * 64, 64));
+        for (off, len) in [(0u64, 640u64), (100, 200), (130, 2)] {
             let (gpu, cpu) = l.split_range(off, len);
             let exact: u64 = (off..off + len)
                 .filter(|&b| l.side_of(b) == MemSide::Gpu)

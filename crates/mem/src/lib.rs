@@ -17,4 +17,4 @@ pub mod alloc;
 pub mod interleave;
 
 pub use alloc::{Allocation, OutOfMemory, SimAllocator};
-pub use interleave::{HybridLayout, InterleavePattern, Placement};
+pub use interleave::{HybridLayout, InterleavePattern, Placement, PlacementPlan};

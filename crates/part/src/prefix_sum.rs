@@ -43,6 +43,37 @@ impl HistogramResult {
     pub fn fanout(&self) -> usize {
         self.totals.len()
     }
+
+    /// Per-partition combined tuple counts of a build/probe pair: the
+    /// histogram totals of this (build) relation added to `probe`'s.
+    /// These are the pair sizes the skew planner ranks before the
+    /// second-pass loop runs. Panics if the fanouts differ.
+    pub fn pair_tuples(&self, probe: &HistogramResult) -> Vec<u64> {
+        assert_eq!(self.fanout(), probe.fanout());
+        self.totals
+            .iter()
+            .zip(&probe.totals)
+            .map(|(&r, &s)| r + s)
+            .collect()
+    }
+
+    /// Mean partition tuple count (rounded up, never zero for non-empty
+    /// inputs) — the baseline a heavy-hitter detector compares against.
+    pub fn mean_tuples(&self) -> u64 {
+        let total: u64 = self.totals.iter().sum();
+        total.div_ceil(self.fanout().max(1) as u64)
+    }
+
+    /// Ratio of the largest partition to the mean — 1.0 for perfectly
+    /// uniform keys, growing with Zipf skew. Zero for empty inputs.
+    pub fn skew_ratio(&self) -> f64 {
+        let mean = self.mean_tuples();
+        if mean == 0 {
+            return 0.0;
+        }
+        let max = self.totals.iter().copied().max().unwrap_or(0);
+        max as f64 / mean as f64
+    }
 }
 
 /// Compute per-block histograms functionally (shared by every processor).
@@ -183,6 +214,35 @@ mod tests {
     fn empty_input() {
         let h = compute_histogram(&[], 8, 4, 0);
         assert_eq!(h.offsets, vec![0; 17]);
+        assert_eq!(h.mean_tuples(), 0);
+        assert_eq!(h.skew_ratio(), 0.0);
+    }
+
+    #[test]
+    fn pair_tuples_adds_both_relations() {
+        let w = WorkloadSpec::paper_default(1, 50).generate();
+        let hr = compute_histogram(&w.r.keys, 4, 5, 0);
+        let hs = compute_histogram(&w.s.keys, 4, 5, 0);
+        let pairs = hr.pair_tuples(&hs);
+        assert_eq!(pairs.len(), 32);
+        let total: u64 = pairs.iter().sum();
+        assert_eq!(total, (w.r.len() + w.s.len()) as u64);
+    }
+
+    #[test]
+    fn skew_ratio_grows_with_zipf() {
+        let uniform = WorkloadSpec::paper_default(1, 50).generate();
+        let skewed = WorkloadSpec::skewed(1, 1.5, 50).generate();
+        let hu = compute_histogram(&uniform.s.keys, 4, 6, 0);
+        let hk = compute_histogram(&skewed.s.keys, 4, 6, 0);
+        assert!(hu.skew_ratio() >= 1.0);
+        assert!(
+            hk.skew_ratio() > hu.skew_ratio() * 2.0,
+            "zipf 1.5 should concentrate: {} vs {}",
+            hk.skew_ratio(),
+            hu.skew_ratio()
+        );
+        assert!(hk.mean_tuples() > 0);
     }
 
     #[test]

@@ -91,6 +91,42 @@ fn skewed_ratio_workloads() {
 }
 
 #[test]
+fn zipf_exactness_per_skew_mechanism() {
+    use triton_core::{SkewMechanisms, SkewPolicy};
+    let hw = HwConfig::ac922().scaled(2048);
+    // Every skew mechanism — alone and combined — must leave results
+    // byte-identical to the reference at every skew level.
+    let mech = |hot_cache, lpt, split_heavy| SkewMechanisms {
+        hot_cache,
+        lpt,
+        split_heavy,
+        ..SkewMechanisms::default()
+    };
+    let policies = [
+        ("off", SkewPolicy::Off),
+        ("hot_cache", SkewPolicy::Aware(mech(true, false, false))),
+        ("lpt", SkewPolicy::Aware(mech(false, true, false))),
+        ("split_heavy", SkewPolicy::Aware(mech(false, false, true))),
+        ("combined", SkewPolicy::aware()),
+    ];
+    for theta in [0.5, 1.0, 1.75] {
+        let w = WorkloadSpec::skewed(256, theta, 512).generate();
+        let expect = reference_join(&w);
+        for (name, policy) in &policies {
+            let rep = TritonJoin {
+                skew: *policy,
+                ..TritonJoin::default()
+            }
+            .run(&w, &hw);
+            assert_eq!(
+                rep.result, expect,
+                "theta {theta}, mechanism `{name}` diverged from the reference"
+            );
+        }
+    }
+}
+
+#[test]
 fn tiny_workload() {
     let hw = HwConfig::ac922().scaled(4096);
     let mut spec = WorkloadSpec::paper_default(1, 1_000_000);

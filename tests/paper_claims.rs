@@ -135,3 +135,80 @@ fn throughput_invariant_under_capacity_scaling() {
         );
     }
 }
+
+/// Skew handling (Section 6.2.6 / Fig 16 workloads): on the Zipf-1.5
+/// paper workload the skew-aware executor — hotness-weighted placement,
+/// LPT pipeline scheduling, and heavy-hitter chunking — beats the blind
+/// uniform executor by at least 15%, because the blind pipeline
+/// materializes the hot partition pair through a staging area sized for
+/// the mean pair and pays the overflow round-trip over the link.
+#[test]
+fn skew_aware_beats_blind_executor_on_zipf_1_5() {
+    use triton_core::{reference_join, SkewPolicy};
+    let hw = HwConfig::ac922().scaled(512);
+    let w = WorkloadSpec::skewed(512, 1.5, 512).generate();
+    let expect = reference_join(&w);
+    let off = TritonJoin::default().run(&w, &hw);
+    let aware = TritonJoin {
+        skew: SkewPolicy::aware(),
+        ..TritonJoin::default()
+    }
+    .run(&w, &hw);
+    assert_eq!(off.result, expect, "blind executor diverged");
+    assert_eq!(aware.result, expect, "skew-aware executor diverged");
+    assert!(
+        aware.total.0 <= off.total.0 * 0.85,
+        "skew-aware {} vs blind {}: only {:.1}% lower",
+        aware.total,
+        off.total,
+        (1.0 - aware.total.0 / off.total.0) * 100.0
+    );
+    // The gap is the staging overflow the planner avoids.
+    assert!(
+        off.phases.iter().any(|p| p.name == "Spill"),
+        "blind executor should overflow staging at theta = 1.5"
+    );
+    assert!(
+        aware.phases.iter().all(|p| p.name != "Spill"),
+        "skew-aware executor must not overflow staging"
+    );
+}
+
+/// Determinism: two same-seed skew-aware runs produce byte-identical
+/// results, reports, and replayed traces (schedule, placement and all).
+#[test]
+fn skew_aware_trace_replays_byte_identical() {
+    use triton_core::{record_overlap, record_report, SkewPolicy};
+    use triton_trace::{to_chrome_json, Trace};
+    let hw = HwConfig::ac922().scaled(512);
+    let render = || {
+        let w = WorkloadSpec::skewed(512, 1.5, 512).generate();
+        let rep = TritonJoin {
+            skew: SkewPolicy::aware(),
+            ..TritonJoin::default()
+        }
+        .run(&w, &hw);
+        let mut trace = Trace::new();
+        let end = record_report(&mut trace, 1, 1, 0.0, 1.0, &rep, &hw);
+        record_overlap(
+            &mut trace,
+            1,
+            2,
+            3,
+            end,
+            1.0,
+            rep.overlap.as_ref().unwrap(),
+            rep.placement.as_ref(),
+        );
+        (rep.result, to_chrome_json(&trace))
+    };
+    let (r1, t1) = render();
+    let (r2, t2) = render();
+    assert_eq!(r1, r2, "same-seed results must be byte-identical");
+    assert_eq!(t1, t2, "same-seed trace replay must be byte-identical");
+    assert!(t1.contains("sched_pos"), "trace must carry the schedule");
+    assert!(
+        t1.contains("pair_gpu_bytes"),
+        "trace must carry placement decisions"
+    );
+}

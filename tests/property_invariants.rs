@@ -210,3 +210,52 @@ fn triton_matches_reference() {
         assert_eq!(rep.result, reference_join(&w));
     });
 }
+
+/// The skew-aware LPT schedule is gated: the executor adopts the
+/// reordering only when it beats submission order on the realized lane
+/// times, so the pipeline makespan is *never* worse than submission
+/// order — and the recorded order is always a valid permutation of the
+/// lanes. The counter check keeps the property non-vacuous: across the
+/// cases LPT must actually fire.
+#[test]
+fn lpt_schedule_never_worse_than_submission() {
+    use triton_core::SkewPolicy;
+    use triton_hw::kernel::{pipeline2, pipeline2_scheduled};
+    let mut improved = 0u32;
+    for_cases("lpt_schedule_never_worse_than_submission", |rng| {
+        let m = rng.gen_range_u64(2, 33);
+        let theta = [0.0, 0.75, 1.25, 1.5][rng.gen_index(4)];
+        let hw = HwConfig::ac922().scaled(4096);
+        let mut spec = WorkloadSpec::skewed(m, theta, 2048);
+        spec.seed = rng.gen_range_u64(0, 1000);
+        let w = spec.generate();
+        let rep = TritonJoin {
+            skew: SkewPolicy::aware(),
+            ..TritonJoin::default()
+        }
+        .run(&w, &hw);
+        assert_eq!(rep.result, reference_join(&w));
+        let lanes = rep.overlap.as_ref().expect("overlap enabled");
+        let order = lanes.execution_order();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..lanes.stage_a.len()).collect::<Vec<_>>(),
+            "schedule must be a permutation of the lanes"
+        );
+        let scheduled = pipeline2_scheduled(&lanes.stage_a, &lanes.stage_b, &order);
+        let submission = pipeline2(&lanes.stage_a, &lanes.stage_b);
+        assert!(
+            scheduled.0 <= submission.0 + 1e-9,
+            "LPT schedule regressed: {scheduled} vs {submission}"
+        );
+        if scheduled.0 < submission.0 - 1e-9 {
+            improved += 1;
+        }
+    });
+    assert!(
+        improved > 0,
+        "LPT never improved any case: vacuous property"
+    );
+}

@@ -47,6 +47,18 @@ fn concurrent_queries_respect_the_memory_budget() {
         assert!(c.reserved.0 > 0, "{} ran without a reservation", c.name);
         assert!(c.finish.0 >= c.start.0);
     }
+    // Placement reports roll up: the Triton queries held working-set
+    // bytes GPU-resident, and the rollup is consistent with per-query
+    // placements.
+    let per_query: u64 = res
+        .outcomes
+        .iter()
+        .filter_map(|o| o.completed())
+        .filter_map(|c| c.report.placement.as_ref())
+        .map(|p| p.cache_hit_bytes)
+        .sum();
+    assert!(per_query > 0, "expected cached working-set bytes");
+    assert_eq!(res.metrics.cache_hit_bytes.0, per_query);
 }
 
 #[test]
