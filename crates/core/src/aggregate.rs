@@ -110,6 +110,19 @@ impl Default for GpuAggregation {
 impl GpuAggregation {
     /// Execute over `rel`; `tuples_modeled` only labels the report.
     pub fn run(&self, rel: &Relation, hw: &HwConfig) -> (AggregateResult, JoinReport) {
+        self.run_with(rel, hw, false)
+    }
+
+    /// Execute as one node of a query plan: when `input_resident`, the
+    /// input is a pipelined upstream intermediate already in GPU memory,
+    /// so the first pass reads GPU bandwidth instead of the interconnect.
+    /// With `input_resident = false` this is exactly [`Self::run`].
+    pub fn run_with(
+        &self,
+        rel: &Relation,
+        hw: &HwConfig,
+        input_resident: bool,
+    ) -> (AggregateResult, JoinReport) {
         let n = rel.len();
         let bytes = n as u64 * TUPLE_BYTES;
         // Group state is bounded by the input: size the fanout like the
@@ -129,7 +142,11 @@ impl GpuAggregation {
             // triton-lint: allow(p1) -- sim-allocator exhaustion means a misconfigured scale, not a runtime condition; mirrors TritonJoin::run
             .expect("CPU memory exhausted");
         let span = Span::hybrid(layout);
-        let input = Span::cpu(0);
+        let input = if input_resident {
+            Span::gpu(1 << 43)
+        } else {
+            Span::cpu(0)
+        };
 
         let mut phases = Vec::new();
 
@@ -190,7 +207,9 @@ impl GpuAggregation {
         });
 
         // The aggregate stage overlaps the spill reload the same way the
-        // join overlaps its second pass: pipeline against itself.
+        // join overlaps its second pass: pipeline against itself. The
+        // lanes go into the report so trace rollups reconcile the
+        // pipelined window with the isolated phase times, like the join.
         let halves: Vec<Ns> = stage.iter().map(|&t| t / 2.0).collect();
         let total = ps1 + part1_time + pipeline2(&halves, &halves);
 
@@ -205,7 +224,11 @@ impl GpuAggregation {
                 checksum: result.sum_digest,
             },
             executor: Executor::Gpu,
-            overlap: None,
+            overlap: Some(crate::report::OverlapLanes {
+                stage_a: halves.clone(),
+                stage_b: halves,
+                order: Vec::new(),
+            }),
             placement: None,
         };
         (result, report)

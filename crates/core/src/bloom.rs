@@ -14,7 +14,13 @@
 //! multiply-shift-derived hash functions (a split-and-mix double-hashing
 //! scheme), sized at a configurable bits-per-key.
 
-use triton_datagen::multiply_shift;
+use triton_datagen::{multiply_shift, TUPLE_BYTES};
+use triton_hw::kernel::KernelCost;
+use triton_hw::units::Bytes;
+use triton_hw::HwConfig;
+use triton_trace::Attr;
+
+use crate::report::PhaseReport;
 
 /// A Bloom filter over 64-bit join keys.
 ///
@@ -88,6 +94,79 @@ impl BloomFilter {
     pub fn bytes(&self) -> u64 {
         self.words.len() as u64 * 8
     }
+
+    /// Bytes a [`BloomFilter::for_build_side`] filter over `n` keys
+    /// occupies, without allocating it — what a planner charges against
+    /// an admission grant before the filter exists.
+    pub fn build_side_bytes(n: usize) -> u64 {
+        let bits = (n.max(1) * 10).next_power_of_two() as u64;
+        (bits / 64).max(1) * 8
+    }
+
+    /// Kernel cost of building this filter from `n_build` keys and
+    /// probing it with `n_probe` tuples, `dropped` of which fail the
+    /// filter. Matches the Triton join's in-line prefilter accounting:
+    /// the filter array lives in GPU memory, the build keys stream in
+    /// once, probes are random single-word reads, and dropped tuples are
+    /// read exactly once (survivors are charged by whoever consumes
+    /// them). `build_resident` / `probe_resident` price the input
+    /// streams against GPU memory instead of the interconnect, for
+    /// pipelined plan intermediates.
+    pub fn kernel_cost(
+        &self,
+        n_build: u64,
+        n_probe: u64,
+        dropped: u64,
+        build_resident: bool,
+        probe_resident: bool,
+    ) -> KernelCost {
+        let mut c = KernelCost::new("Bloom");
+        c.tuples_in = n_build + n_probe;
+        c.instructions = (n_build + n_probe) * 6;
+        // The filter array lives in GPU memory (a few MiB: cached).
+        c.gpu_mem.write += Bytes(self.bytes());
+        c.gpu_mem.rand_read += Bytes(n_probe * 8);
+        // Building the filter streams the build key column once.
+        if build_resident {
+            c.gpu_mem.read += Bytes(n_build * 8);
+        } else {
+            c.link.seq_read += Bytes(n_build * 8);
+        }
+        // Dropped tuples are read exactly once (they must be tested).
+        if probe_resident {
+            c.gpu_mem.read += Bytes(dropped * TUPLE_BYTES);
+        } else {
+            c.link.seq_read += Bytes(dropped * TUPLE_BYTES);
+        }
+        c
+    }
+
+    /// [`Self::kernel_cost`] wrapped as a timed phase report, like the
+    /// join phases — what a plan node contributes to a `JoinReport`.
+    pub fn phase_report(
+        &self,
+        n_build: u64,
+        n_probe: u64,
+        dropped: u64,
+        build_resident: bool,
+        probe_resident: bool,
+        hw: &HwConfig,
+    ) -> PhaseReport {
+        PhaseReport::gpu(
+            self.kernel_cost(n_build, n_probe, dropped, build_resident, probe_resident),
+            hw,
+        )
+    }
+
+    /// Trace attributes describing the filter geometry, attached to
+    /// Bloom phase spans the same way kernel costs attach theirs.
+    pub fn trace_attrs(&self) -> Vec<Attr> {
+        vec![
+            Attr::u64("filter_bytes", self.bytes()),
+            Attr::u64("filter_bits", self.bit_mask + 1),
+            Attr::u64("filter_hashes", u64::from(self.hashes)),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -133,5 +212,39 @@ mod tests {
     fn empty_filter_contains_nothing() {
         let f = BloomFilter::for_build_side(100);
         assert!(!(1..100u64).any(|k| f.may_contain(k)));
+    }
+
+    #[test]
+    fn build_side_bytes_predicts_allocation() {
+        for n in [1usize, 100, 1000, 65_536, 1_000_000] {
+            assert_eq!(
+                BloomFilter::build_side_bytes(n),
+                BloomFilter::for_build_side(n).bytes(),
+                "size formula diverged at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_cost_charges_the_right_side() {
+        let f = BloomFilter::for_build_side(1000);
+        let host = f.kernel_cost(1000, 4000, 500, false, false);
+        assert_eq!(host.link.seq_read.0, 1000 * 8 + 500 * TUPLE_BYTES);
+        assert_eq!(host.gpu_mem.write.0, f.bytes());
+        assert_eq!(host.gpu_mem.rand_read.0, 4000 * 8);
+        let res = f.kernel_cost(1000, 4000, 500, true, true);
+        assert_eq!(
+            res.link.seq_read.0, 0,
+            "resident inputs never touch the link"
+        );
+        assert_eq!(res.gpu_mem.read.0, 1000 * 8 + 500 * TUPLE_BYTES);
+    }
+
+    #[test]
+    fn trace_attrs_describe_geometry() {
+        let f = BloomFilter::for_build_side(1000);
+        let attrs = f.trace_attrs();
+        let keys: Vec<&str> = attrs.iter().map(|a| a.key.as_str()).collect();
+        assert_eq!(keys, vec!["filter_bytes", "filter_bits", "filter_hashes"]);
     }
 }

@@ -68,4 +68,4 @@ pub use report::{
 };
 pub use skew::{SkewMechanisms, SkewPolicy};
 pub use trace::{phase_bytes, phase_key, record_overlap, record_report};
-pub use triton::TritonJoin;
+pub use triton::{JoinRunOptions, TritonJoin};

@@ -118,10 +118,35 @@ impl Default for TritonJoin {
     }
 }
 
+/// Options for embedding the join as one node of a larger query plan:
+/// input residency (pipelined upstream intermediates priced against GPU
+/// memory bandwidth instead of the interconnect), output residency, and
+/// a sink collecting the matched tuples for a downstream operator.
+/// [`TritonJoin::try_run`] is the all-defaults case and preserves the
+/// standalone-join behavior bit for bit.
+#[derive(Debug, Default)]
+pub struct JoinRunOptions<'a> {
+    /// The build relation is already resident in GPU memory (a pipelined
+    /// upstream intermediate): its first-pass reads charge GPU memory
+    /// bandwidth instead of the interconnect.
+    pub r_resident: bool,
+    /// The probe relation is already resident in GPU memory.
+    pub s_resident: bool,
+    /// Write the matched output tuples to GPU memory for a downstream
+    /// plan node (16 bytes + 2 instructions per match — the GPU-resident
+    /// counterpart of [`TritonJoin::materialize`]'s link stream).
+    pub output_resident: bool,
+    /// Collect matched `(key, r_rid, s_rid)` triples for a downstream
+    /// operator. Collection itself adds no cost — the output traffic is
+    /// priced by `output_resident` or `materialize`.
+    pub sink: Option<&'a mut Vec<(u64, u64, u64)>>,
+}
+
 /// Build a scratchpad bucket-chaining table from one build sub-partition
 /// and probe it with the matching probe sub-partition, folding matches
-/// into `out`. Returns the chain steps traversed (for the instruction
-/// model). `skip_bits` are the hash bits already consumed by all prior
+/// into `out` (and into `sink`, when a plan collects output tuples).
+/// Returns the chain steps traversed (for the instruction model).
+/// `skip_bits` are the hash bits already consumed by all prior
 /// partitioning passes.
 fn join_one(
     rk: &[u64],
@@ -130,6 +155,7 @@ fn join_one(
     sr: &[u64],
     skip_bits: u32,
     out: &mut JoinResult,
+    mut sink: Option<&mut Vec<(u64, u64, u64)>>,
 ) -> u64 {
     if rk.is_empty() || sk.is_empty() {
         return 0;
@@ -141,6 +167,9 @@ fn join_one(
         chain_steps += steps.saturating_sub(2) as u64;
         for rrid in table.probe_all(k) {
             out.add(rrid, srid);
+            if let Some(s) = sink.as_mut() {
+                s.push((k, rrid, srid));
+            }
         }
     }
     chain_steps
@@ -188,6 +217,19 @@ impl TritonJoin {
         w: &Workload,
         hw: &HwConfig,
     ) -> Result<JoinReport, triton_mem::OutOfMemory> {
+        self.try_run_with(w, hw, JoinRunOptions::default())
+    }
+
+    /// Execute the join as one node of a query plan: `opts` selects which
+    /// inputs are already GPU-resident, whether the output stays resident
+    /// for a downstream node, and an optional sink collecting the matched
+    /// tuples. With default options this is exactly [`Self::try_run`].
+    pub fn try_run_with(
+        &self,
+        w: &Workload,
+        hw: &HwConfig,
+        mut opts: JoinRunOptions<'_>,
+    ) -> Result<JoinReport, triton_mem::OutOfMemory> {
         let n_r = w.r.len();
 
         // --- Optional Bloom pre-filter over the outer relation: built
@@ -210,18 +252,14 @@ impl TritonJoin {
                 }
             }
             let dropped = (w.s.len() - fk.len()) as u64;
-            let mut c = KernelCost::new("Bloom");
-            c.tuples_in = (n_r + w.s.len()) as u64;
-            c.instructions = (n_r + w.s.len()) as u64 * 6;
-            // The filter array lives in GPU memory (a few MiB: cached).
-            c.gpu_mem.write += Bytes(filter.bytes());
-            c.gpu_mem.rand_read += Bytes(w.s.len() as u64 * 8);
-            // Building the filter streams R's key column over the link
-            // once — the build side starts in CPU memory too.
-            c.link.seq_read += Bytes(n_r as u64 * 8);
-            // Dropped tuples are read over the link exactly once.
-            c.link.seq_read += Bytes(dropped * TUPLE_BYTES);
-            bloom_phase = Some(PhaseReport::gpu(c, hw));
+            bloom_phase = Some(filter.phase_report(
+                n_r as u64,
+                w.s.len() as u64,
+                dropped,
+                opts.r_resident,
+                opts.s_resident,
+                hw,
+            ));
             filtered = (fk, fr);
             (&filtered.0, &filtered.1)
         } else {
@@ -258,8 +296,20 @@ impl TritonJoin {
             0
         };
 
-        let input_r = Span::cpu(0);
-        let input_s = Span::cpu(1 << 45);
+        // Plan-resident inputs are read from GPU memory; standalone joins
+        // stream both relations over the interconnect (the paper's
+        // setting). The address windows stay clear of the pipeline's
+        // staging spans at 1 << 46 and up.
+        let input_r = if opts.r_resident {
+            Span::gpu(1 << 43)
+        } else {
+            Span::cpu(0)
+        };
+        let input_s = if opts.s_resident {
+            Span::gpu(1 << 44)
+        } else {
+            Span::cpu(1 << 45)
+        };
 
         let mut phases: Vec<PhaseReport> = Vec::new();
         let bloom_time = bloom_phase.as_ref().map(|p| p.time).unwrap_or(Ns::ZERO);
@@ -600,16 +650,39 @@ impl TritonJoin {
                             for q in 0..pr3.fanout() {
                                 let (qrk, qrr) = pr3.partition(q);
                                 let (qsk, qsr) = ps3.partition(q);
-                                chain_steps +=
-                                    join_one(qrk, qrr, qsk, qsr, b1 + b2 + b3, &mut pair_result);
+                                chain_steps += join_one(
+                                    qrk,
+                                    qrr,
+                                    qsk,
+                                    qsr,
+                                    b1 + b2 + b3,
+                                    &mut pair_result,
+                                    opts.sink.as_deref_mut(),
+                                );
                             }
                         } else {
-                            chain_steps += join_one(srk, srr, ssk, ssr, b1 + b2, &mut pair_result);
+                            chain_steps += join_one(
+                                srk,
+                                srr,
+                                ssk,
+                                ssr,
+                                b1 + b2,
+                                &mut pair_result,
+                                opts.sink.as_deref_mut(),
+                            );
                         }
                     }
                 }
                 _ => {
-                    chain_steps += join_one(rk, rr, sk, sr, b1, &mut pair_result);
+                    chain_steps += join_one(
+                        rk,
+                        rr,
+                        sk,
+                        sr,
+                        b1,
+                        &mut pair_result,
+                        opts.sink.as_deref_mut(),
+                    );
                 }
             }
             join.instructions = rk.len() as u64 * build_i
@@ -618,6 +691,11 @@ impl TritonJoin {
             if self.materialize {
                 // Results stream to CPU memory via a linear allocator.
                 join.link.seq_write += Bytes(pair_result.matches * TUPLE_BYTES);
+                join.instructions += pair_result.matches * 2;
+            }
+            if opts.output_resident {
+                // Results land in GPU memory for a downstream plan node.
+                join.gpu_mem.write += Bytes(pair_result.matches * TUPLE_BYTES);
                 join.instructions += pair_result.matches * 2;
             }
             join.tuples_out = pair_result.matches;

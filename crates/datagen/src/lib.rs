@@ -15,6 +15,7 @@ pub mod hash;
 pub mod lcg;
 pub mod relation;
 pub mod rng;
+pub mod tpch;
 pub mod workload;
 
 pub use distributions::Zipf;
@@ -22,4 +23,5 @@ pub use hash::{multiply_shift, radix, table_slot};
 pub use lcg::Lcg;
 pub use relation::{Relation, KEY_BYTES, PAYLOAD_BYTES, TUPLE_BYTES};
 pub use rng::Rng;
+pub use tpch::{TpchQuery, TpchSpec, TpchWorkload};
 pub use workload::{Workload, WorkloadSpec, M};

@@ -126,6 +126,9 @@ impl AdmissionController {
             }
             // CPU operators take no GPU memory at all.
             Operator::CpuRadix(_) => Bytes(0),
+            // Plans reserve the peak concurrent operator footprint along
+            // the schedule — never the sum of all operators.
+            Operator::Plan(p) => p.min_reserve(hw),
         }
     }
 
@@ -140,6 +143,7 @@ impl AdmissionController {
             // The CPU writes partitions to CPU memory; nothing to cache.
             Operator::CpuPartitioned(_) => 0,
             Operator::CpuRadix(_) => 0,
+            Operator::Plan(p) => p.cache_desired().0,
         }
     }
 
@@ -242,6 +246,14 @@ pub fn operator_with_grant(query: &JoinQuery, grant: &Reservation) -> Operator {
         // CPU-side operators have no GPU cache budget to clamp.
         Operator::CpuPartitioned(j) => Operator::CpuPartitioned(j.clone()),
         Operator::CpuRadix(j) => Operator::CpuRadix(j.clone()),
+        // The plan's placement runs under exactly the granted budget, and
+        // its join nodes split the cache grant.
+        Operator::Plan(p) => {
+            let mut p = p.clone();
+            p.budget = Some(grant.reserved);
+            p.cache_grant = Some(grant.cache_grant);
+            Operator::Plan(p)
+        }
     }
 }
 

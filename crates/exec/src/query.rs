@@ -3,10 +3,11 @@
 use triton_core::{
     CpuPartitionedJoin, CpuRadixJoin, JoinReport, NoPartitioningJoin, SkewPolicy, TritonJoin,
 };
-use triton_datagen::{Rng, Workload};
+use triton_datagen::{Rng, Workload, WorkloadSpec};
 use triton_hw::units::Ns;
 use triton_hw::HwConfig;
 use triton_mem::OutOfMemory;
+use triton_plan::PlanQuery;
 
 /// Identifier assigned to a submitted query, in submission order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -31,6 +32,11 @@ pub enum Operator {
     CpuPartitioned(CpuPartitionedJoin),
     /// CPU radix join — consumes no GPU memory or SMs.
     CpuRadix(CpuRadixJoin),
+    /// A multi-operator query plan (`triton-plan`): select/Bloom/join/agg
+    /// DAG with GPU-resident pipelining. Admission reserves the plan's
+    /// *peak* concurrent operator footprint, not the sum of all
+    /// operators.
+    Plan(Box<PlanQuery>),
 }
 
 impl Operator {
@@ -48,21 +54,25 @@ impl Operator {
         })
     }
 
-    /// The skew policy this operator runs with, when it is a Triton join.
+    /// The skew policy this operator runs with, when it is a Triton join
+    /// or a plan (plans apply the policy to every join node).
     pub fn skew(&self) -> Option<SkewPolicy> {
         match self {
             Operator::Triton(j) => Some(j.skew),
+            Operator::Plan(p) => Some(p.skew),
             _ => None,
         }
     }
 
-    /// Execute the operator functionally, surfacing simulated OOM.
+    /// Execute the operator functionally, surfacing simulated OOM. Plans
+    /// carry their own inputs and ignore `w`.
     pub fn run(&self, w: &Workload, hw: &HwConfig) -> Result<JoinReport, OutOfMemory> {
         match self {
             Operator::Triton(j) => j.try_run(w, hw),
             Operator::NoPartitioning(j) => Ok(j.run(w, hw)),
             Operator::CpuPartitioned(j) => Ok(j.run(w, hw)),
             Operator::CpuRadix(j) => Ok(j.run(w, hw)),
+            Operator::Plan(p) => p.run(hw).map(|r| r.report),
         }
     }
 
@@ -73,6 +83,7 @@ impl Operator {
             Operator::NoPartitioning(_) => "npj",
             Operator::CpuPartitioned(_) => "cpu-part",
             Operator::CpuRadix(_) => "cpu-radix",
+            Operator::Plan(_) => "plan",
         }
     }
 
@@ -122,12 +133,41 @@ impl JoinQuery {
         }
     }
 
-    /// Set the skew policy of this query's Triton operator; a no-op for
-    /// non-Triton operators.
+    /// A multi-operator plan query. The scheduler's bookkeeping (shed
+    /// accounting, probe-batch sharing) keys off a `Workload`, so a
+    /// placeholder is synthesized from the plan's first and last base
+    /// relations; execution and admission use the plan itself.
+    pub fn plan(name: impl Into<String>, plan: PlanQuery, arrival: Ns) -> Self {
+        let r = plan.inputs().first().cloned().unwrap_or_default();
+        let s = plan.inputs().last().cloned().unwrap_or_default();
+        let spec = WorkloadSpec {
+            r_tuples_modeled: r.len() as u64,
+            s_tuples_modeled: s.len() as u64,
+            scale: 1,
+            payload_cols: 0,
+            zipf_theta: 0.0,
+            match_fraction: 1.0,
+            seed: 0,
+        };
+        JoinQuery {
+            name: name.into(),
+            workload: Workload { r, s, spec },
+            op: Operator::Plan(Box::new(plan)),
+            priority: 1,
+            deadline: None,
+            arrival,
+            build_key: None,
+        }
+    }
+
+    /// Set the skew policy of this query's Triton or plan operator; a
+    /// no-op for the other operators.
     #[must_use]
     pub fn with_skew(mut self, policy: SkewPolicy) -> Self {
-        if let Operator::Triton(j) = &mut self.op {
-            j.skew = policy;
+        match &mut self.op {
+            Operator::Triton(j) => j.skew = policy,
+            Operator::Plan(p) => p.skew = policy,
+            _ => {}
         }
         self
     }
@@ -149,9 +189,13 @@ impl JoinQuery {
         }
     }
 
-    /// Total tuples this query processes (throughput numerator).
+    /// Total tuples this query processes (throughput numerator). Plans
+    /// count every base relation, not the placeholder workload.
     pub fn tuples(&self) -> u64 {
-        self.workload.total_tuples()
+        match &self.op {
+            Operator::Plan(p) => p.input_tuples(),
+            _ => self.workload.total_tuples(),
+        }
     }
 }
 

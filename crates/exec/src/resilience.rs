@@ -90,6 +90,12 @@ impl RetryPolicy {
 /// to the uniform executor before giving up GPU partitioning entirely.
 /// The no-partitioning join degrades like plain Triton: its global hash
 /// table is what GPU faults keep killing.
+///
+/// Plans learn a new *top* rung: force-materialize every intermediate
+/// to host memory first (fidelity kept, the reservation shrinks to the
+/// largest single operator floor), and only then drop skew-awareness.
+/// A plan that still faults after both is shed — single-join fallback
+/// operators cannot answer a multi-operator query.
 #[must_use]
 pub fn downgrade_operator(op: &Operator) -> Option<Operator> {
     match op {
@@ -104,6 +110,17 @@ pub fn downgrade_operator(op: &Operator) -> Option<Operator> {
             HashScheme::BucketChaining,
         ))),
         Operator::CpuRadix(_) => None,
+        Operator::Plan(p) if !p.force_materialize => {
+            let mut p = p.clone();
+            p.force_materialize = true;
+            Some(Operator::Plan(p))
+        }
+        Operator::Plan(p) if p.skew.is_aware() => {
+            let mut p = p.clone();
+            p.skew = SkewPolicy::Off;
+            Some(Operator::Plan(p))
+        }
+        Operator::Plan(_) => None,
     }
 }
 

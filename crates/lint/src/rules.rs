@@ -78,8 +78,8 @@ pub struct FileClass {
 /// Library crates: panics in their non-test code take the whole serving
 /// process down, so P1 applies. `bench` is a reporting harness and
 /// exempt; `lint` holds itself to the same bar as the libraries.
-const LIB_CRATES: [&str; 8] = [
-    "core", "hw", "mem", "part", "datagen", "exec", "lint", "trace",
+const LIB_CRATES: [&str; 9] = [
+    "core", "hw", "mem", "part", "datagen", "plan", "exec", "lint", "trace",
 ];
 
 impl FileClass {

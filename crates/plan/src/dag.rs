@@ -1,0 +1,370 @@
+//! The typed plan DAG: node taxonomy, structural validation, and the
+//! cardinality estimates admission and placement share.
+//!
+//! A [`Plan`] is a vector of [`PlanNode`]s in topological order (every
+//! edge points backwards), with base relations referenced by input index.
+//! The shape is deliberately small — the five node kinds are exactly the
+//! operators the paper's strategy covers (Section 2.2): selections,
+//! Bloom pre-filters, partitioned hash joins, and group-by aggregation.
+
+use std::fmt;
+
+use triton_mem::OutOfMemory;
+
+/// A selection predicate over the 64-bit join key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// Keep keys in `[lo, hi]` (inclusive).
+    KeyRange {
+        /// Lower bound (inclusive).
+        lo: u64,
+        /// Upper bound (inclusive).
+        hi: u64,
+    },
+    /// Keep keys with `key % modulus == keep` — a hash-like predicate
+    /// whose selectivity is `1 / modulus` regardless of key order.
+    KeyMod {
+        /// The divisor (must be > 0).
+        modulus: u64,
+        /// The residue class kept (must be < `modulus`).
+        keep: u64,
+    },
+}
+
+impl Predicate {
+    /// Whether `key` survives the selection.
+    pub fn keep(&self, key: u64) -> bool {
+        match *self {
+            Predicate::KeyRange { lo, hi } => (lo..=hi).contains(&key),
+            Predicate::KeyMod { modulus, keep } => key % modulus == keep,
+        }
+    }
+
+    /// Upper bound on survivors out of `n` input tuples, assuming the
+    /// child's keys are dense in `1..=n` (a primary-key scan — the only
+    /// place the TPC-H-shaped plans put a selection). Used by admission
+    /// and placement; execution prices actual counts.
+    pub fn estimate(&self, n: u64) -> u64 {
+        match *self {
+            Predicate::KeyRange { lo, hi } => n.min(hi.saturating_sub(lo) + 1),
+            Predicate::KeyMod { modulus, .. } => n.min(n / modulus.max(1) + 1),
+        }
+    }
+}
+
+/// How a join node maps each match `(key, build_rid, probe_rid)` to the
+/// `(key, rid)` tuple it emits — what lets a join's output feed the next
+/// join's build or probe side with meaningful keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EmitMap {
+    /// Emit `(probe_rid, build_rid)`: re-key the output by the probe
+    /// tuple's record id (e.g. orders' orderkey after a customer ⋈
+    /// orders join, making the output a unique-keyed build side).
+    KeyFromProbeRid,
+    /// Emit `(build_rid, probe_rid)`: re-key by the build tuple's rid.
+    KeyFromBuildRid,
+    /// Emit `(key, build_rid + probe_rid)` (wrapping): keep the join key
+    /// and fold both lineages into the payload.
+    KeepKey,
+}
+
+impl EmitMap {
+    /// Apply the map to one match.
+    pub fn apply(&self, key: u64, build_rid: u64, probe_rid: u64) -> (u64, u64) {
+        match self {
+            EmitMap::KeyFromProbeRid => (probe_rid, build_rid),
+            EmitMap::KeyFromBuildRid => (build_rid, probe_rid),
+            EmitMap::KeepKey => (key, build_rid.wrapping_add(probe_rid)),
+        }
+    }
+}
+
+/// One operator in the plan DAG. Child references are node indices and
+/// must point backwards (the vector is the topological order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// A base-relation scan: `input` indexes the query's input
+    /// relations. Scans move no data themselves — the read is priced by
+    /// the consumer streaming the relation over the interconnect.
+    Scan {
+        /// Index into the plan's input relations.
+        input: usize,
+    },
+    /// A selection over the child's keys.
+    Select {
+        /// Child node index.
+        child: usize,
+        /// The predicate.
+        pred: Predicate,
+    },
+    /// A Bloom pre-filter: build a filter over `build`'s keys, keep only
+    /// `probe` tuples that may match. The output contains false
+    /// positives, so it may only feed a join's *probe* side (which
+    /// re-checks every key exactly) — [`Plan::validate`] enforces this.
+    Bloom {
+        /// Node whose keys build the filter.
+        build: usize,
+        /// Node whose tuples are filtered.
+        probe: usize,
+    },
+    /// A Triton hash join between two upstream nodes.
+    Join {
+        /// Build (inner) side node index.
+        build: usize,
+        /// Probe (outer) side node index.
+        probe: usize,
+        /// Output tuple mapping.
+        emit: EmitMap,
+    },
+    /// Group-by aggregation over the child — the plan's root and sink.
+    Agg {
+        /// Child node index.
+        child: usize,
+    },
+}
+
+impl PlanNode {
+    /// Child node indices, in (build, probe) order where applicable.
+    pub fn children(&self) -> Vec<usize> {
+        match *self {
+            PlanNode::Scan { .. } => vec![],
+            PlanNode::Select { child, .. } | PlanNode::Agg { child } => vec![child],
+            PlanNode::Bloom { build, probe } | PlanNode::Join { build, probe, .. } => {
+                vec![build, probe]
+            }
+        }
+    }
+
+    /// Short kind label for traces and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PlanNode::Scan { .. } => "scan",
+            PlanNode::Select { .. } => "select",
+            PlanNode::Bloom { .. } => "bloom",
+            PlanNode::Join { .. } => "join",
+            PlanNode::Agg { .. } => "agg",
+        }
+    }
+}
+
+/// A query plan: nodes in topological order, rooted at a single
+/// aggregation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The nodes; the last one is the root.
+    pub nodes: Vec<PlanNode>,
+}
+
+/// Why a plan could not be built or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The DAG violates a structural rule.
+    Invalid(String),
+    /// A simulated allocation failed during execution.
+    Oom(OutOfMemory),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Invalid(why) => write!(f, "invalid plan: {why}"),
+            PlanError::Oom(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<OutOfMemory> for PlanError {
+    fn from(e: OutOfMemory) -> Self {
+        PlanError::Oom(e)
+    }
+}
+
+impl Plan {
+    /// Validate the DAG against `num_inputs` base relations. Rules:
+    /// non-empty; exactly one [`PlanNode::Agg`], and it is the last
+    /// node; every child index points backwards; every scan's input
+    /// exists; predicates are well-formed; every non-root node is
+    /// consumed at least once; and Bloom outputs feed only join probe
+    /// sides (false positives must be re-checked).
+    pub fn validate(&self, num_inputs: usize) -> Result<(), PlanError> {
+        let invalid = |why: String| Err(PlanError::Invalid(why));
+        if self.nodes.is_empty() {
+            return invalid("empty plan".into());
+        }
+        let n = self.nodes.len();
+        if !matches!(self.nodes[n - 1], PlanNode::Agg { .. }) {
+            return invalid("root (last node) must be an aggregation".into());
+        }
+        let mut consumed = vec![false; n];
+        for (i, node) in self.nodes.iter().enumerate() {
+            for c in node.children() {
+                if c >= i {
+                    return invalid(format!("node {i} references non-prior node {c}"));
+                }
+                consumed[c] = true;
+                if matches!(self.nodes[c], PlanNode::Bloom { .. })
+                    && !matches!(node, PlanNode::Join { probe, .. } if *probe == c)
+                {
+                    return invalid(format!(
+                        "bloom node {c} may only feed a join probe side (consumer {i})"
+                    ));
+                }
+            }
+            match *node {
+                PlanNode::Scan { input } if input >= num_inputs => {
+                    return invalid(format!("scan {i} references missing input {input}"));
+                }
+                PlanNode::Agg { .. } if i != n - 1 => {
+                    return invalid(format!("aggregation at {i} is not the root"));
+                }
+                PlanNode::Select { pred, .. } => match pred {
+                    Predicate::KeyRange { lo, hi } if lo > hi => {
+                        return invalid(format!("select {i}: empty range {lo}..={hi}"));
+                    }
+                    Predicate::KeyMod { modulus, keep } if modulus == 0 || keep >= modulus => {
+                        return invalid(format!("select {i}: bad modulus {modulus}/{keep}"));
+                    }
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        if let Some(orphan) = (0..n - 1).find(|&i| !consumed[i]) {
+            return invalid(format!("node {orphan} is never consumed"));
+        }
+        Ok(())
+    }
+
+    /// Index of each node's last consumer (the step through which its
+    /// output must stay live). The root maps to itself.
+    pub fn last_consumer(&self) -> Vec<usize> {
+        let mut last: Vec<usize> = (0..self.nodes.len()).collect();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for c in node.children() {
+                last[c] = i;
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn join_agg() -> Plan {
+        Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 },
+                PlanNode::Scan { input: 1 },
+                PlanNode::Join {
+                    build: 0,
+                    probe: 1,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 2 },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        assert!(join_agg().validate(2).is_ok());
+    }
+
+    #[test]
+    fn root_must_be_agg() {
+        let mut p = join_agg();
+        p.nodes.pop();
+        assert!(matches!(p.validate(2), Err(PlanError::Invalid(_))));
+    }
+
+    #[test]
+    fn forward_references_rejected() {
+        let p = Plan {
+            nodes: vec![PlanNode::Scan { input: 0 }, PlanNode::Agg { child: 1 }],
+        };
+        assert!(p.validate(1).is_err());
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        assert!(join_agg().validate(1).is_err());
+    }
+
+    #[test]
+    fn orphans_rejected() {
+        let mut p = join_agg();
+        p.nodes.insert(2, PlanNode::Scan { input: 0 });
+        // Fix up indices of the join/agg after the insert.
+        p.nodes[3] = PlanNode::Join {
+            build: 0,
+            probe: 1,
+            emit: EmitMap::KeepKey,
+        };
+        p.nodes[4] = PlanNode::Agg { child: 3 };
+        assert!(p.validate(2).is_err());
+    }
+
+    #[test]
+    fn bloom_must_feed_probe_side() {
+        let build_side = Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 },
+                PlanNode::Scan { input: 1 },
+                PlanNode::Bloom { build: 0, probe: 1 },
+                PlanNode::Join {
+                    build: 2,
+                    probe: 0,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 3 },
+            ],
+        };
+        assert!(build_side.validate(2).is_err());
+        let probe_side = Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 },
+                PlanNode::Scan { input: 1 },
+                PlanNode::Bloom { build: 0, probe: 1 },
+                PlanNode::Join {
+                    build: 0,
+                    probe: 2,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 3 },
+            ],
+        };
+        assert!(probe_side.validate(2).is_ok());
+    }
+
+    #[test]
+    fn predicates_select_and_estimate() {
+        let range = Predicate::KeyRange { lo: 10, hi: 19 };
+        assert!(range.keep(10) && range.keep(19) && !range.keep(20));
+        assert_eq!(range.estimate(1000), 10);
+        let modp = Predicate::KeyMod {
+            modulus: 5,
+            keep: 2,
+        };
+        assert!(modp.keep(7) && !modp.keep(8));
+        assert_eq!(modp.estimate(1000), 201);
+        // Estimates never exceed the input.
+        assert_eq!(range.estimate(4), 4);
+    }
+
+    #[test]
+    fn last_consumer_tracks_live_ranges() {
+        let p = join_agg();
+        assert_eq!(p.last_consumer(), vec![2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn emit_maps_rewrite_tuples() {
+        assert_eq!(EmitMap::KeyFromProbeRid.apply(7, 1, 2), (2, 1));
+        assert_eq!(EmitMap::KeyFromBuildRid.apply(7, 1, 2), (1, 2));
+        assert_eq!(EmitMap::KeepKey.apply(7, u64::MAX, 2), (7, 1));
+    }
+}

@@ -1,0 +1,137 @@
+//! Reference plan evaluation: the ground-truth oracle the GPU executor
+//! is tested against, composed from the same primitives the single-join
+//! oracle uses (BTreeMap joins, the shared aggregate digest).
+//!
+//! Bloom nodes are evaluated as the identity over their probe side: the
+//! filter only drops tuples that *cannot* match, and [`crate::Plan`]'s
+//! validation guarantees Bloom outputs feed only join probe sides, where
+//! every surviving key — false positives included — is re-checked
+//! exactly. The final aggregate is therefore byte-identical whether or
+//! not the filter ran.
+
+use std::collections::BTreeMap;
+
+use triton_core::{reference_aggregate, AggregateResult};
+use triton_datagen::Relation;
+
+use crate::dag::{Plan, PlanNode};
+
+/// Evaluate `plan` over `inputs` exactly, returning the root aggregate.
+/// The plan must be valid (see [`Plan::validate`]).
+pub fn reference_plan(plan: &Plan, inputs: &[Relation]) -> AggregateResult {
+    let mut outs: Vec<Vec<(u64, u64)>> = Vec::with_capacity(plan.nodes.len());
+    let mut root = AggregateResult {
+        groups: 0,
+        count_digest: 0,
+        sum_digest: 0,
+    };
+    for node in &plan.nodes {
+        let out: Vec<(u64, u64)> = match *node {
+            PlanNode::Scan { input } => inputs
+                .get(input)
+                .map(|r| r.iter().collect())
+                .unwrap_or_default(),
+            PlanNode::Select { child, pred } => outs[child]
+                .iter()
+                .copied()
+                .filter(|&(k, _)| pred.keep(k))
+                .collect(),
+            // Identity: false positives are re-checked by the consuming
+            // join's probe, enforced structurally by validation.
+            PlanNode::Bloom { probe, .. } => outs[probe].clone(),
+            PlanNode::Join { build, probe, emit } => {
+                let mut table: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+                for &(k, rid) in &outs[build] {
+                    table.entry(k).or_default().push(rid);
+                }
+                let mut matched = Vec::new();
+                for &(k, s_rid) in &outs[probe] {
+                    if let Some(rids) = table.get(&k) {
+                        for &r_rid in rids {
+                            matched.push(emit.apply(k, r_rid, s_rid));
+                        }
+                    }
+                }
+                matched
+            }
+            PlanNode::Agg { child } => {
+                let (keys, rids): (Vec<u64>, Vec<u64>) = outs[child].iter().copied().unzip();
+                root = reference_aggregate(&Relation::from_columns(keys, rids));
+                Vec::new()
+            }
+        };
+        outs.push(out);
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::{EmitMap, Predicate};
+
+    #[test]
+    fn oracle_composes_select_join_agg() {
+        // R = {(1,10),(2,20)}, S = {(1,100),(1,101),(2,200)}.
+        let r = Relation::from_columns(vec![1, 2], vec![10, 20]);
+        let s = Relation::from_columns(vec![1, 1, 2], vec![100, 101, 200]);
+        let plan = Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 },
+                PlanNode::Scan { input: 1 },
+                PlanNode::Select {
+                    child: 0,
+                    pred: Predicate::KeyRange { lo: 1, hi: 1 },
+                },
+                PlanNode::Join {
+                    build: 2,
+                    probe: 1,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 3 },
+            ],
+        };
+        plan.validate(2).unwrap();
+        let got = reference_plan(&plan, &[r, s]);
+        // Only key 1 survives: matches (1,10+100) and (1,10+101), one group.
+        let expect = reference_aggregate(&Relation::from_columns(vec![1, 1], vec![110, 111]));
+        assert_eq!(got, expect);
+        assert_eq!(got.groups, 1);
+    }
+
+    #[test]
+    fn bloom_is_identity_for_the_oracle() {
+        let r = Relation::from_columns(vec![1, 2, 3], vec![1, 2, 3]);
+        let s = Relation::from_columns(vec![1, 3, 5, 7], vec![10, 30, 50, 70]);
+        let with_bloom = Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 },
+                PlanNode::Scan { input: 1 },
+                PlanNode::Bloom { build: 0, probe: 1 },
+                PlanNode::Join {
+                    build: 0,
+                    probe: 2,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 3 },
+            ],
+        };
+        let without = Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 },
+                PlanNode::Scan { input: 1 },
+                PlanNode::Join {
+                    build: 0,
+                    probe: 1,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 2 },
+            ],
+        };
+        let inputs = [r, s];
+        assert_eq!(
+            reference_plan(&with_bloom, &inputs),
+            reference_plan(&without, &inputs)
+        );
+    }
+}

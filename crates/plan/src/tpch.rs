@@ -1,0 +1,123 @@
+//! Plan shapes for the TPC-H-style workloads of
+//! `triton_datagen::tpch`: the Q3-like and Q9-like
+//! select → join → join → aggregate chains.
+
+use triton_datagen::{TpchQuery, TpchWorkload};
+
+use crate::dag::{EmitMap, Plan, PlanNode, Predicate};
+use crate::query::PlanQuery;
+
+/// The plan DAG for a TPC-H-shaped query, over inputs in
+/// [`TpchQuery::input_names`] order.
+///
+/// * **Q3**: scan customer/orders/lineitem; select ~1/5 of customers;
+///   Bloom-prefilter orders against the surviving custkeys; join
+///   customers ⋈ orders re-keying by orderkey; join that against
+///   lineitem; aggregate by orderkey. Exercises all five node kinds.
+/// * **Q9**: scan part/lineitem/orders; select ~1/16 of parts; join
+///   parts ⋈ lineitem re-keying by lineitem's orderkey FK; join with
+///   orders as a *base-relation build side* over the intermediate
+///   probe; aggregate by orderkey.
+pub fn plan_for(query: TpchQuery) -> Plan {
+    match query {
+        TpchQuery::Q3 => Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 }, // customer
+                PlanNode::Scan { input: 1 }, // orders
+                PlanNode::Scan { input: 2 }, // lineitem
+                PlanNode::Select {
+                    child: 0,
+                    pred: Predicate::KeyMod {
+                        modulus: 5,
+                        keep: 2,
+                    },
+                },
+                PlanNode::Bloom { build: 3, probe: 1 },
+                PlanNode::Join {
+                    build: 3,
+                    probe: 4,
+                    // Output keyed by orders' orderkey (unique): a valid
+                    // build side for the lineitem join.
+                    emit: EmitMap::KeyFromProbeRid,
+                },
+                PlanNode::Join {
+                    build: 5,
+                    probe: 2,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 6 },
+            ],
+        },
+        TpchQuery::Q9 => Plan {
+            nodes: vec![
+                PlanNode::Scan { input: 0 }, // part
+                PlanNode::Scan { input: 1 }, // lineitem
+                PlanNode::Scan { input: 2 }, // orders
+                PlanNode::Select {
+                    child: 0,
+                    pred: Predicate::KeyMod {
+                        modulus: 16,
+                        keep: 5,
+                    },
+                },
+                PlanNode::Join {
+                    build: 3,
+                    probe: 1,
+                    // Output keyed by lineitem's orderkey FK.
+                    emit: EmitMap::KeyFromProbeRid,
+                },
+                PlanNode::Join {
+                    build: 2,
+                    probe: 4,
+                    emit: EmitMap::KeepKey,
+                },
+                PlanNode::Agg { child: 5 },
+            ],
+        },
+    }
+}
+
+/// Package a generated TPC-H workload as a ready-to-serve [`PlanQuery`].
+pub fn tpch_query(workload: &TpchWorkload) -> PlanQuery {
+    let q = PlanQuery::new(plan_for(workload.spec.query), workload.inputs.clone());
+    // triton-lint: allow(p1) -- plan_for shapes are validated by construction (pinned by tests)
+    q.expect("tpch plan shapes are valid by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use triton_datagen::TpchSpec;
+
+    #[test]
+    fn shapes_validate() {
+        plan_for(TpchQuery::Q3).validate(3).unwrap();
+        plan_for(TpchQuery::Q9).validate(3).unwrap();
+    }
+
+    #[test]
+    fn q3_uses_all_five_node_kinds() {
+        let plan = plan_for(TpchQuery::Q3);
+        let kinds: Vec<&str> = plan.nodes.iter().map(|n| n.kind()).collect();
+        for k in ["scan", "select", "bloom", "join", "agg"] {
+            assert!(kinds.contains(&k), "missing {k}");
+        }
+    }
+
+    #[test]
+    fn packaged_queries_run() {
+        let hw = triton_hw::HwConfig::ac922().scaled(2048);
+        for spec in [TpchSpec::q3(4, 2048), TpchSpec::q9(4, 2048)] {
+            let w = spec.generate();
+            let q = tpch_query(&w);
+            let run = q.run(&hw).unwrap();
+            assert_eq!(
+                run.agg,
+                crate::oracle::reference_plan(q.plan(), q.inputs()),
+                "{:?}",
+                spec.query
+            );
+            assert!(run.agg.groups > 0);
+        }
+    }
+}

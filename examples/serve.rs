@@ -12,25 +12,33 @@
 //! scale, default 512 — admission budgets scale with it just like the
 //! workloads). Pass `--trace <path>` to export the run as Chrome
 //! `trace_event` JSON (open in Perfetto / `chrome://tracing`) and print
-//! an ASCII timeline of the per-query tracks.
+//! an ASCII timeline of the per-query tracks. Pass `--plan` to add a
+//! fourth tenant running a TPC-H-Q3-shaped multi-operator plan
+//! (select → Bloom → join → join → aggregate) alongside the joins —
+//! admission reserves its peak concurrent operator footprint, not the
+//! sum of all operators.
 
 use triton_core::{CpuRadixJoin, HashScheme};
-use triton_datagen::WorkloadSpec;
+use triton_datagen::{TpchSpec, WorkloadSpec};
 use triton_exec::{
     query_pid, to_chrome_json, validate_chrome, JoinQuery, Operator, Outcome, Scheduler,
     SchedulerConfig,
 };
 use triton_hw::units::Ns;
 use triton_hw::{HwConfig, Timeline};
+use triton_plan::tpch_query;
 
-/// Parse `[K] [--trace <path>]` in any order.
-fn parse_args() -> (u64, Option<String>) {
+/// Parse `[K] [--trace <path>] [--plan]` in any order.
+fn parse_args() -> (u64, Option<String>, bool) {
     let mut k: Option<u64> = None;
     let mut trace: Option<String> = None;
+    let mut plan = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace" {
             trace = args.next();
+        } else if a == "--plan" {
+            plan = true;
         } else if let Ok(v) = a.parse() {
             k = Some(v);
         }
@@ -38,11 +46,11 @@ fn parse_args() -> (u64, Option<String>) {
     let k = k
         .or_else(|| std::env::var("TRITON_SCALE").ok()?.parse().ok())
         .unwrap_or(512);
-    (k, trace)
+    (k, trace, plan)
 }
 
 fn main() {
-    let (k, trace_path) = parse_args();
+    let (k, trace_path, with_plan) = parse_args();
     let hw = HwConfig::ac922().scaled(k);
     println!("== multi-tenant join serving (K = {k}) ==\n");
 
@@ -85,6 +93,15 @@ fn main() {
             Ns::millis(5.0 * i as f64),
         );
         q.op = Operator::CpuRadix(CpuRadixJoin::power9(HashScheme::BucketChaining));
+        queries.push(q);
+    }
+
+    // Optional plan tenant: a Q3-shaped multi-operator DAG next to the
+    // single-join tenants, sharing the same admission budget.
+    if with_plan {
+        let w = TpchSpec::q3(8, k).generate();
+        let mut q = JoinQuery::plan("plan-q3", tpch_query(&w), Ns::millis(2.0));
+        q.priority = 2;
         queries.push(q);
     }
 

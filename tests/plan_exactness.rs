@@ -1,0 +1,189 @@
+//! Plan exactness and replay pins: every generated TPC-H-shaped plan's
+//! output must equal the composed reference oracle — across seeds, skew
+//! exponents, and both placement modes — and plan traces must be
+//! byte-identical across repeated runs.
+
+use triton_core::{phase_key, record_report, BloomFilter};
+use triton_datagen::{TpchQuery, TpchSpec};
+use triton_hw::HwConfig;
+use triton_plan::{plan_for, record_plan, reference_plan, tpch_query, PlanNode, PlanRun};
+use triton_trace::{to_chrome_json, validate_chrome, Trace};
+
+const K: u64 = 2048;
+const THETAS: [f64; 3] = [0.5, 1.0, 1.5];
+const SEEDS: [u64; 3] = [1, 0xBEEF, 0x0712_1701];
+
+fn hw() -> HwConfig {
+    HwConfig::ac922().scaled(K)
+}
+
+fn specs() -> Vec<TpchSpec> {
+    let mut out = Vec::new();
+    for theta in THETAS {
+        for seed in SEEDS {
+            for query in [TpchQuery::Q3, TpchQuery::Q9] {
+                let mut spec = match query {
+                    TpchQuery::Q3 => TpchSpec::q3(4, K),
+                    TpchQuery::Q9 => TpchSpec::q9(4, K),
+                };
+                spec.zipf_theta = theta;
+                spec.seed = seed;
+                out.push(spec);
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_plan_matches_the_composed_oracle() {
+    let hw = hw();
+    for spec in specs() {
+        let w = spec.generate();
+        let expect = {
+            let q = tpch_query(&w);
+            reference_plan(q.plan(), q.inputs())
+        };
+        assert!(expect.groups > 0, "degenerate workload {spec:?}");
+        for force_materialize in [false, true] {
+            let mut q = tpch_query(&w);
+            q.force_materialize = force_materialize;
+            let run = q.run(&hw).unwrap();
+            assert_eq!(
+                run.agg, expect,
+                "{:?} θ={} seed={:#x} fm={force_materialize}",
+                spec.query, spec.zipf_theta, spec.seed
+            );
+        }
+    }
+}
+
+#[test]
+fn pipelined_and_materialized_runs_agree_and_pipelining_wins() {
+    let hw = hw();
+    for query in [TpchQuery::Q3, TpchQuery::Q9] {
+        let spec = match query {
+            TpchQuery::Q3 => TpchSpec::q3(4, K),
+            TpchQuery::Q9 => TpchSpec::q9(4, K),
+        };
+        let w = spec.generate();
+        let piped = tpch_query(&w).run(&hw).unwrap();
+        let mut q = tpch_query(&w);
+        q.force_materialize = true;
+        let mat = q.run(&hw).unwrap();
+        assert_eq!(piped.agg, mat.agg);
+        let (resident, _) = piped.edge_counts();
+        assert!(resident > 0, "{query:?}: nothing pipelined at this scale");
+        assert!(
+            piped.report.total.0 < mat.report.total.0,
+            "{query:?}: pipelined {} not faster than materialized {}",
+            piped.report.total,
+            mat.report.total
+        );
+        // Materialized mode pays explicit evict phases.
+        assert!(mat.materialize_time().0 > 0.0);
+    }
+}
+
+fn record_full(run: &PlanRun, hw: &HwConfig) -> String {
+    let mut trace = Trace::new();
+    let end = record_report(&mut trace, 7, 1, 0.0, 1.0, &run.report, hw);
+    record_plan(&mut trace, 7, 2, 0.0, 1.0, run);
+    assert!(end > 0.0);
+    let json = to_chrome_json(&trace);
+    validate_chrome(&json).unwrap();
+    json
+}
+
+#[test]
+fn replay_pin_traces_are_byte_identical() {
+    let hw = hw();
+    for query in [TpchQuery::Q3, TpchQuery::Q9] {
+        let spec = match query {
+            TpchQuery::Q3 => TpchSpec::q3(4, K),
+            TpchQuery::Q9 => TpchSpec::q9(4, K),
+        };
+        let w = spec.generate();
+        let a = record_full(&tpch_query(&w).run(&hw).unwrap(), &hw);
+        let b = record_full(&tpch_query(&w).run(&hw).unwrap(), &hw);
+        assert_eq!(a, b, "{query:?}: same-seed traces must replay exactly");
+        assert!(!a.is_empty());
+    }
+}
+
+#[test]
+fn estimates_are_upper_bounds_across_the_sweep() {
+    let hw = hw();
+    for spec in specs() {
+        let w = spec.generate();
+        let run = tpch_query(&w).run(&hw).unwrap();
+        for (n, est) in run.nodes.iter().zip(&run.footprint.est_out) {
+            if n.kind == "agg" {
+                continue;
+            }
+            assert!(
+                n.output_tuples <= *est,
+                "{:?} θ={} seed={:#x} {}: actual {} > estimate {}",
+                spec.query,
+                spec.zipf_theta,
+                spec.seed,
+                n.label,
+                n.output_tuples,
+                est
+            );
+        }
+    }
+}
+
+#[test]
+fn bloom_floor_is_charged_against_the_footprint() {
+    // Satellite: the Bloom node's filter bits count against the
+    // admission reservation instead of being free.
+    let hw = hw();
+    let w = TpchSpec::q3(4, K).generate();
+    let q = tpch_query(&w);
+    let fp = q.footprint(&hw, hw.gpu.mem_capacity.0);
+    let plan = plan_for(TpchQuery::Q3);
+    let bloom_idx = plan
+        .nodes
+        .iter()
+        .position(|n| matches!(n, PlanNode::Bloom { .. }))
+        .unwrap();
+    let PlanNode::Bloom { build, .. } = plan.nodes[bloom_idx] else {
+        unreachable!()
+    };
+    let expect = BloomFilter::build_side_bytes(fp.est_out[build] as usize);
+    assert!(expect > 0);
+    assert_eq!(fp.floors[bloom_idx], expect);
+}
+
+#[test]
+fn plan_phase_names_roll_up_cleanly() {
+    // Every phase a plan emits normalises to a stable rollup key,
+    // including the new Materialize and the aggregation phases.
+    let hw = hw();
+    let w = TpchSpec::q3(4, K).generate();
+    let mut q = tpch_query(&w);
+    q.force_materialize = true;
+    let run = q.run(&hw).unwrap();
+    let keys: Vec<String> = run
+        .report
+        .phases
+        .iter()
+        .map(|p| phase_key(&p.name))
+        .collect();
+    for expected in [
+        "select",
+        "bloom",
+        "ps_1",
+        "part_1",
+        "join",
+        "aggregate",
+        "materialize",
+    ] {
+        assert!(
+            keys.iter().any(|k| k == expected),
+            "missing rollup key {expected}: {keys:?}"
+        );
+    }
+}
