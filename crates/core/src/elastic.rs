@@ -1,0 +1,234 @@
+//! Elastic memory policy for the Triton join: mid-query grant changes,
+//! runtime re-partitioning, and depth-bounded recursive spilling.
+//!
+//! The serving runtime (triton-exec) fixes an admission grant when a
+//! query starts; under bursty arrivals or an ECC retirement the grant
+//! may need to move *mid-query*. "Design Trade-offs for a Robust Dynamic
+//! Hybrid Hash Join" (Jahangiri & Carey) maps the adaptivity space this
+//! module implements for the GPU join:
+//!
+//! * **Grant schedule** — a deterministic list of [`GrantStep`]s applied
+//!   at partition-pair boundaries: the join's cache budget becomes
+//!   whatever the step says, and the executor evicts (or reloads) the
+//!   delta through the real link cost model, coldest pairs first.
+//! * **Runtime re-partitioning** — when a pair's staging demand
+//!   overflows what the (possibly shrunk) grant left free, the executor
+//!   splits the offending pair with [`ElasticPolicy::repart_bits`] extra
+//!   radix bits per recursion level instead of eating the whole
+//!   overflow as a flat spill.
+//! * **Depth-bounded recursion** — [`levels_needed`] computes how many
+//!   levels bring the demand under capacity; [`ElasticPolicy::max_depth`]
+//!   caps it, and any residual past the bound still pays the flat spill
+//!   (the robustness guarantee: bounded recursion, never unbounded).
+//! * **Spill-victim order** — [`spill_order`] ranks pairs by the pass-1
+//!   hotness histogram (see [`crate::skew`]), coldest first, so an
+//!   eviction forced by a shrink takes the pages that were least worth
+//!   caching.
+//!
+//! Everything here is pure planning — deterministic, clock-free — and
+//! the default policy is **disabled**, which keeps the executor
+//! bit-identical to the pre-elastic code.
+
+/// One scheduled change to the join's cache budget, applied just before
+/// partition pair `at_pair` of the first-pass fanout is processed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrantStep {
+    /// Pair index (in submission order) the revision lands before.
+    pub at_pair: u64,
+    /// The revised cache budget in bytes from that pair on. Smaller than
+    /// the current budget ⇒ shrink (evict coldest unprocessed pairs);
+    /// larger ⇒ grow (reload the hottest evicted ones).
+    pub cache_bytes: u64,
+}
+
+/// A deterministic mid-query grant schedule: the revisions the serving
+/// scheduler decided on, replayed by the join at pair boundaries. Steps
+/// are applied in order; several steps may land on the same pair (the
+/// last one wins), which is how an adversarial fuzzed schedule stresses
+/// the eviction path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GrantSchedule {
+    /// The scheduled revisions, sorted by [`GrantStep::at_pair`] at
+    /// construction.
+    pub steps: Vec<GrantStep>,
+}
+
+impl GrantSchedule {
+    /// Build a schedule; steps are sorted by pair (stable, so same-pair
+    /// steps keep their submission order and the last one wins).
+    #[must_use]
+    pub fn new(mut steps: Vec<GrantStep>) -> Self {
+        steps.sort_by_key(|s| s.at_pair);
+        GrantSchedule { steps }
+    }
+
+    /// The budget in force from pair `pair` on, if any step has landed
+    /// by then: the last step with `at_pair <= pair`.
+    #[must_use]
+    pub fn budget_at(&self, pair: u64) -> Option<u64> {
+        self.steps
+            .iter()
+            .rfind(|s| s.at_pair <= pair)
+            .map(|s| s.cache_bytes)
+    }
+
+    /// Whether the schedule is empty (no revision ever lands).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Elastic memory policy of the Triton join. The default is disabled:
+/// the executor is bit-identical to the pre-elastic code until a caller
+/// (or the serving scheduler) opts in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ElasticPolicy {
+    /// Master switch. Off ⇒ the remaining fields are ignored.
+    pub enabled: bool,
+    /// Maximum recursive re-partitioning depth for one overflowing pair.
+    /// Zero falls back to the flat spill immediately.
+    pub max_depth: u32,
+    /// Extra radix bits per recursion level on the offending pair.
+    pub repart_bits: u32,
+    /// The mid-query grant revisions to replay at pair boundaries.
+    pub schedule: GrantSchedule,
+}
+
+impl ElasticPolicy {
+    /// An enabled policy with the paper-guided defaults (3 levels deep,
+    /// 2 extra bits per level — 4× fanout per recursion) and no
+    /// scheduled revisions.
+    #[must_use]
+    pub fn adaptive() -> Self {
+        ElasticPolicy {
+            enabled: true,
+            max_depth: 3,
+            repart_bits: 2,
+            schedule: GrantSchedule::default(),
+        }
+    }
+
+    /// [`Self::adaptive`] with a grant schedule attached.
+    #[must_use]
+    pub fn with_schedule(schedule: GrantSchedule) -> Self {
+        ElasticPolicy {
+            schedule,
+            ..Self::adaptive()
+        }
+    }
+
+    /// Recursion depth for a pair whose staging demand is
+    /// `demand_bytes` against `capacity_bytes` of free staging:
+    /// [`levels_needed`] clamped to the policy's bound.
+    #[must_use]
+    pub fn depth_for(&self, demand_bytes: u64, capacity_bytes: u64) -> u32 {
+        levels_needed(demand_bytes, capacity_bytes, self.repart_bits).min(self.max_depth)
+    }
+}
+
+/// Smallest number of re-partitioning levels (each multiplying the
+/// fanout by `2^bits`) that brings `demand` under `capacity`, assuming a
+/// level divides the offending partition's demand evenly. Returns 0 when
+/// the demand already fits. Saturates at 64 levels — with `bits >= 1`
+/// any demand shrinks below any non-zero capacity long before that, so
+/// the cap only guards the degenerate `bits == 0` / `capacity == 0`
+/// inputs (where no amount of splitting ever helps).
+#[must_use]
+pub fn levels_needed(demand: u64, capacity: u64, bits: u32) -> u32 {
+    if demand <= capacity {
+        return 0;
+    }
+    if bits == 0 || capacity == 0 {
+        return u64::BITS;
+    }
+    let mut levels = 0u32;
+    let mut d = demand;
+    while d > capacity && levels < u64::BITS {
+        d >>= bits.min(63);
+        levels += 1;
+    }
+    levels
+}
+
+/// Spill-victim order over partition pairs: ascending hotness (the
+/// pass-1 histogram byte totals from [`crate::skew`]'s ranking), ties
+/// broken on index — the coldest pair spills first, so a forced
+/// eviction takes the pages residency was worth the least on.
+#[must_use]
+pub fn spill_order(hotness: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..hotness.len()).collect();
+    order.sort_by_key(|&i| (hotness[i], i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_is_disabled() {
+        let p = ElasticPolicy::default();
+        assert!(!p.enabled);
+        assert!(p.schedule.is_empty());
+        assert!(ElasticPolicy::adaptive().enabled);
+        assert_eq!(ElasticPolicy::adaptive().max_depth, 3);
+    }
+
+    #[test]
+    fn schedule_sorts_and_last_step_wins() {
+        let s = GrantSchedule::new(vec![
+            GrantStep {
+                at_pair: 4,
+                cache_bytes: 100,
+            },
+            GrantStep {
+                at_pair: 1,
+                cache_bytes: 900,
+            },
+            GrantStep {
+                at_pair: 4,
+                cache_bytes: 50,
+            },
+        ]);
+        assert_eq!(s.budget_at(0), None);
+        assert_eq!(s.budget_at(1), Some(900));
+        assert_eq!(s.budget_at(3), Some(900));
+        assert_eq!(s.budget_at(4), Some(50), "same-pair steps: last wins");
+        assert_eq!(s.budget_at(u64::MAX), Some(50));
+    }
+
+    #[test]
+    fn levels_needed_is_monotone_and_bounded() {
+        assert_eq!(levels_needed(100, 100, 2), 0, "fits: no recursion");
+        assert_eq!(levels_needed(101, 100, 2), 1);
+        assert_eq!(levels_needed(400, 100, 2), 1);
+        assert_eq!(levels_needed(500, 100, 2), 2);
+        assert_eq!(levels_needed(1 << 20, 1, 1), 20);
+        // Degenerate inputs saturate instead of spinning.
+        assert_eq!(levels_needed(2, 1, 0), u64::BITS);
+        assert_eq!(levels_needed(2, 0, 4), u64::BITS);
+        // Monotone in demand for fixed capacity/bits.
+        let mut last = 0;
+        for d in [10u64, 100, 1000, 10_000, 100_000] {
+            let l = levels_needed(d, 10, 1);
+            assert!(l >= last);
+            last = l;
+        }
+        // The policy clamp caps the depth.
+        let p = ElasticPolicy::adaptive();
+        assert_eq!(p.depth_for(u64::MAX, 1), p.max_depth);
+        assert_eq!(p.depth_for(1, 1), 0);
+    }
+
+    #[test]
+    fn spill_order_is_coldest_first() {
+        let order = spill_order(&[50, 10, 90, 10, 0]);
+        assert_eq!(order, vec![4, 1, 3, 0, 2]);
+        // Always a permutation.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+        assert!(spill_order(&[]).is_empty());
+    }
+}

@@ -12,25 +12,121 @@
 //! inside the reservation. The sum of reservations can never exceed the
 //! (scaled) GPU capacity — that is enforced by a [`SimAllocator`], the
 //! same capacity arithmetic the operators use.
+//!
+//! Grants are *elastic*: a [`MemoryGrant`] is a revisable contract, and
+//! the scheduler issues [`GrantRevision`]s at phase boundaries as
+//! concurrent queries arrive/finish or devices retire. A revision moves
+//! only the optional cache share (the pipeline floor is untouchable),
+//! resizes the reservation in place — so shrinking works even while the
+//! controller is overcommitted after an ECC retirement — and is *priced*:
+//! evicting cached state streams it back over the interconnect, reloading
+//! it streams it in again ([`RevisionOutcome::reclaim`]).
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use triton_core::TritonJoin;
 use triton_datagen::TUPLE_BYTES;
-use triton_hw::units::Bytes;
+use triton_hw::kernel::KernelCost;
+use triton_hw::units::{Bytes, Ns};
 use triton_hw::{HwConfig, MemSide};
 use triton_mem::{Allocation, OutOfMemory, SimAllocator};
 
 use crate::query::{JoinQuery, Operator, QueryId};
 
-/// A granted reservation for one admitted query.
-#[derive(Debug, Clone, Copy)]
-pub struct Reservation {
+/// A granted memory reservation for one admitted query — a *revisable
+/// contract*: the scheduler may issue a [`GrantRevision`] at a phase
+/// boundary ([`AdmissionController::revise`]) and the grant's optional
+/// share (everything above `floor`) shrinks or grows in place, priced
+/// through the real link cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryGrant {
     /// Total GPU bytes reserved (pipeline floor + cache grant).
     pub reserved: Bytes,
     /// Cache budget the operator may use for its working set; the query
     /// executes with `cache_bytes = Some(cache_grant)`.
     pub cache_grant: Bytes,
+    /// The pipeline floor the grant can never shrink below — revisions
+    /// only move the optional cache share.
+    pub floor: Bytes,
+}
+
+/// Historical name of [`MemoryGrant`], kept so pre-elastic callers keep
+/// compiling.
+pub type Reservation = MemoryGrant;
+
+/// Accounting bugs the controller surfaces as typed errors in *release*
+/// builds (they used to be a `debug_assert`, which silently corrupted
+/// the budget once assertions were compiled out).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The query's grant was already released — the fault path and the
+    /// completion path raced to the release. Harmless (the accounting is
+    /// untouched) but worth surfacing.
+    DoubleRelease {
+        /// The query released twice.
+        id: QueryId,
+    },
+    /// The query never held a grant at all: a caller accounting bug.
+    NeverAdmitted {
+        /// The unknown query.
+        id: QueryId,
+    },
+    /// A revision named a query that is not currently in flight.
+    NotInFlight {
+        /// The query without a live grant.
+        id: QueryId,
+    },
+    /// A [`GrantRevision::Grow`] asked for pages the device cannot spare.
+    GrowDenied(OutOfMemory),
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::DoubleRelease { id } => {
+                write!(f, "grant of query {id} was already released")
+            }
+            AdmissionError::NeverAdmitted { id } => {
+                write!(f, "query {id} was never admitted")
+            }
+            AdmissionError::NotInFlight { id } => {
+                write!(f, "query {id} holds no live grant to revise")
+            }
+            AdmissionError::GrowDenied(oom) => write!(f, "grant grow denied: {oom}"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// A mid-query change to a live [`MemoryGrant`], issued by the scheduler
+/// at a phase boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantRevision {
+    /// Take back up to this many bytes of the optional cache share
+    /// (clamped so the grant never drops below its floor).
+    Shrink(Bytes),
+    /// Hand back up to this many bytes of previously reclaimed cache
+    /// (clamped to what the device has free).
+    Grow(Bytes),
+}
+
+/// What a [`GrantRevision`] actually did: the revised grant, the bytes
+/// that moved, and the priced reclaim traffic. Shrinking is *not* free —
+/// the evicted working set streams back over the interconnect
+/// (GPU-memory read + link sequential write); growing reloads it (link
+/// sequential read + GPU-memory write). The scheduler charges `reclaim`
+/// onto the query's remaining work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RevisionOutcome {
+    /// The grant after the revision.
+    pub grant: MemoryGrant,
+    /// Bytes actually moved (may be less than asked, after clamping).
+    pub delta: Bytes,
+    /// Time the eviction (or reload) traffic costs on the dedicated
+    /// machine, through the same roofline model as the join's kernels.
+    pub reclaim: Ns,
 }
 
 /// The admission controller. Owns a [`SimAllocator`] whose GPU side is
@@ -40,10 +136,11 @@ pub struct AdmissionController {
     alloc: SimAllocator,
     capacity: Bytes,
     initial_capacity: Bytes,
-    grants: BTreeMap<QueryId, (Allocation, Reservation)>,
-    /// Every id that ever held a grant — the debug guard distinguishing
-    /// an idempotent double release from a release of a query that was
-    /// never admitted (an accounting bug in the caller).
+    grants: BTreeMap<QueryId, (Allocation, MemoryGrant)>,
+    /// Every id that ever held a grant — distinguishes a benign double
+    /// release ([`AdmissionError::DoubleRelease`]) from a release of a
+    /// query that was never admitted ([`AdmissionError::NeverAdmitted`],
+    /// an accounting bug in the caller).
     ever_admitted: BTreeSet<QueryId>,
     /// High-water mark of reserved GPU bytes (for metrics/tests).
     pub peak_reserved: Bytes,
@@ -190,9 +287,10 @@ impl AdmissionController {
         let grant = desired.min(after_floor / 2);
         let total = floor + Bytes(grant);
         let allocation = self.alloc.alloc(MemSide::Gpu, total)?;
-        let reservation = Reservation {
+        let reservation = MemoryGrant {
             reserved: Bytes(allocation.len),
             cache_grant: Bytes(grant),
+            floor,
         };
         self.grants.insert(id, (allocation, reservation));
         self.ever_admitted.insert(id);
@@ -205,28 +303,118 @@ impl AdmissionController {
 
     /// Release the reservation of a finished (or failed) query.
     ///
-    /// Idempotent: the fault path can revoke a query the completion path
-    /// also releases, and the second call must not corrupt the
-    /// reserved-bytes accounting. Returns whether a reservation was
-    /// actually freed. Releasing an id that was *never admitted* is a
-    /// caller bug and trips a debug assertion.
-    pub fn release(&mut self, id: QueryId) -> bool {
-        if let Some((allocation, _)) = self.grants.remove(&id) {
+    /// Returns the bytes freed. The fault path can revoke a query the
+    /// completion path also releases; the second call surfaces a typed
+    /// [`AdmissionError::DoubleRelease`] and — crucially — leaves the
+    /// reserved-bytes accounting untouched, so release builds detect the
+    /// race instead of silently corrupting the budget. Releasing an id
+    /// that was *never admitted* is a caller accounting bug and comes
+    /// back as [`AdmissionError::NeverAdmitted`].
+    pub fn release(&mut self, id: QueryId) -> Result<Bytes, AdmissionError> {
+        if let Some((allocation, grant)) = self.grants.remove(&id) {
             self.alloc.free(allocation);
-            true
+            Ok(grant.reserved)
+        } else if self.ever_admitted.contains(&id) {
+            Err(AdmissionError::DoubleRelease { id })
         } else {
-            debug_assert!(
-                self.ever_admitted.contains(&id),
-                "release of never-admitted query {id}"
-            );
-            false
+            Err(AdmissionError::NeverAdmitted { id })
         }
+    }
+
+    /// Revise the live grant of query `id` in place.
+    ///
+    /// A `Shrink` clamps to the grant's optional cache share (the floor
+    /// is untouchable), releases the pages back to the device budget —
+    /// in place, so it works even while the controller is overcommitted
+    /// after an ECC retirement — and prices the eviction of the cached
+    /// working set through the link cost model. A `Grow` clamps to what
+    /// the device has free, charges the delta, and prices the reload.
+    /// Either way the returned [`RevisionOutcome`] carries the revised
+    /// grant and the reclaim time the caller must account to the query.
+    pub fn revise(
+        &mut self,
+        id: QueryId,
+        revision: GrantRevision,
+        hw: &HwConfig,
+    ) -> Result<RevisionOutcome, AdmissionError> {
+        let Some((allocation, grant)) = self.grants.get(&id).map(|(a, g)| (*a, *g)) else {
+            return Err(AdmissionError::NotInFlight { id });
+        };
+        let (delta, new_cache, evict) = match revision {
+            GrantRevision::Shrink(ask) => {
+                // Round the ask *up* to whole pages (still clamped to the
+                // cache share): the freed physical pages then equal the
+                // delta exactly, so shrinking by `overcommitted()` clears
+                // an overcommit in one revision instead of converging by
+                // sub-page slivers.
+                let page = self.alloc.page_size();
+                let aligned = ask.min(grant.cache_grant).0.div_ceil(page) * page;
+                let delta = Bytes(aligned).min(grant.cache_grant);
+                (delta, grant.cache_grant - delta, true)
+            }
+            GrantRevision::Grow(ask) => {
+                // Round the clamp *down* to whole pages: the in-place
+                // resize then charges exactly `delta` physical bytes and
+                // can never bounce off a fractional-page shortfall.
+                let page = self.alloc.page_size();
+                let usable = self.available().0 / page * page;
+                let delta = ask.min(Bytes(usable));
+                (delta, grant.cache_grant + delta, false)
+            }
+        };
+        let new_total = grant.floor + new_cache;
+        let allocation = match self.alloc.resize(allocation, new_total) {
+            Ok(a) => a,
+            Err(oom) => return Err(AdmissionError::GrowDenied(oom)),
+        };
+        let revised = MemoryGrant {
+            reserved: new_total,
+            cache_grant: new_cache,
+            floor: grant.floor,
+        };
+        self.grants.insert(id, (allocation, revised));
+        let now = self.reserved();
+        if now > self.peak_reserved {
+            self.peak_reserved = now;
+        }
+        Ok(RevisionOutcome {
+            grant: revised,
+            delta,
+            reclaim: reclaim_cost(delta, evict, hw),
+        })
+    }
+
+    /// The live grant of query `id`, if it is in flight.
+    pub fn grant_of(&self, id: QueryId) -> Option<MemoryGrant> {
+        self.grants.get(&id).map(|(_, g)| *g)
     }
 
     /// Number of queries currently holding reservations.
     pub fn in_flight(&self) -> usize {
         self.grants.len()
     }
+}
+
+/// Price the traffic a grant revision moves: a shrink *evicts* the
+/// reclaimed share of the cached working set (GPU-memory read + link
+/// sequential write, the same shape as the join's staging-overflow
+/// `Spill`), a grow *reloads* it (link sequential read + GPU-memory
+/// write). Zero bytes cost zero time.
+fn reclaim_cost(delta: Bytes, evict: bool, hw: &HwConfig) -> Ns {
+    if delta.0 == 0 {
+        return Ns::ZERO;
+    }
+    let mut k = KernelCost::new(if evict { "GrantShrink" } else { "GrantGrow" });
+    k.sms = (hw.gpu.num_sms / 2).max(1);
+    k.tuples_in = delta.0 / TUPLE_BYTES;
+    if evict {
+        k.gpu_mem.read += delta;
+        k.link.seq_write += delta;
+    } else {
+        k.gpu_mem.write += delta;
+        k.link.seq_read += delta;
+    }
+    k.timing(hw).total
 }
 
 /// Clone `query`'s operator with its cache budget clamped to the granted
@@ -293,41 +481,137 @@ mod tests {
         let mut ac = AdmissionController::new(&hw);
         let q = query(64, 512);
         let before = ac.available();
-        ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        let r = ac.try_admit(QueryId(0), &q, &hw).unwrap();
         assert!(ac.available() < before);
-        ac.release(QueryId(0));
+        assert_eq!(ac.release(QueryId(0)), Ok(r.reserved));
         assert_eq!(ac.available(), before);
         assert!(ac.peak_reserved.0 > 0);
     }
 
     #[test]
-    fn double_release_is_idempotent() {
+    fn double_release_is_a_typed_error_not_a_corruption() {
         let hw = HwConfig::ac922().scaled(512);
         let mut ac = AdmissionController::new(&hw);
         let q = query(64, 512);
         let before = ac.available();
         ac.try_admit(QueryId(0), &q, &hw).unwrap();
-        assert!(ac.release(QueryId(0)), "first release frees the grant");
+        assert!(ac.release(QueryId(0)).is_ok(), "first release frees");
         let after_first = ac.available();
-        // The fault path may race the completion path to the release:
-        // the second call must be a no-op, not an accounting corruption.
-        assert!(!ac.release(QueryId(0)), "second release is a no-op");
+        // The fault path may race the completion path to the release: the
+        // second call surfaces the race as a typed error — in *release*
+        // builds too, where the old debug_assert compiled away — and the
+        // accounting stays intact.
+        assert_eq!(
+            ac.release(QueryId(0)),
+            Err(AdmissionError::DoubleRelease { id: QueryId(0) })
+        );
         assert_eq!(ac.available(), after_first);
         assert_eq!(ac.available(), before);
         assert_eq!(ac.in_flight(), 0);
         // Re-admission after a release works and frees again cleanly.
         ac.try_admit(QueryId(0), &q, &hw).unwrap();
-        assert!(ac.release(QueryId(0)));
+        assert!(ac.release(QueryId(0)).is_ok());
         assert_eq!(ac.available(), before);
     }
 
     #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "never-admitted")]
-    fn releasing_a_never_admitted_query_trips_the_debug_guard() {
+    fn releasing_a_never_admitted_query_is_a_typed_error() {
         let hw = HwConfig::ac922().scaled(512);
         let mut ac = AdmissionController::new(&hw);
-        ac.release(QueryId(77));
+        assert_eq!(
+            ac.release(QueryId(77)),
+            Err(AdmissionError::NeverAdmitted { id: QueryId(77) })
+        );
+    }
+
+    #[test]
+    fn shrink_revision_reclaims_cache_and_prices_the_eviction() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        let q = query(64, 512);
+        let full = ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        assert!(full.cache_grant.0 > 0);
+        let before = ac.reserved();
+        let ask = Bytes(full.cache_grant.0 / 2);
+        let out = ac
+            .revise(QueryId(0), GrantRevision::Shrink(ask), &hw)
+            .unwrap();
+        // The shrink delta rounds *up* to whole pages so the freed
+        // physical pages match it exactly (one revision clears an
+        // overcommit instead of converging by slivers).
+        let page = hw.tlb.page_size.0.max(1);
+        assert!(out.delta >= ask && out.delta.0 - ask.0 < page);
+        assert_eq!(out.delta.0 % page, 0);
+        assert_eq!(out.grant.cache_grant, full.cache_grant - out.delta);
+        assert_eq!(out.grant.floor, full.floor);
+        assert!(out.reclaim.0 > 0.0, "shrink is never free");
+        assert!(ac.reserved() < before, "pages returned to the budget");
+        assert_eq!(ac.grant_of(QueryId(0)), Some(out.grant));
+        // A shrink past the cache share clamps at the floor.
+        let all = ac
+            .revise(QueryId(0), GrantRevision::Shrink(Bytes(u64::MAX)), &hw)
+            .unwrap();
+        assert_eq!(all.grant.cache_grant, Bytes(0));
+        assert_eq!(all.grant.reserved, full.floor);
+        // Nothing left to shrink: zero delta, zero reclaim.
+        let noop = ac
+            .revise(QueryId(0), GrantRevision::Shrink(Bytes(1)), &hw)
+            .unwrap();
+        assert_eq!(noop.delta, Bytes(0));
+        assert_eq!(noop.reclaim, Ns::ZERO);
+        ac.release(QueryId(0)).unwrap();
+    }
+
+    #[test]
+    fn grow_revision_restores_cache_and_prices_the_reload() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        let q = query(64, 512);
+        let full = ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        let shrunk = ac
+            .revise(QueryId(0), GrantRevision::Shrink(full.cache_grant), &hw)
+            .unwrap();
+        assert_eq!(shrunk.grant.cache_grant, Bytes(0));
+        let regrown = ac
+            .revise(QueryId(0), GrantRevision::Grow(full.cache_grant), &hw)
+            .unwrap();
+        assert!(regrown.delta.0 > 0);
+        assert!(regrown.reclaim.0 > 0.0, "the reload is priced too");
+        assert!(regrown.grant.cache_grant <= full.cache_grant);
+        // A grow can never outrun the device: ask for everything and the
+        // delta clamps to whole free pages.
+        let greedy = ac
+            .revise(QueryId(0), GrantRevision::Grow(Bytes(u64::MAX)), &hw)
+            .unwrap();
+        assert!(greedy.grant.reserved <= ac.capacity());
+        assert_eq!(ac.overcommitted(), Bytes(0));
+        ac.release(QueryId(0)).unwrap();
+    }
+
+    #[test]
+    fn shrink_works_while_overcommitted_after_retirement() {
+        let hw = HwConfig::ac922().scaled(512);
+        let mut ac = AdmissionController::new(&hw);
+        let q = query(64, 512);
+        let full = ac.try_admit(QueryId(0), &q, &hw).unwrap();
+        // Retire down to the floor plus half the cache grant: the
+        // controller is overcommitted and available() saturates at zero,
+        // exactly where a free-then-realloc shrink would deadlock.
+        let target = full.floor + Bytes(full.cache_grant.0 / 2);
+        ac.retire(ac.capacity() - target);
+        assert!(ac.overcommitted().0 > 0);
+        assert_eq!(ac.available(), Bytes(0));
+        let out = ac
+            .revise(QueryId(0), GrantRevision::Shrink(ac.overcommitted()), &hw)
+            .unwrap();
+        assert!(out.delta.0 > 0);
+        assert_eq!(ac.overcommitted(), Bytes(0), "shrink-in-place clears it");
+        assert!(
+            ac.revise(QueryId(7), GrantRevision::Shrink(Bytes(1)), &hw)
+                .is_err(),
+            "revising a query with no live grant is a typed error"
+        );
+        ac.release(QueryId(0)).unwrap();
     }
 
     #[test]
@@ -345,7 +629,7 @@ mod tests {
         assert_eq!(ac.overcommitted(), Bytes(reserved.0 - reserved.0 / 2));
         assert_eq!(ac.available(), Bytes(0));
         // Revoking the query clears the overcommit.
-        ac.release(QueryId(0));
+        ac.release(QueryId(0)).unwrap();
         assert_eq!(ac.overcommitted(), Bytes(0));
     }
 
@@ -355,7 +639,7 @@ mod tests {
         let q = query(64, 512);
         let mut ac = AdmissionController::new(&hw);
         let full = ac.try_admit_shrunk(QueryId(0), &q, &hw, 0).unwrap();
-        ac.release(QueryId(0));
+        ac.release(QueryId(0)).unwrap();
         let halved = ac.try_admit_shrunk(QueryId(0), &q, &hw, 1).unwrap();
         assert!(
             halved.cache_grant.0 <= full.cache_grant.0 / 2 + 1,

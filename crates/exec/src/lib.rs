@@ -41,6 +41,14 @@
 //!   [`RetryPolicy`] with deterministic backoff, a degradation ladder
 //!   (Triton → CPU-partitioned → CPU radix), and a build-cache circuit
 //!   breaker recover victims without ever changing answers.
+//! * Elastic grants ([`MemoryGrant`] / [`GrantRevision`] /
+//!   [`ElasticGrants`]) — admission grants are revisable contracts: the
+//!   scheduler shrinks running queries' optional cache shares in place
+//!   (priced through the link cost model, traced as `grant-revision`
+//!   events) before it ever revokes or sheds, and the join itself
+//!   absorbs mid-query shrinks by runtime re-partitioning with
+//!   depth-bounded recursive spilling
+//!   ([`triton_core::ElasticPolicy`]).
 //!
 //! Execution stays functional: every admitted query really runs its
 //! operator and the per-query [`triton_core::JoinReport`] carries an
@@ -79,14 +87,17 @@ pub mod query;
 pub mod resilience;
 pub mod scheduler;
 
-pub use admission::{operator_with_grant, AdmissionController, Reservation};
+pub use admission::{
+    operator_with_grant, AdmissionController, AdmissionError, GrantRevision, MemoryGrant,
+    Reservation, RevisionOutcome,
+};
 pub use build_cache::BuildCache;
 pub use demand::ResourceDemand;
 pub use fault::{degraded_vector, FaultCause, FaultOutcome};
 pub use metrics::{percentile, PhaseRollup, SchedulerMetrics};
 pub use observe::{query_pid, Recorder, SCHEDULER_PID, SCHED_TID_FLIGHT, TID_LIFECYCLE};
 pub use query::{JoinQuery, Operator, QueryId};
-pub use resilience::{downgrade_operator, ResilienceConfig, RetryPolicy};
+pub use resilience::{downgrade_operator, ElasticGrants, ResilienceConfig, RetryPolicy};
 pub use scheduler::{
     CompletedQuery, Outcome, RejectReason, Scheduler, SchedulerConfig, ServeResult,
 };

@@ -91,6 +91,11 @@ pub struct SchedulerMetrics {
     pub downgrades: u64,
     /// Reservation revocations across all queries.
     pub revocations: u64,
+    /// Mid-query grant revisions (shrink-in-place and grow) the
+    /// scheduler issued against running queries.
+    pub grant_revisions: u64,
+    /// Cache bytes reclaimed from running queries by shrink revisions.
+    pub grant_reclaimed: Bytes,
     /// Per-`(operator, phase)` time/byte rollups over completed queries,
     /// sorted by operator then phase (deterministic order).
     pub phases: Vec<PhaseRollup>,
@@ -109,6 +114,8 @@ pub(crate) struct RunTotals {
     pub build_cache_misses: u64,
     pub builds_quarantined: u64,
     pub faults_injected: u64,
+    pub grant_revisions: u64,
+    pub grant_reclaimed: Bytes,
 }
 
 /// `p`-th percentile (0..=100) of an unsorted sample, by the
@@ -211,6 +218,8 @@ impl SchedulerMetrics {
             retries,
             downgrades,
             revocations,
+            grant_revisions: totals.grant_revisions,
+            grant_reclaimed: totals.grant_reclaimed,
             phases,
         }
     }
@@ -245,6 +254,12 @@ impl SchedulerMetrics {
                 self.gpu_retired,
             ));
         }
+        if self.grant_revisions > 0 {
+            s.push_str(&format!(
+                " | grants revised {} (reclaimed {})",
+                self.grant_revisions, self.grant_reclaimed,
+            ));
+        }
         s
     }
 
@@ -277,6 +292,7 @@ impl SchedulerMetrics {
                 "\"build_cache_hits\":{},\"build_cache_misses\":{},",
                 "\"builds_quarantined\":{},\"faults_injected\":{},",
                 "\"retries\":{},\"downgrades\":{},\"revocations\":{},",
+                "\"grant_revisions\":{},\"grant_reclaimed\":{},",
                 "\"phases\":{}}}"
             ),
             self.completed,
@@ -305,6 +321,8 @@ impl SchedulerMetrics {
             self.retries,
             self.downgrades,
             self.revocations,
+            self.grant_revisions,
+            self.grant_reclaimed.0,
             phases,
         )
     }

@@ -164,6 +164,36 @@ impl Recorder {
         self.lifecycle(id, "revoked", ts, Vec::new());
     }
 
+    /// A running query's memory grant was revised in place (the
+    /// shrink-in-place rungs above the drop-everything ladder steps).
+    /// Revisions are part of the pressure story, so the flight ring is
+    /// dumped alongside, with the priced reclaim traffic on the event.
+    #[allow(clippy::too_many_arguments)]
+    pub fn revise(
+        &mut self,
+        id: QueryId,
+        ts: Ns,
+        kind: &'static str,
+        delta: Bytes,
+        new_reserved: Bytes,
+        reclaim: Ns,
+        reason: &'static str,
+    ) {
+        self.lifecycle(
+            id,
+            "grant-revision",
+            ts,
+            vec![
+                Attr::str("kind", kind),
+                Attr::u64("delta_bytes", delta.0),
+                Attr::u64("reserved_bytes", new_reserved.0),
+                Attr::f64("reclaim_ns", reclaim.0),
+                Attr::str("reason", reason),
+            ],
+        );
+        self.dump("grant-revision", ts);
+    }
+
     /// A query descended the degradation ladder. Ladder steps are part of
     /// the failure story, so the flight ring is dumped alongside.
     pub fn downgrade(

@@ -124,6 +124,47 @@ pub fn downgrade_operator(op: &Operator) -> Option<Operator> {
     }
 }
 
+/// Elastic-grant policy: whether (and how often) the scheduler may
+/// revise a running query's [`crate::admission::MemoryGrant`] in place
+/// instead of revoking it. This adds **shrink-in-place rungs above the
+/// degradation ladder's drop-everything steps**: when memory pressure
+/// hits (a device retires pages, or a bursty arrival cannot be
+/// admitted), the scheduler first issues priced
+/// [`crate::admission::GrantRevision::Shrink`]s against running
+/// queries' optional cache shares — each a traced, link-cost-priced
+/// event — and only once every cache grant is exhausted does it fall
+/// back to revocation and the operator ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticGrants {
+    /// Master switch. Off reproduces the fixed-grant scheduler exactly:
+    /// pressure goes straight to revocation/shedding.
+    pub enabled: bool,
+    /// Revisions tolerated per running query before it stops being a
+    /// shrink victim (so one query's cache is not sanded away a page at
+    /// a time while others sit untouched).
+    pub max_revisions: u32,
+}
+
+impl Default for ElasticGrants {
+    fn default() -> Self {
+        ElasticGrants {
+            enabled: true,
+            max_revisions: 4,
+        }
+    }
+}
+
+impl ElasticGrants {
+    /// The fixed-grant baseline: grants are immutable once issued.
+    #[must_use]
+    pub fn fixed() -> Self {
+        ElasticGrants {
+            enabled: false,
+            max_revisions: 0,
+        }
+    }
+}
+
 /// Scheduler-level resilience configuration.
 #[derive(Debug, Clone)]
 pub struct ResilienceConfig {
@@ -132,6 +173,8 @@ pub struct ResilienceConfig {
     pub enabled: bool,
     /// Retry/backoff policy for transient faults and revocations.
     pub retry: RetryPolicy,
+    /// Elastic-grant policy: shrink-in-place before revoke/shed.
+    pub elastic: ElasticGrants,
 }
 
 impl Default for ResilienceConfig {
@@ -139,6 +182,7 @@ impl Default for ResilienceConfig {
         ResilienceConfig {
             enabled: true,
             retry: RetryPolicy::default(),
+            elastic: ElasticGrants::default(),
         }
     }
 }
@@ -149,6 +193,16 @@ impl ResilienceConfig {
     pub fn disabled() -> Self {
         ResilienceConfig {
             enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// Resilient, but with immutable grants: the pre-elastic scheduler,
+    /// kept as the comparison baseline for `fig_elastic`.
+    #[must_use]
+    pub fn fixed_grants() -> Self {
+        ResilienceConfig {
+            elastic: ElasticGrants::fixed(),
             ..Self::default()
         }
     }

@@ -23,6 +23,19 @@
 //! ladder ending at the CPU radix join; disabled, they are shed with
 //! [`RejectReason::Faulted`] — the baseline chaos tests compare against.
 //!
+//! # Elastic grants
+//!
+//! Admission grants are *revisable contracts*: under memory pressure —
+//! an ECC retirement overcommitting the device, or a bursty
+//! deadline-holding arrival that cannot be admitted — the scheduler
+//! first issues priced, traced
+//! [`crate::admission::GrantRevision::Shrink`]s against running
+//! queries' optional cache shares (coldest victims re-priced through
+//! the link cost model, never answers) and only falls back to
+//! revocation or shedding once every cache grant is exhausted. See
+//! [`crate::resilience::ElasticGrants`];
+//! [`SchedulerConfig::fixed_grants`] restores the pre-elastic behavior.
+//!
 //! Execution is functional: every admitted query actually runs its
 //! operator (with the granted cache budget) and the scheduler records the
 //! verifiable [`JoinReport`]. Only the *timing* is arbitrated; faults
@@ -40,7 +53,7 @@ use triton_mem::OutOfMemory;
 
 use triton_trace::{Attr, Trace};
 
-use crate::admission::{operator_with_grant, AdmissionController, Reservation};
+use crate::admission::{operator_with_grant, AdmissionController, GrantRevision, Reservation};
 use crate::build_cache::BuildCache;
 use crate::demand::ResourceDemand;
 use crate::fault::{degraded_vector, FaultCause, FaultOutcome};
@@ -225,6 +238,17 @@ impl SchedulerConfig {
             ..Self::default()
         }
     }
+
+    /// Resilient but with immutable grants: memory pressure goes
+    /// straight to revocation/shedding instead of shrink-in-place — the
+    /// pre-elastic scheduler, kept as the `fig_elastic` baseline.
+    #[must_use]
+    pub fn fixed_grants() -> Self {
+        SchedulerConfig {
+            resilience: ResilienceConfig::fixed_grants(),
+            ..Self::default()
+        }
+    }
 }
 
 /// Everything a serving run produces.
@@ -268,6 +292,9 @@ struct Running {
     fault: FaultOutcome,
     /// Transient failures survived on the current ladder rung.
     attempts_at_rung: u32,
+    /// In-place grant revisions absorbed so far (bounded by
+    /// [`crate::resilience::ElasticGrants::max_revisions`]).
+    revisions: u32,
 }
 
 /// One query waiting for admission (fresh, or sleeping out a backoff).
@@ -347,6 +374,8 @@ impl Scheduler {
         let mut faults_injected = 0u64;
         let mut builds_quarantined = 0u64;
         let mut gpu_retired = Bytes(0);
+        let mut grant_revisions = 0u64;
+        let mut grant_reclaimed = Bytes(0);
 
         let mut obs = Recorder::new(self.config.flight_capacity);
         let mut admission = AdmissionController::new(&self.hw);
@@ -383,6 +412,22 @@ impl Scheduler {
                         Attr::u64("builds_quarantined", quarantined),
                     ],
                 );
+                // Shrink-in-place rungs: before revoking anyone, reclaim
+                // running queries' optional cache shares — each a priced,
+                // traced revision — until the shrunk device fits its
+                // reservations again or no cache grant is left to take.
+                if self.config.resilience.enabled && self.config.resilience.elastic.enabled {
+                    self.reclaim_cache(
+                        |a| a.overcommitted(),
+                        "ecc-retirement",
+                        clock,
+                        &mut running,
+                        &mut admission,
+                        &mut obs,
+                        &mut grant_revisions,
+                        &mut grant_reclaimed,
+                    );
+                }
                 // Revoke reservations until the shrunk device fits them.
                 while admission.overcommitted().0 > 0 {
                     let Some(vi) = victim_index(&running) else {
@@ -449,6 +494,8 @@ impl Scheduler {
                 &mut cache,
                 &mut outcomes,
                 &mut obs,
+                &mut grant_revisions,
+                &mut grant_reclaimed,
             );
             peak_concurrency = peak_concurrency.max(running.len());
 
@@ -567,7 +614,7 @@ impl Scheduler {
             while i < running.len() {
                 if running[i].remaining <= 1e-9 {
                     let r = running.swap_remove(i);
-                    admission.release(r.id);
+                    let _ = admission.release(r.id);
                     if let Some(k) = r.query.build_key {
                         cache.release(k);
                     }
@@ -611,6 +658,8 @@ impl Scheduler {
                 build_cache_misses: cache.misses,
                 builds_quarantined,
                 faults_injected,
+                grant_revisions,
+                grant_reclaimed,
             },
             obs.rollups(),
         );
@@ -638,7 +687,7 @@ impl Scheduler {
         outcomes: &mut Vec<(QueryId, Outcome)>,
         obs: &mut Recorder,
     ) {
-        admission.release(victim.id);
+        let _ = admission.release(victim.id);
         if let Some(k) = victim.query.build_key {
             cache.release(k);
         }
@@ -730,6 +779,102 @@ impl Scheduler {
         );
     }
 
+    /// Shrink-in-place: reclaim optional cache from running queries —
+    /// lowest priority first, biggest cache grant first within a class,
+    /// most recent submission on ties — until `need` reports zero bytes
+    /// missing or no eligible victim remains. Every revision is priced
+    /// through the link cost model ([`AdmissionController::revise`]),
+    /// traced as a `grant-revision` event, and re-prices the victim's
+    /// remaining work under its revised grant; the victim's *answer*
+    /// cannot change (a cache budget only moves placement and time).
+    /// Returns the total bytes reclaimed.
+    #[allow(clippy::too_many_arguments)]
+    fn reclaim_cache(
+        &self,
+        need: impl Fn(&AdmissionController) -> Bytes,
+        reason: &'static str,
+        clock: Ns,
+        running: &mut [Running],
+        admission: &mut AdmissionController,
+        obs: &mut Recorder,
+        grant_revisions: &mut u64,
+        grant_reclaimed: &mut Bytes,
+    ) -> Bytes {
+        let max_rev = self.config.resilience.elastic.max_revisions;
+        let mut reclaimed = Bytes(0);
+        loop {
+            let missing = need(admission);
+            if missing.0 == 0 {
+                break;
+            }
+            let Some(vi) = running
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.reservation.cache_grant.0 > 0 && r.revisions < max_rev)
+                .min_by_key(|(_, r)| {
+                    (
+                        r.query.priority,
+                        Reverse(r.reservation.cache_grant.0),
+                        Reverse(r.id),
+                    )
+                })
+                .map(|(i, _)| i)
+            else {
+                break;
+            };
+            let r = &mut running[vi];
+            let ask = missing.min(r.reservation.cache_grant);
+            let out = match admission.revise(r.id, GrantRevision::Shrink(ask), &self.hw) {
+                Ok(out) if out.delta.0 > 0 => out,
+                // Nothing movable on this victim: exhaust it so the
+                // search cannot pick it again and spin.
+                _ => {
+                    r.revisions = max_rev;
+                    continue;
+                }
+            };
+            r.revisions += 1;
+            r.reservation = out.grant;
+            *grant_revisions += 1;
+            *grant_reclaimed += out.delta;
+            reclaimed += out.delta;
+            // Re-price the rest of the query under the revised grant:
+            // same workload, same operator, smaller cache — placement
+            // and timing change, the answer cannot.
+            let op = operator_with_grant(&r.query, &out.grant);
+            if let Ok(rep) = op.run(&r.query.workload, &self.hw) {
+                let r_bytes = r.query.workload.r.len() as u64 * TUPLE_BYTES;
+                let s_bytes = r.query.workload.s.len() as u64 * TUPLE_BYTES;
+                let probe_frac = s_bytes as f64 / (r_bytes + s_bytes).max(1) as f64;
+                let demand = ResourceDemand::from_report(&rep, r.build_cache_hit, probe_frac);
+                let frac = if r.dedicated.0 > 0.0 {
+                    (r.remaining / r.dedicated.0).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                r.remaining = demand.work.0 * frac + out.reclaim.0;
+                r.demand = demand.vector;
+                r.dedicated = demand.work;
+                r.report = rep;
+            } else {
+                // A shrunk re-run cannot OOM harder than the original;
+                // if it somehow does, keep the old pricing and only pay
+                // the reclaim time.
+                r.remaining += out.reclaim.0;
+            }
+            obs.revise(
+                r.id,
+                clock,
+                "shrink",
+                out.delta,
+                out.grant.reserved,
+                out.reclaim,
+                reason,
+            );
+        }
+        reclaimed
+    }
+
     /// Admit queued queries in priority order while memory, the
     /// concurrency cap, and deadlines allow. Entries sleeping out a
     /// retry backoff are skipped until eligible.
@@ -743,6 +888,8 @@ impl Scheduler {
         cache: &mut BuildCache,
         outcomes: &mut Vec<(QueryId, Outcome)>,
         obs: &mut Recorder,
+        grant_revisions: &mut u64,
+        grant_reclaimed: &mut Bytes,
     ) {
         'admit: while running.len() < self.config.max_inflight {
             // Highest-priority eligible entry (sleepers excluded).
@@ -813,19 +960,44 @@ impl Scheduler {
 
             let shrink = queue[pos].fault.grant_shrinks;
             let id = queue[pos].id;
-            let Ok(reservation) =
-                admission.try_admit_shrunk(id, &queue[pos].query, &self.hw, shrink)
-            else {
-                // Backpressure: memory is busy, wait for a completion.
-                // (Head-of-line blocking is intentional: priority order
-                // is strict, so a big high-priority query is not starved
-                // by small ones slipping past it.)
-                break;
-            };
+            let reservation =
+                match admission.try_admit_shrunk(id, &queue[pos].query, &self.hw, shrink) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // Backpressure: memory is busy. A query *without* a
+                        // deadline just waits for a completion (head-of-line
+                        // blocking is intentional: priority order is strict,
+                        // so a big high-priority query is not starved by
+                        // small ones slipping past it). Under the elastic
+                        // policy a deadline-holding arrival cannot afford
+                        // the wait: it reclaims running queries' optional
+                        // cache down to its own floor and retries once.
+                        let elastic = self.config.resilience.enabled
+                            && self.config.resilience.elastic.enabled;
+                        if !(elastic && queue[pos].query.deadline.is_some()) {
+                            break;
+                        }
+                        let floor = AdmissionController::min_reserve(&queue[pos].query, &self.hw);
+                        self.reclaim_cache(
+                            |a| floor.saturating_sub(a.available()),
+                            "burst-admission",
+                            clock,
+                            running,
+                            admission,
+                            obs,
+                            grant_revisions,
+                            grant_reclaimed,
+                        );
+                        match admission.try_admit_shrunk(id, &queue[pos].query, &self.hw, shrink) {
+                            Ok(r) => r,
+                            Err(_) => break,
+                        }
+                    }
+                };
             let Some(mut q) = queue.remove(pos) else {
                 // Unreachable (pos indexes a live entry); stop admitting
                 // rather than panic with the reservation held.
-                admission.release(id);
+                let _ = admission.release(id);
                 break;
             };
 
@@ -843,7 +1015,7 @@ impl Scheduler {
             let report = match op.run(&q.query.workload, &self.hw) {
                 Ok(rep) => rep,
                 Err(e) => {
-                    admission.release(q.id);
+                    let _ = admission.release(q.id);
                     if let Some(k) = q.query.build_key {
                         cache.release(k);
                     }
@@ -899,6 +1071,7 @@ impl Scheduler {
                 op_label: op.label(),
                 fault: q.fault,
                 attempts_at_rung: q.attempts_at_rung,
+                revisions: 0,
                 query: q.query,
             });
         }

@@ -165,6 +165,46 @@ impl SimAllocator {
         })
     }
 
+    /// Resize an allocation *in place* to `new_len` bytes, returning the
+    /// revised allocation (same base, same side).
+    ///
+    /// Shrinking always succeeds and releases the freed pages back to the
+    /// device budget — even while usage exceeds capacity after a
+    /// [`Self::retire`], which is exactly when an elastic grant revision
+    /// needs it (a free-then-realloc would bounce off the saturated
+    /// budget). Growing charges only the *delta* pages and fails with
+    /// [`OutOfMemory`] if they are not available.
+    pub fn resize(&mut self, alloc: Allocation, new_len: Bytes) -> Result<Allocation, OutOfMemory> {
+        let old_phys = alloc.len.div_ceil(self.page_size) * self.page_size;
+        let new_phys = new_len.0.div_ceil(self.page_size) * self.page_size;
+        if new_phys > old_phys {
+            let delta = new_phys - old_phys;
+            let avail = self.available(alloc.side).0;
+            if delta > avail {
+                return Err(OutOfMemory {
+                    side: alloc.side,
+                    requested: Bytes(delta),
+                    available: Bytes(avail),
+                });
+            }
+            match alloc.side {
+                MemSide::Gpu => self.gpu_used += delta,
+                MemSide::Cpu => self.cpu_used += delta,
+            }
+        } else {
+            let delta = old_phys - new_phys;
+            match alloc.side {
+                MemSide::Gpu => self.gpu_used = self.gpu_used.saturating_sub(delta),
+                MemSide::Cpu => self.cpu_used = self.cpu_used.saturating_sub(delta),
+            }
+        }
+        Ok(Allocation {
+            base: alloc.base,
+            len: new_len.0,
+            side: alloc.side,
+        })
+    }
+
     /// Free an allocation (returns its pages to the device budget).
     pub fn free(&mut self, alloc: Allocation) {
         let phys = alloc.len.div_ceil(self.page_size) * self.page_size;
@@ -331,6 +371,45 @@ mod tests {
         // Retiring more than everything saturates at zero capacity.
         a.retire(MemSide::Gpu, Bytes(u64::MAX));
         assert_eq!(a.capacity(MemSide::Gpu), Bytes(0));
+    }
+
+    #[test]
+    fn resize_shrinks_and_grows_in_place() {
+        let mut a = small_alloc();
+        let ps = a.page_size();
+        let x = a.alloc(MemSide::Gpu, Bytes(8 * ps)).unwrap();
+        let used = a.used(MemSide::Gpu).0;
+        // Shrink to 3 pages: 5 pages return to the budget, base unchanged.
+        let x = a.resize(x, Bytes(3 * ps)).unwrap();
+        assert_eq!(a.used(MemSide::Gpu).0, used - 5 * ps);
+        assert_eq!(x.len, 3 * ps);
+        // Grow back to 6 pages: only the delta is charged.
+        let x = a.resize(x, Bytes(6 * ps)).unwrap();
+        assert_eq!(a.used(MemSide::Gpu).0, used - 2 * ps);
+        // Growing past capacity fails and leaves accounting untouched.
+        let cap = a.capacity(MemSide::Gpu).0;
+        let err = a.resize(x, Bytes(cap * 2)).unwrap_err();
+        assert_eq!(err.side, MemSide::Gpu);
+        assert_eq!(a.used(MemSide::Gpu).0, used - 2 * ps);
+        a.free(x);
+    }
+
+    #[test]
+    fn resize_shrink_succeeds_while_overcommitted() {
+        let mut a = small_alloc();
+        let cap = a.capacity(MemSide::Gpu).0;
+        let x = a.alloc(MemSide::Gpu, Bytes(cap / 2)).unwrap();
+        // Retire 75% of the device: usage exceeds the new capacity and
+        // available() saturates at zero — a free+realloc would OOM here.
+        a.retire(MemSide::Gpu, Bytes(cap * 3 / 4));
+        assert_eq!(a.available(MemSide::Gpu), Bytes(0));
+        let target = Bytes(cap / 8);
+        let x = a.resize(x, target).unwrap();
+        assert_eq!(x.len, target.0);
+        assert!(a.used(MemSide::Gpu).0 < cap / 2);
+        // But growing while saturated still bounces.
+        assert!(a.resize(x, Bytes(cap / 2)).is_err());
+        a.free(x);
     }
 
     #[test]

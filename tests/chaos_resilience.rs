@@ -207,6 +207,55 @@ fn ecc_retirement_downgrades_instead_of_shedding() {
     assert_exact(&queries, &res.outcomes);
 }
 
+/// A moderate ECC retirement that cache grants alone can absorb: the
+/// elastic scheduler shrinks running grants in place (priced, counted as
+/// grant revisions) and completes everything without a single
+/// revocation, while the fixed-grant scheduler on the same plan has to
+/// revoke a reservation outright or shed.
+#[test]
+fn moderate_retirement_shrinks_grants_instead_of_revoking() {
+    let n = 3;
+    let queries = tenants(n, 32);
+    let horizon = clean_makespan(SchedulerConfig::default(), queries.clone());
+    let cap = hw().gpu.mem_capacity;
+    let plan = FaultPlan::with_seed(11).retire_gpu_mem(Ns(horizon.0 * 0.3), Bytes(cap.0 * 6 / 10));
+
+    let elastic =
+        Scheduler::new(hw(), SchedulerConfig::default()).run_with_faults(queries.clone(), &plan);
+    assert_eq!(
+        elastic.metrics.completed,
+        n as u64,
+        "elastic run must complete everything: {}",
+        elastic.metrics.summary()
+    );
+    assert!(
+        elastic.metrics.grant_revisions >= 1,
+        "the retirement must be absorbed by shrinking a grant"
+    );
+    assert!(
+        elastic.metrics.grant_reclaimed > Bytes(0),
+        "reclaimed cache must cover the overcommitment"
+    );
+    assert_eq!(
+        elastic.metrics.revocations, 0,
+        "shrink-in-place must pre-empt revocation"
+    );
+    assert_exact(&queries, &elastic.outcomes);
+
+    let fixed = Scheduler::new(hw(), SchedulerConfig::fixed_grants())
+        .run_with_faults(queries.clone(), &plan);
+    assert_eq!(
+        fixed.metrics.grant_revisions, 0,
+        "fixed grants never revise"
+    );
+    assert!(
+        fixed.metrics.revocations >= 1 || fixed.metrics.rejected >= 1,
+        "without elasticity the same plan must revoke or shed: {}",
+        fixed.metrics.summary()
+    );
+    assert_exact(&queries, &fixed.outcomes);
+}
+
 /// With resilience disabled, the same retirement sheds with a typed,
 /// displayable [`RejectReason::Faulted`].
 #[test]

@@ -82,6 +82,52 @@ fn admission_reserves_peak_not_sum() {
     assert!(res.metrics.peak_gpu_reserved <= res.metrics.gpu_capacity);
 }
 
+/// A grant revision mid-plan means re-running placement under the new
+/// budget: at full capacity the chain pipelines intermediate edges
+/// GPU-resident, under a shrunk grant the same plan pins strictly fewer
+/// edges (spilling the rest to host) — and the answer is byte-identical
+/// either way.
+#[test]
+fn shrunk_grant_replaces_intermediates_exactly() {
+    use triton_hw::units::Bytes;
+    let hw = hw();
+    let cap = hw.gpu.mem_capacity.0;
+    let q = chain_query(6);
+    let expect = reference_plan(q.plan(), q.inputs());
+
+    let full = q.footprint(&hw, cap);
+    // A revision below the pipelined peak: just the largest operator
+    // floor, i.e. room to run every node but not to pin every edge.
+    let shrunk_budget = full.floors.iter().copied().max().unwrap_or(0);
+    assert!(shrunk_budget < full.peak, "the revision must actually bite");
+    let shrunk = q.footprint(&hw, shrunk_budget);
+    let pinned = |fp: &triton_plan::Footprint| fp.resident.iter().filter(|r| **r).count();
+    assert!(
+        pinned(&full) > pinned(&shrunk),
+        "the shrunk budget must evict pipelined edges: {} <= {}",
+        pinned(&full),
+        pinned(&shrunk)
+    );
+    assert!(
+        shrunk.peak <= full.peak,
+        "re-placement may never need more than the original peak"
+    );
+
+    // Run both placements; placement moves intermediates, not answers.
+    let generous = q.run(&hw).expect("full-budget run");
+    let mut revised = q.clone();
+    revised.budget = Some(Bytes(shrunk_budget));
+    revised.cache_grant = Some(Bytes(0));
+    let tight = revised.run(&hw).expect("shrunk-budget run");
+    for run in [&generous, &tight] {
+        assert_eq!(run.agg, expect, "placement must not change the answer");
+    }
+    assert!(
+        tight.report.total >= generous.report.total,
+        "materializing evicted edges cannot be free"
+    );
+}
+
 #[test]
 fn plan_ladder_materializes_before_dropping_skew() {
     // The new top rung: a faulting plan first gives up pipelining
