@@ -279,7 +279,9 @@ impl FaultPlan {
             .filter(|e| e.active_at(t))
             .filter_map(|e| match e.kind {
                 FaultKind::LinkDegrade { factor } => Some(factor),
-                _ => None,
+                FaultKind::GpuMemRetire { .. }
+                | FaultKind::KernelFault
+                | FaultKind::CpuSlowdown { .. } => None,
             })
             .product()
     }
@@ -291,7 +293,9 @@ impl FaultPlan {
             .filter(|e| e.active_at(t))
             .filter_map(|e| match e.kind {
                 FaultKind::CpuSlowdown { factor } => Some(factor),
-                _ => None,
+                FaultKind::LinkDegrade { .. }
+                | FaultKind::GpuMemRetire { .. }
+                | FaultKind::KernelFault => None,
             })
             .product()
     }
@@ -303,7 +307,9 @@ impl FaultPlan {
             .filter(|e| e.at.0 <= t.0)
             .filter_map(|e| match e.kind {
                 FaultKind::GpuMemRetire { bytes } => Some(bytes),
-                _ => None,
+                FaultKind::LinkDegrade { .. }
+                | FaultKind::KernelFault
+                | FaultKind::CpuSlowdown { .. } => None,
             })
             .sum()
     }
@@ -314,7 +320,9 @@ impl FaultPlan {
             .iter()
             .filter_map(|e| match e.kind {
                 FaultKind::GpuMemRetire { bytes } => Some((e.at, bytes)),
-                _ => None,
+                FaultKind::LinkDegrade { .. }
+                | FaultKind::KernelFault
+                | FaultKind::CpuSlowdown { .. } => None,
             })
             .collect()
     }

@@ -1,0 +1,27 @@
+//! E1 clean fixture: exhaustive matches over invariant enums, plus the
+//! shapes E1 must not flag — `_` nested inside a constructor pattern,
+//! and wildcards over enums outside the invariant list.
+
+pub fn explicit_variants(k: &FaultKind) -> f64 {
+    match k {
+        FaultKind::LinkDegrade { factor } => *factor,
+        FaultKind::GpuMemRetire { .. } | FaultKind::KernelFault | FaultKind::CpuSlowdown { .. } => {
+            1.0
+        }
+    }
+}
+
+pub fn nested_wildcard_inside_constructor(r: Option<RejectReason>) -> u32 {
+    match r {
+        Some(RejectReason::QueueFull) => 1,
+        Some(_) => 2,
+        None => 0,
+    }
+}
+
+pub fn plain_enums_may_wildcard(op: &Operator) -> bool {
+    match op {
+        Operator::Scan => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,17 @@
+//! E1 fixture: `_` wildcard arms in matches over invariant-bearing
+//! enums. Three hits expected (a guard does not exempt a wildcard).
+
+pub fn wildcard_over_faults(k: &FaultKind) -> f64 {
+    match k {
+        FaultKind::LinkDegrade { factor } => *factor,
+        _ => 1.0,
+    }
+}
+
+pub fn guarded_wildcards(rev: &GrantRevision, big: bool) -> bool {
+    match rev {
+        GrantRevision::Shrink(_) => true,
+        _ if big => false,
+        _ => false,
+    }
+}

@@ -1,0 +1,32 @@
+//! F1 clean fixture: report times derived from priced costs, plus the
+//! shapes F1 must not flag (variables, zero, functional update from a
+//! priced report).
+
+pub fn priced_phase(cost: KernelCost, hw: &HwConfig) -> PhaseReport {
+    PhaseReport::gpu(cost, hw)
+}
+
+pub fn derived_cpu_phase(link: &LinkModel, bytes: Bytes) -> PhaseReport {
+    let t = link.seq_transfer_time(bytes);
+    PhaseReport::cpu("exchange", t)
+}
+
+pub fn zero_time_is_legitimate() -> PhaseReport {
+    PhaseReport::cpu("idle", Ns(0.0))
+}
+
+pub fn updated_from_priced(cost: KernelCost, hw: &HwConfig, t: Ns) -> PhaseReport {
+    PhaseReport {
+        time: t,
+        ..PhaseReport::gpu(cost, hw)
+    }
+}
+
+pub fn total_from_phases(name: &str, phases: Vec<PhaseReport>, slowest: Ns, t_exchange: Ns) -> JoinReport {
+    JoinReport {
+        name: name.to_string(),
+        phases,
+        total: slowest + t_exchange,
+        tuples_actual: 0,
+    }
+}

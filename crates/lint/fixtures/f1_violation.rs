@@ -1,0 +1,25 @@
+//! F1 fixture: report time fields fed from numeric literals instead of
+//! priced costs. Three hits expected.
+
+pub fn literal_cpu_phase() -> PhaseReport {
+    PhaseReport::cpu("format", Ns(1500.0))
+}
+
+pub fn literal_struct_time() -> PhaseReport {
+    PhaseReport {
+        name: "fixup".to_string(),
+        time: Ns(2.0e6),
+        timing: None,
+        cost: None,
+        stalls: Vec::new(),
+    }
+}
+
+pub fn literal_join_total(phases: Vec<PhaseReport>) -> JoinReport {
+    JoinReport {
+        name: "q1".to_string(),
+        phases,
+        total: Ns(30.0) * 2.0,
+        tuples_actual: 0,
+    }
+}

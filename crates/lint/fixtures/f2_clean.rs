@@ -1,0 +1,26 @@
+//! F2 clean fixture: every KernelCost that accrues link traffic is
+//! priced through the roofline model or escapes the function.
+
+pub fn priced_through_timing(hw: &HwConfig, delta: Bytes) -> Ns {
+    let mut k = KernelCost::new("reclaim", Tuples(0), Tuples(0));
+    k.link.seq_write = delta;
+    k.timing(hw).total
+}
+
+pub fn pushed_to_caller(delta: Bytes, out: &mut Vec<KernelCost>) {
+    let mut k = KernelCost::new("exchange", Tuples(0), Tuples(0));
+    k.link.seq_read += delta;
+    out.push(k);
+}
+
+pub fn returned_for_later_pricing(delta: Bytes) -> KernelCost {
+    let mut k = KernelCost::new("handoff", Tuples(0), Tuples(0));
+    k.link.seq_write = delta;
+    k
+}
+
+pub fn no_link_traffic_no_obligation(delta: Bytes) -> u64 {
+    let mut k = KernelCost::new("local", Tuples(0), Tuples(0));
+    k.gpu_mem.read = delta;
+    k.gpu_mem.read.0
+}

@@ -1,0 +1,15 @@
+//! F2 fixture: KernelCost values that accrue `.link` traffic and are
+//! then dropped unpriced. Two hits expected.
+
+pub fn leak_link_write(delta: Bytes) -> Ns {
+    let mut k = KernelCost::new("reclaim", Tuples(0), Tuples(0));
+    k.link.seq_write = delta;
+    k.gpu_mem.read = delta;
+    Ns(0.0)
+}
+
+pub fn mutate_and_read_only(delta: Bytes) -> u64 {
+    let mut c = KernelCost::new("spill", Tuples(0), Tuples(0));
+    c.link.seq_read += delta;
+    c.link.seq_read.0
+}

@@ -1,0 +1,36 @@
+//! L1/L2 clean fixture: grants reach release, handles reach free, and
+//! the shapes the lifecycle rules must not flag — match hand-off into
+//! arms, `?` into a named binding, and `Vec::resize` (no allocator in
+//! the receiver chain).
+
+pub fn releases_grant(
+    ac: &mut AdmissionController,
+    q: &JoinQuery,
+    hw: &HwConfig,
+) -> Result<(), AdmissionError> {
+    let grant = ac.try_admit(QueryId(1), q, hw)?;
+    run_query(&grant);
+    ac.release(QueryId(1))?;
+    Ok(())
+}
+
+pub fn hands_off_through_match(
+    ac: &mut AdmissionController,
+    q: &JoinQuery,
+    hw: &HwConfig,
+) -> Option<Reservation> {
+    match ac.try_admit_shrunk(QueryId(2), q, hw, 1) {
+        Ok(r) => Some(r.reservation),
+        Err(_) => None,
+    }
+}
+
+pub fn frees_allocation(alloc: &mut SimAllocator, len: Bytes) -> Result<(), OutOfMemory> {
+    let a = alloc.alloc(MemSide::Gpu, len)?;
+    alloc.free(a);
+    Ok(())
+}
+
+pub fn vec_resize_is_not_an_allocator(buf: &mut Vec<u64>, n: usize) {
+    buf.resize(n, 0);
+}

@@ -1,0 +1,20 @@
+//! L1/L2 fixture: admission grants and allocator handles dropped on the
+//! floor. Two L1 and two L2 hits expected.
+
+pub fn drops_grant_result(ac: &mut AdmissionController, q: &JoinQuery, hw: &HwConfig) {
+    ac.try_admit(QueryId(7), q, hw);
+}
+
+pub fn dead_grant_binding(ac: &mut AdmissionController, q: &JoinQuery, hw: &HwConfig) -> bool {
+    let grant = ac.try_admit_shrunk(QueryId(8), q, hw, 2);
+    true
+}
+
+pub fn discards_alloc_handle(alloc: &mut SimAllocator, len: Bytes) {
+    let _ = alloc.alloc(MemSide::Gpu, len);
+}
+
+pub fn dead_resize_binding(allocator: &mut SimAllocator, a: Allocation, len: Bytes) -> u32 {
+    let next = allocator.resize(a, len);
+    0
+}

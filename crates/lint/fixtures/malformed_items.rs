@@ -1,0 +1,12 @@
+//! Deliberately malformed source: the parser must degrade to opaque
+//! nodes without panicking, and the token rules must keep firing (the
+//! HashMap below is still a D1 hit).
+
+pub fn broken(map: HashMap<u64, u64>
+    let x = match ) { { {
+pub struct ;;; impl impl
+fn also_broken( -> {
+    let _ = KernelCost::new(;
+}
+fn unclosed(a: u64 {
+    a..

@@ -1,0 +1,7 @@
+//! Stale-waiver fixture: a well-formed pragma that matches no finding
+//! must surface as unused (and fail the run).
+
+// triton-lint: allow(d1) -- historical; the map this covered was removed
+pub fn no_findings_here() -> u32 {
+    7
+}

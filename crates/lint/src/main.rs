@@ -1,19 +1,26 @@
-//! `triton-lint` — scan the workspace for determinism & unit-safety
-//! violations.
+//! `triton-lint` — scan the workspace for determinism, unit-safety,
+//! cost-fidelity, lifecycle, and exhaustiveness violations.
 //!
 //! ```text
-//! triton-lint [--json <path>] [<workspace-root>]
+//! triton-lint [--json <path>] [--update-ratchet] [--no-ratchet] [<workspace-root>]
 //! ```
 //!
-//! Exits 0 when every finding is waived (with a written reason), 1 when
-//! any unwaived violation or reasonless waiver exists, 2 on usage/IO
-//! errors. `--json <path>` additionally writes a JSON Lines report
-//! (bench-harness conventions) to `<path>`.
+//! Exits 0 when every finding is waived (with a written reason), every
+//! waiver matches a finding, and the per-rule counts are within the
+//! committed ratchet baseline (`lint-ratchet.json` at the workspace
+//! root). Exits 1 on any unwaived violation, reasonless or stale
+//! waiver, or ratchet regression; 2 on usage/IO errors.
+//!
+//! `--json <path>` additionally writes a JSON Lines report
+//! (bench-harness conventions) to `<path>`. `--update-ratchet` rewrites
+//! the baseline to the current counts (use after *reducing* findings);
+//! `--no-ratchet` skips the baseline comparison entirely.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use triton_lint::analyze_workspace;
+use triton_lint::report::Ratchet;
 
 /// Default workspace root: two levels above this crate's manifest.
 fn default_root() -> PathBuf {
@@ -28,6 +35,8 @@ fn default_root() -> PathBuf {
 fn run() -> Result<bool, String> {
     let mut json_out: Option<PathBuf> = None;
     let mut root: Option<PathBuf> = None;
+    let mut update_ratchet = false;
+    let mut no_ratchet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -37,8 +46,13 @@ fn run() -> Result<bool, String> {
                     .ok_or_else(|| "--json requires a path argument".to_string())?;
                 json_out = Some(PathBuf::from(path));
             }
+            "--update-ratchet" => update_ratchet = true,
+            "--no-ratchet" => no_ratchet = true,
             "--help" | "-h" => {
-                println!("usage: triton-lint [--json <path>] [<workspace-root>]");
+                println!(
+                    "usage: triton-lint [--json <path>] [--update-ratchet] \
+                     [--no-ratchet] [<workspace-root>]"
+                );
                 return Ok(true);
             }
             other if root.is_none() && !other.starts_with('-') => {
@@ -55,7 +69,40 @@ fn run() -> Result<bool, String> {
             .map_err(|e| format!("{}: {e}", path.display()))?;
         println!("json report written to {}", path.display());
     }
-    Ok(!report.failed())
+
+    let ratchet_path = root.join("lint-ratchet.json");
+    let mut ratchet_ok = true;
+    if update_ratchet {
+        std::fs::write(&ratchet_path, report.render_ratchet())
+            .map_err(|e| format!("{}: {e}", ratchet_path.display()))?;
+        println!("ratchet baseline written to {}", ratchet_path.display());
+    } else if !no_ratchet && ratchet_path.is_file() {
+        let src = std::fs::read_to_string(&ratchet_path)
+            .map_err(|e| format!("{}: {e}", ratchet_path.display()))?;
+        let baseline = Ratchet::parse(&src).map_err(|e| format!("lint-ratchet.json: {e}"))?;
+        let regressions = report.ratchet_regressions(&baseline);
+        for (code, base, now) in &regressions {
+            println!(
+                "ratchet: {} findings grew {base} -> {now}; fix the new sites or, \
+                 if each is waived with a reason, run --update-ratchet deliberately",
+                code.to_ascii_uppercase()
+            );
+            ratchet_ok = false;
+        }
+        let slack: Vec<String> = report
+            .rule_totals()
+            .into_iter()
+            .filter(|(code, n)| (*n as u64) < baseline.count(code))
+            .map(|(code, _)| code.to_ascii_uppercase())
+            .collect();
+        if !slack.is_empty() {
+            println!(
+                "ratchet: counts below baseline for {} — run --update-ratchet to lock in",
+                slack.join(", ")
+            );
+        }
+    }
+    Ok(!report.failed() && ratchet_ok)
 }
 
 fn main() -> ExitCode {

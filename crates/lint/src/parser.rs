@@ -1,0 +1,1324 @@
+//! A small recursive-descent parser over the lexer's token stream —
+//! just enough structure for the flow-aware rule families: items and
+//! `fn` bodies, let-bindings, statement/expression boundaries, postfix
+//! chains (calls, method calls, field accesses, `?`), struct literals,
+//! and `match` expressions with their arm patterns.
+//!
+//! It deliberately models **no types, no traits, no generics beyond
+//! skipping turbofish**, and it is *forgiving*: any construct it cannot
+//! parse degrades to an [`Expr::Opaque`] node that still exposes
+//! whatever sub-expressions were recoverable, and the parser always
+//! makes forward progress (a malformed file yields a partial AST, never
+//! a panic or a hang). Rules that need full fidelity belong in `rustc`,
+//! not here — see DESIGN.md §13 for what the parser deliberately does
+//! not model.
+
+use crate::lexer::{TokKind, Token};
+
+/// One parsed function (free, associated, or nested), with its body.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the `fn` keyword sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+    /// Body statements (empty for bodyless trait declarations).
+    pub stmts: Vec<Stmt>,
+}
+
+/// A parsed file: every function found anywhere in it, in source order.
+#[derive(Debug, Default)]
+pub struct Ast {
+    /// All functions, including those nested in `impl`/`mod` blocks and
+    /// inside other function bodies.
+    pub fns: Vec<FnItem>,
+}
+
+/// One statement of a function body.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat> = <init>;` (with optional `else` block).
+    Let {
+        /// The single identifier the pattern binds, when the pattern is
+        /// simple enough to tell (`let x`, `let mut x`, `let Ok(x)`).
+        name: Option<String>,
+        /// `let _ = ...` — the value is deliberately discarded.
+        discard: bool,
+        /// Initializer expression, when present.
+        init: Option<Expr>,
+        /// 1-based line of the `let`.
+        line: u32,
+    },
+    /// An expression statement; `semi` distinguishes `expr;` (value
+    /// dropped) from a trailing tail expression (value returned).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` (or the brace of a block-like statement)
+        /// discards the value.
+        semi: bool,
+    },
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug)]
+pub struct Arm {
+    /// The arm's pattern, structurally summarized.
+    pub pat: Pattern,
+    /// The arm's body expression.
+    pub body: Expr,
+}
+
+/// Structural summary of a match-arm pattern — everything the
+/// exhaustiveness rule needs, nothing more.
+#[derive(Debug)]
+pub struct Pattern {
+    /// The pattern (ignoring any `if` guard) is the bare wildcard `_`.
+    pub is_wildcard: bool,
+    /// First segments of every `A::B` path mentioned anywhere in the
+    /// pattern (`FaultKind` for `Some(FaultKind::KernelFault)`).
+    pub path_roots: Vec<String>,
+    /// Whether the arm carries an `if` guard.
+    pub has_guard: bool,
+    /// 1-based line the pattern starts on.
+    pub line: u32,
+}
+
+/// A parsed expression. Only the shapes the semantic rules inspect get
+/// dedicated variants; everything else is [`Expr::Opaque`] with its
+/// recoverable children attached.
+#[derive(Debug)]
+pub enum Expr {
+    /// A (possibly multi-segment) path: `x`, `KernelCost::new`.
+    Path {
+        /// Path segments.
+        segs: Vec<String>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A literal token.
+    Lit {
+        /// Literal class from the lexer.
+        kind: TokKind,
+        /// Source text (empty for string/char literals).
+        text: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `callee(args...)`.
+    Call {
+        /// The called expression (usually a path).
+        callee: Box<Expr>,
+        /// Arguments in order.
+        args: Vec<Expr>,
+        /// 1-based line of the opening parenthesis.
+        line: u32,
+    },
+    /// `recv.name(args...)`.
+    Method {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Arguments in order (excluding the receiver).
+        args: Vec<Expr>,
+        /// 1-based line of the method name.
+        line: u32,
+    },
+    /// `recv.name` (also tuple indices: `recv.0`).
+    Field {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Field name or tuple index text.
+        name: String,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `Path { field: expr, .. }`.
+    Struct {
+        /// Path segments of the struct name.
+        segs: Vec<String>,
+        /// Named fields in order (shorthand fields get a synthesized
+        /// path expression as their value).
+        fields: Vec<(String, Expr)>,
+        /// The functional-update `..base` expression, when present.
+        rest: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// The matched expression.
+        scrutinee: Box<Expr>,
+        /// Arms in order.
+        arms: Vec<Arm>,
+        /// 1-based line of the `match` keyword.
+        line: u32,
+    },
+    /// `lhs <op>= rhs` for any assignment operator.
+    Assign {
+        /// Assignment target.
+        lhs: Box<Expr>,
+        /// Assigned value.
+        rhs: Box<Expr>,
+        /// 1-based line of the operator.
+        line: u32,
+    },
+    /// `lhs op rhs` for non-assignment binary operators.
+    Binary {
+        /// Operator text (`+`, `==`, ...).
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// 1-based line of the operator.
+        line: u32,
+    },
+    /// `expr?`.
+    Try {
+        /// The propagated expression.
+        expr: Box<Expr>,
+        /// 1-based line of the `?`.
+        line: u32,
+    },
+    /// `return expr` / bare `return`.
+    Return {
+        /// Returned value, when present.
+        value: Option<Box<Expr>>,
+        /// 1-based line.
+        line: u32,
+    },
+    /// A block `{ ... }`; also the bodies of `if`/`loop`/closures.
+    Block {
+        /// Statements in order.
+        stmts: Vec<Stmt>,
+        /// 1-based line of the opening brace.
+        line: u32,
+    },
+    /// Anything else (tuples, arrays, macros, loops, casts, unary ops,
+    /// `if` conditions + branches, ...) with recoverable children.
+    Opaque {
+        /// Sub-expressions found inside, in source order.
+        children: Vec<Expr>,
+        /// 1-based line.
+        line: u32,
+    },
+}
+
+impl Expr {
+    /// The expression's source line.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Path { line, .. }
+            | Expr::Lit { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::Method { line, .. }
+            | Expr::Field { line, .. }
+            | Expr::Struct { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::Assign { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Try { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Block { line, .. }
+            | Expr::Opaque { line, .. } => *line,
+        }
+    }
+}
+
+/// Parse a token stream (with its per-token test-region flags) into the
+/// flat function list the semantic rules walk. Never fails: malformed
+/// regions degrade to opaque nodes or are skipped.
+pub fn parse(tokens: &[Token], in_test: &[bool]) -> Ast {
+    let mut p = Parser {
+        toks: tokens,
+        in_test,
+        pos: 0,
+        fuel: tokens.len().saturating_mul(8) + 1024,
+        depth: 0,
+    };
+    let mut ast = Ast::default();
+    while p.pos < p.toks.len() && p.burn() {
+        if p.at_fn_item() {
+            if let Some(f) = p.parse_fn(&mut ast) {
+                ast.fns.push(f);
+            }
+        } else {
+            p.pos += 1;
+        }
+    }
+    ast
+}
+
+const TERMINATORS: [&str; 6] = [",", ";", ")", "}", "]", "=>"];
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    in_test: &'a [bool],
+    pos: usize,
+    /// Hard progress bound: every parser step burns one unit, so even a
+    /// pathological token stream terminates.
+    fuel: usize,
+    /// Current recursion depth; past [`MAX_DEPTH`], nested constructs
+    /// collapse to opaque nodes so deep nesting can't overflow the
+    /// stack.
+    depth: usize,
+}
+
+/// Recursion ceiling for the mutually recursive expression/block
+/// parsers. Real code nests a handful deep; this is pure overflow
+/// armor.
+const MAX_DEPTH: usize = 200;
+
+impl<'a> Parser<'a> {
+    fn burn(&mut self) -> bool {
+        if self.fuel == 0 {
+            self.pos = self.toks.len();
+            return false;
+        }
+        self.fuel -= 1;
+        true
+    }
+
+    fn tok(&self, at: usize) -> Option<&Token> {
+        self.toks.get(at)
+    }
+
+    fn text(&self, at: usize) -> &str {
+        self.tok(at).map_or("", |t| t.text.as_str())
+    }
+
+    fn line(&self, at: usize) -> u32 {
+        self.tok(at).map_or(0, |t| t.line)
+    }
+
+    fn is_ident(&self, at: usize) -> bool {
+        self.tok(at).is_some_and(|t| t.kind == TokKind::Ident)
+    }
+
+    /// Longest operator spelled by consecutive single-char punct tokens
+    /// starting at `at` (the lexer emits puncts one character at a
+    /// time). A lone punct returns itself; non-punct tokens return an
+    /// empty op. Returns `(op, token_count)`.
+    fn punct_run(&self, at: usize) -> (String, usize) {
+        let first = match self.tok(at) {
+            Some(t) if t.kind == TokKind::Punct => t.text.clone(),
+            _ => return (String::new(), 0),
+        };
+        let mut op = first;
+        let mut n = 1;
+        for k in 1..3 {
+            let next = match self.tok(at + k) {
+                Some(t) if t.kind == TokKind::Punct => t.text.as_str(),
+                _ => break,
+            };
+            let mut ext = op.clone();
+            ext.push_str(next);
+            // Only extend into real multi-char operators.
+            let keep = matches!(
+                ext.as_str(),
+                "==" | "!="
+                    | "<="
+                    | ">="
+                    | "&&"
+                    | "||"
+                    | "<<"
+                    | ">>"
+                    | "+="
+                    | "-="
+                    | "*="
+                    | "/="
+                    | "%="
+                    | "^="
+                    | ".."
+                    | "..="
+                    | "::"
+                    | "->"
+                    | "=>"
+                    | "<<="
+                    | ">>="
+                    | "&="
+                    | "|="
+            );
+            if !keep {
+                break;
+            }
+            op = ext;
+            n += 1;
+        }
+        (op, n)
+    }
+
+    /// Is `pos` at an item-style `fn` (keyword, name, then `(` or `<`)?
+    /// Excludes function-pointer types (`fn(u8)`) which lack the name.
+    fn at_fn_item(&self) -> bool {
+        self.text(self.pos) == "fn"
+            && self.is_ident(self.pos + 1)
+            && matches!(self.text(self.pos + 2), "(" | "<")
+    }
+
+    /// Parse `fn name ... { body }` (or a bodyless declaration).
+    fn parse_fn(&mut self, ast: &mut Ast) -> Option<FnItem> {
+        let line = self.line(self.pos);
+        let is_test = self.in_test.get(self.pos).copied().unwrap_or(false);
+        self.pos += 1; // `fn`
+        let name = self.text(self.pos).to_string();
+        self.pos += 1;
+        // Signature: skip to the body `{` (or `;` for declarations) at
+        // paren/bracket depth zero. Angle brackets are ignored — a `{`
+        // cannot appear in the signatures this workspace writes.
+        let mut depth = 0i32;
+        while self.pos < self.toks.len() && self.burn() {
+            match self.text(self.pos) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth <= 0 => break,
+                ";" if depth <= 0 => {
+                    self.pos += 1;
+                    return Some(FnItem {
+                        name,
+                        line,
+                        is_test,
+                        stmts: Vec::new(),
+                    });
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        // Nested `fn` items recurse through here without touching
+        // parse_expr, so the depth guard must count this hop too.
+        self.depth += 1;
+        let stmts = match self.parse_block(ast) {
+            Some(Expr::Block { stmts, .. }) => stmts,
+            _ => Vec::new(),
+        };
+        self.depth -= 1;
+        Some(FnItem {
+            name,
+            line,
+            is_test,
+            stmts,
+        })
+    }
+
+    /// Parse `{ stmt* }`; the cursor must sit on the `{`.
+    fn parse_block(&mut self, ast: &mut Ast) -> Option<Expr> {
+        if self.text(self.pos) != "{" {
+            return None;
+        }
+        let line = self.line(self.pos);
+        if self.depth >= MAX_DEPTH {
+            self.skip_balanced("{", "}");
+            return Some(Expr::Block {
+                stmts: Vec::new(),
+                line,
+            });
+        }
+        self.pos += 1;
+        let mut stmts = Vec::new();
+        while self.pos < self.toks.len() && self.burn() {
+            match self.text(self.pos) {
+                "}" => {
+                    self.pos += 1;
+                    return Some(Expr::Block { stmts, line });
+                }
+                ";" => {
+                    self.pos += 1;
+                    // A bare `;` also turns the previous tail expression
+                    // into a dropped-value statement.
+                    if let Some(Stmt::Expr { semi, .. }) = stmts.last_mut() {
+                        *semi = true;
+                    }
+                }
+                "let" => stmts.push(self.parse_let(ast)),
+                _ if self.at_fn_item() => {
+                    if let Some(f) = self.parse_fn(ast) {
+                        ast.fns.push(f);
+                    }
+                }
+                _ => {
+                    let before = self.pos;
+                    let expr = self.parse_expr(0, false, ast);
+                    let semi = if self.text(self.pos) == ";" {
+                        self.pos += 1;
+                        true
+                    } else {
+                        // Block-like statements (`if`, `match`, loops)
+                        // in statement position discard their value too;
+                        // the distinction only matters for the *last*
+                        // statement, where no `;` means a tail value.
+                        false
+                    };
+                    stmts.push(Stmt::Expr { expr, semi });
+                    if self.pos == before {
+                        self.pos += 1; // guarantee progress
+                    }
+                }
+            }
+        }
+        Some(Expr::Block { stmts, line })
+    }
+
+    /// Parse `let <pat>(: ty)? (= init)? (else block)? ;`.
+    fn parse_let(&mut self, ast: &mut Ast) -> Stmt {
+        let line = self.line(self.pos);
+        self.pos += 1; // `let`
+                       // Collect pattern (and optional type) tokens up to a top-level
+                       // `=` or `;`. Angle depth guards `Vec<T>` in annotations.
+        let pat_start = self.pos;
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        while self.pos < self.toks.len() && self.burn() {
+            let (op, n) = self.punct_run(self.pos);
+            match op.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break; // malformed; bail before eating the scope
+                    }
+                    depth -= 1;
+                }
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "->" | "==" | ">=" | "<=" | "=>" | ".." | "..=" | "::" | "<<" | ">>" => {}
+                "=" if depth == 0 && angle <= 0 => break,
+                ";" if depth == 0 => break,
+                _ => {}
+            }
+            self.pos += n.max(1);
+        }
+        let (name, discard) = self.pattern_binding(pat_start, self.pos);
+        let mut init = None;
+        if self.text(self.pos) == "=" {
+            self.pos += 1;
+            init = Some(self.parse_expr(0, false, ast));
+        }
+        // let-else: the diverging block is parsed for completeness but
+        // carries no binding information we track.
+        if self.text(self.pos) == "else" {
+            self.pos += 1;
+            let _ = self.parse_block(ast);
+        }
+        if self.text(self.pos) == ";" {
+            self.pos += 1;
+        }
+        Stmt::Let {
+            name,
+            discard,
+            init,
+            line,
+        }
+    }
+
+    /// Extract the single bound identifier of a pattern token range, if
+    /// the pattern is simple enough to tell: `x`, `mut x`, `Ok(x)`,
+    /// `Some(mut x)`. Returns `(name, is_discard)`.
+    fn pattern_binding(&self, start: usize, end: usize) -> (Option<String>, bool) {
+        let mut binds: Vec<String> = Vec::new();
+        let mut i = start;
+        let mut saw_wild = false;
+        while i < end {
+            let t = match self.tok(i) {
+                Some(t) => t,
+                None => break,
+            };
+            // Stop at the type annotation: bindings live left of `:`
+            // (but not `::` path separators).
+            if t.text == ":" && self.text(i + 1) != ":" && self.text(i.wrapping_sub(1)) != ":" {
+                break;
+            }
+            if t.kind == TokKind::Ident {
+                let starts_path = self.text(i + 1) == ":" && self.text(i + 2) == ":";
+                let is_path_seg =
+                    starts_path || (i >= 2 && self.text(i - 1) == ":" && self.text(i - 2) == ":");
+                let keyword = matches!(t.text.as_str(), "mut" | "ref" | "box");
+                let type_like = t
+                    .text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_uppercase());
+                if !is_path_seg && !keyword && !type_like {
+                    binds.push(t.text.clone());
+                }
+            }
+            if t.text == "_" {
+                saw_wild = true;
+            }
+            i += 1;
+        }
+        match binds.len() {
+            1 => (binds.pop(), false),
+            0 => (None, saw_wild),
+            _ => (None, false),
+        }
+    }
+
+    /// Pratt expression parser. `no_struct` suppresses struct-literal
+    /// parsing in scrutinee/condition position (matching Rust's own
+    /// restriction).
+    fn parse_expr(&mut self, min_bp: u8, no_struct: bool, ast: &mut Ast) -> Expr {
+        if self.depth >= MAX_DEPTH {
+            let line = self.line(self.pos);
+            if self.pos < self.toks.len() {
+                self.pos += 1; // keep making progress while degrading
+            }
+            return Expr::Opaque {
+                children: Vec::new(),
+                line,
+            };
+        }
+        self.depth += 1;
+        let out = self.parse_expr_at_depth(min_bp, no_struct, ast);
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_expr_at_depth(&mut self, min_bp: u8, no_struct: bool, ast: &mut Ast) -> Expr {
+        let mut lhs = self.parse_prefix(no_struct, ast);
+        loop {
+            if !self.burn() {
+                return lhs;
+            }
+            // Postfix: `.field`, `.method(...)`, `(...)`, `[...]`, `?`.
+            match self.text(self.pos) {
+                "." if self.punct_run(self.pos).0 == "." => {
+                    lhs = self.parse_postfix_dot(lhs, ast);
+                    continue;
+                }
+                "(" => {
+                    let line = self.line(self.pos);
+                    let args = self.parse_paren_list(ast);
+                    lhs = Expr::Call {
+                        callee: Box::new(lhs),
+                        args,
+                        line,
+                    };
+                    continue;
+                }
+                "[" => {
+                    let line = self.line(self.pos);
+                    self.pos += 1;
+                    let idx = self.parse_expr(0, false, ast);
+                    if self.text(self.pos) == "]" {
+                        self.pos += 1;
+                    }
+                    lhs = Expr::Opaque {
+                        children: vec![lhs, idx],
+                        line,
+                    };
+                    continue;
+                }
+                "?" => {
+                    let line = self.line(self.pos);
+                    self.pos += 1;
+                    lhs = Expr::Try {
+                        expr: Box::new(lhs),
+                        line,
+                    };
+                    continue;
+                }
+                _ => {}
+            }
+            // Binary / assignment operators.
+            let (op, ntoks) = self.punct_run(self.pos);
+            let is_as = self.text(self.pos) == "as";
+            let bp = if is_as { 26 } else { binary_bp(&op) };
+            if bp == 0 || bp < min_bp || TERMINATORS.contains(&op.as_str()) {
+                return lhs;
+            }
+            let line = self.line(self.pos);
+            if is_as {
+                self.pos += 1;
+                self.skip_type();
+                lhs = Expr::Opaque {
+                    children: vec![lhs],
+                    line,
+                };
+                continue;
+            }
+            self.pos += ntoks;
+            let assign = op == "=" || (op.len() >= 2 && op.ends_with('=') && is_compound(&op));
+            let rhs = self.parse_expr(if assign { bp } else { bp + 1 }, no_struct, ast);
+            lhs = if assign {
+                Expr::Assign {
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                }
+            } else {
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    line,
+                }
+            };
+        }
+    }
+
+    /// `.field` / `.0` / `.method(args)` (with optional turbofish).
+    fn parse_postfix_dot(&mut self, recv: Expr, ast: &mut Ast) -> Expr {
+        self.pos += 1; // `.`
+        let line = self.line(self.pos);
+        let name = self.text(self.pos).to_string();
+        let named = self
+            .tok(self.pos)
+            .is_some_and(|t| matches!(t.kind, TokKind::Ident | TokKind::Int));
+        if !named {
+            return Expr::Opaque {
+                children: vec![recv],
+                line,
+            };
+        }
+        self.pos += 1;
+        // Turbofish: `.collect::<Vec<_>>()`.
+        if self.punct_run(self.pos).0 == "::" && self.text(self.pos + 2) == "<" {
+            self.pos += 2;
+            self.skip_angles();
+        }
+        if self.text(self.pos) == "(" {
+            let args = self.parse_paren_list(ast);
+            Expr::Method {
+                recv: Box::new(recv),
+                name,
+                args,
+                line,
+            }
+        } else {
+            Expr::Field {
+                recv: Box::new(recv),
+                name,
+                line,
+            }
+        }
+    }
+
+    /// `( e, e, ... )` — the cursor must sit on the `(`.
+    fn parse_paren_list(&mut self, ast: &mut Ast) -> Vec<Expr> {
+        self.pos += 1; // `(`
+        let mut args = Vec::new();
+        while self.pos < self.toks.len() && self.burn() {
+            match self.text(self.pos) {
+                ")" => {
+                    self.pos += 1;
+                    return args;
+                }
+                "," => {
+                    self.pos += 1;
+                }
+                _ => {
+                    let before = self.pos;
+                    args.push(self.parse_expr(0, false, ast));
+                    if self.pos == before {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+        args
+    }
+
+    fn parse_prefix(&mut self, no_struct: bool, ast: &mut Ast) -> Expr {
+        let line = self.line(self.pos);
+        let t = match self.tok(self.pos) {
+            Some(t) => t,
+            None => {
+                return Expr::Opaque {
+                    children: Vec::new(),
+                    line,
+                }
+            }
+        };
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Int | TokKind::Float | TokKind::Str | TokKind::Char, _)
+            | (TokKind::Lifetime, _) => {
+                let e = Expr::Lit {
+                    kind: t.kind,
+                    text: t.text.clone(),
+                    line,
+                };
+                self.pos += 1;
+                e
+            }
+            (TokKind::Punct, "-" | "!" | "*") => {
+                self.pos += 1;
+                let inner = self.parse_expr(25, no_struct, ast);
+                Expr::Opaque {
+                    children: vec![inner],
+                    line,
+                }
+            }
+            (TokKind::Punct, "&") => {
+                self.pos += 1;
+                if self.text(self.pos) == "&" {
+                    self.pos += 1;
+                }
+                if self.text(self.pos) == "mut" {
+                    self.pos += 1;
+                }
+                let inner = self.parse_expr(25, no_struct, ast);
+                Expr::Opaque {
+                    children: vec![inner],
+                    line,
+                }
+            }
+            (TokKind::Punct, "|") => self.parse_closure(ast),
+            (TokKind::Punct, "{") => self.parse_block(ast).unwrap_or(Expr::Opaque {
+                children: Vec::new(),
+                line,
+            }),
+            (TokKind::Punct, "(") => {
+                let items = self.parse_paren_list(ast);
+                match items.len() {
+                    1 => items.into_iter().next().unwrap_or(Expr::Opaque {
+                        children: Vec::new(),
+                        line,
+                    }),
+                    _ => Expr::Opaque {
+                        children: items,
+                        line,
+                    },
+                }
+            }
+            (TokKind::Punct, "[") => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                while self.pos < self.toks.len() && self.burn() {
+                    match self.text(self.pos) {
+                        "]" => {
+                            self.pos += 1;
+                            break;
+                        }
+                        "," | ";" => self.pos += 1,
+                        _ => {
+                            let before = self.pos;
+                            items.push(self.parse_expr(0, false, ast));
+                            if self.pos == before {
+                                self.pos += 1;
+                            }
+                        }
+                    }
+                }
+                Expr::Opaque {
+                    children: items,
+                    line,
+                }
+            }
+            (TokKind::Punct, "." | "#") => {
+                // Leading range (`..x`) or an attribute on an expression
+                // (`#[allow] expr`): skip the introducer and keep going.
+                let (op, n) = self.punct_run(self.pos);
+                if op == ".." || op == "..=" {
+                    self.pos += n;
+                    let inner = if self.expr_starts_here() {
+                        vec![self.parse_expr(6, no_struct, ast)]
+                    } else {
+                        Vec::new()
+                    };
+                    return Expr::Opaque {
+                        children: inner,
+                        line,
+                    };
+                }
+                self.pos += 1;
+                if self.text(self.pos) == "[" {
+                    self.skip_balanced("[", "]");
+                    return self.parse_prefix(no_struct, ast);
+                }
+                Expr::Opaque {
+                    children: Vec::new(),
+                    line,
+                }
+            }
+            (TokKind::Ident, "return") => {
+                self.pos += 1;
+                let value = if self.expr_starts_here() {
+                    Some(Box::new(self.parse_expr(0, no_struct, ast)))
+                } else {
+                    None
+                };
+                Expr::Return { value, line }
+            }
+            (TokKind::Ident, "break") => {
+                self.pos += 1;
+                let children = if self.expr_starts_here() {
+                    vec![self.parse_expr(0, no_struct, ast)]
+                } else {
+                    Vec::new()
+                };
+                Expr::Opaque { children, line }
+            }
+            (TokKind::Ident, "continue") => {
+                self.pos += 1;
+                Expr::Opaque {
+                    children: Vec::new(),
+                    line,
+                }
+            }
+            (TokKind::Ident, "match") => self.parse_match(ast),
+            (TokKind::Ident, "if") => self.parse_if(ast),
+            (TokKind::Ident, "while") => {
+                self.pos += 1;
+                let cond = self.parse_expr(0, true, ast);
+                let body = self.parse_block(ast);
+                let mut children = vec![cond];
+                children.extend(body);
+                Expr::Opaque { children, line }
+            }
+            (TokKind::Ident, "loop") => {
+                self.pos += 1;
+                let body = self.parse_block(ast);
+                Expr::Opaque {
+                    children: body.into_iter().collect(),
+                    line,
+                }
+            }
+            (TokKind::Ident, "for") => {
+                self.pos += 1;
+                // Skip the loop pattern up to `in`.
+                let mut depth = 0i32;
+                while self.pos < self.toks.len() && self.burn() {
+                    match self.text(self.pos) {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "in" if depth <= 0 => break,
+                        "{" if depth <= 0 => break, // malformed
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                if self.text(self.pos) == "in" {
+                    self.pos += 1;
+                }
+                let iter = self.parse_expr(0, true, ast);
+                let body = self.parse_block(ast);
+                let mut children = vec![iter];
+                children.extend(body);
+                Expr::Opaque { children, line }
+            }
+            (TokKind::Ident, "let") => {
+                // `if let pat = expr` condition: skip the pattern, parse
+                // the scrutinee.
+                self.pos += 1;
+                let mut depth = 0i32;
+                while self.pos < self.toks.len() && self.burn() {
+                    match self.text(self.pos) {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "=" if depth <= 0 && self.punct_run(self.pos).0 == "=" => break,
+                        "{" if depth <= 0 => break,
+                        _ => {}
+                    }
+                    self.pos += 1;
+                }
+                if self.text(self.pos) == "=" {
+                    self.pos += 1;
+                }
+                let scrut = self.parse_expr(4, true, ast);
+                Expr::Opaque {
+                    children: vec![scrut],
+                    line,
+                }
+            }
+            (TokKind::Ident, "move") => {
+                self.pos += 1;
+                if self.text(self.pos) == "|" {
+                    self.parse_closure(ast)
+                } else {
+                    self.parse_prefix(no_struct, ast)
+                }
+            }
+            (TokKind::Ident, "unsafe" | "async") => {
+                self.pos += 1;
+                self.parse_prefix(no_struct, ast)
+            }
+            (TokKind::Ident, _) => self.parse_path_expr(no_struct, ast),
+            _ => {
+                self.pos += 1;
+                Expr::Opaque {
+                    children: Vec::new(),
+                    line,
+                }
+            }
+        }
+    }
+
+    /// Would the current token plausibly begin an expression? Used to
+    /// decide whether `return` / `break` / `..` carry a value.
+    fn expr_starts_here(&self) -> bool {
+        match self.tok(self.pos) {
+            None => false,
+            Some(t) => !matches!(
+                (t.kind, t.text.as_str()),
+                (TokKind::Punct, ";" | "," | ")" | "}" | "]") | (TokKind::Ident, "else" | "in")
+            ),
+        }
+    }
+
+    /// `|params| body` — the cursor sits on the first `|`.
+    fn parse_closure(&mut self, ast: &mut Ast) -> Expr {
+        let line = self.line(self.pos);
+        self.pos += 1; // first `|`
+                       // `||` lexes as two puncts: an immediately following `|` closes
+                       // an empty parameter list.
+        if self.text(self.pos) == "|" {
+            self.pos += 1;
+        } else {
+            let mut depth = 0i32;
+            while self.pos < self.toks.len() && self.burn() {
+                match self.text(self.pos) {
+                    "(" | "[" | "<" => depth += 1,
+                    ")" | "]" | ">" => depth -= 1,
+                    "|" if depth <= 0 => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                self.pos += 1;
+            }
+        }
+        // Optional return type.
+        if self.punct_run(self.pos).0 == "->" {
+            self.pos += 2;
+            self.skip_type();
+        }
+        let body = self.parse_expr(2, false, ast);
+        Expr::Opaque {
+            children: vec![body],
+            line,
+        }
+    }
+
+    fn parse_match(&mut self, ast: &mut Ast) -> Expr {
+        let line = self.line(self.pos);
+        self.pos += 1; // `match`
+        let scrutinee = self.parse_expr(0, true, ast);
+        if self.text(self.pos) != "{" {
+            return Expr::Opaque {
+                children: vec![scrutinee],
+                line,
+            };
+        }
+        self.pos += 1;
+        let mut arms = Vec::new();
+        while self.pos < self.toks.len() && self.burn() {
+            match self.text(self.pos) {
+                "}" => {
+                    self.pos += 1;
+                    break;
+                }
+                "," => {
+                    self.pos += 1;
+                }
+                _ => {
+                    let pat = self.parse_arm_pattern();
+                    if self.punct_run(self.pos).0 == "=>" {
+                        self.pos += 2;
+                    }
+                    let before = self.pos;
+                    let body = self.parse_expr(2, false, ast);
+                    if self.pos == before {
+                        self.pos += 1;
+                    }
+                    arms.push(Arm { pat, body });
+                }
+            }
+        }
+        Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            line,
+        }
+    }
+
+    /// Collect one arm's pattern tokens (up to the `=>` at depth zero)
+    /// into a structural [`Pattern`] summary.
+    fn parse_arm_pattern(&mut self) -> Pattern {
+        let line = self.line(self.pos);
+        let start = self.pos;
+        let mut depth = 0i32;
+        let mut guard_at: Option<usize> = None;
+        while self.pos < self.toks.len() && self.burn() {
+            let (op, n) = self.punct_run(self.pos);
+            match op.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break; // malformed arm; stop before the match's `}`
+                    }
+                    depth -= 1;
+                }
+                "=>" if depth == 0 => break,
+                _ => {}
+            }
+            if depth == 0 && self.text(self.pos) == "if" && guard_at.is_none() {
+                guard_at = Some(self.pos);
+            }
+            self.pos += if op.len() > 1 { n } else { 1 };
+        }
+        let pat_end = guard_at.unwrap_or(self.pos);
+        let mut path_roots = Vec::new();
+        let mut i = start;
+        while i < pat_end {
+            if self.is_ident(i)
+                && self.text(i + 1) == ":"
+                && self.text(i + 2) == ":"
+                && self.is_ident(i + 3)
+            {
+                let root = self.text(i).to_string();
+                if !path_roots.contains(&root) {
+                    path_roots.push(root);
+                }
+                i += 3;
+                continue;
+            }
+            i += 1;
+        }
+        let is_wildcard = pat_end == start + 1 && self.text(start) == "_";
+        Pattern {
+            is_wildcard,
+            path_roots,
+            has_guard: guard_at.is_some(),
+            line,
+        }
+    }
+
+    fn parse_if(&mut self, ast: &mut Ast) -> Expr {
+        let line = self.line(self.pos);
+        self.pos += 1; // `if`
+        let cond = self.parse_expr(0, true, ast);
+        let then = self.parse_block(ast);
+        let mut children = vec![cond];
+        children.extend(then);
+        if self.text(self.pos) == "else" {
+            self.pos += 1;
+            if self.text(self.pos) == "if" {
+                children.push(self.parse_if(ast));
+            } else if let Some(b) = self.parse_block(ast) {
+                children.push(b);
+            }
+        }
+        Expr::Opaque { children, line }
+    }
+
+    /// Path expression: `a::b::C`, possibly a call, struct literal, or
+    /// macro invocation.
+    fn parse_path_expr(&mut self, no_struct: bool, ast: &mut Ast) -> Expr {
+        let line = self.line(self.pos);
+        let mut segs = vec![self.text(self.pos).to_string()];
+        self.pos += 1;
+        while self.punct_run(self.pos).0 == "::" && self.burn() {
+            if self.text(self.pos + 2) == "<" {
+                // Turbofish: skip the generic arguments.
+                self.pos += 2;
+                self.skip_angles();
+            } else if self.is_ident(self.pos + 2) {
+                segs.push(self.text(self.pos + 2).to_string());
+                self.pos += 3;
+            } else {
+                self.pos += 2;
+                break;
+            }
+        }
+        // Macro invocation: `name!(...)` / `name![...]` / `name!{...}` —
+        // parse the delimited body as a best-effort expression list so
+        // identifier uses inside `vec![...]`/`format!(...)` stay visible.
+        if self.text(self.pos) == "!"
+            && matches!(self.text(self.pos + 1), "(" | "[" | "{")
+            && self.punct_run(self.pos).0 != "!="
+        {
+            self.pos += 1;
+            let children = match self.text(self.pos) {
+                "(" => self.parse_paren_list(ast),
+                _ => {
+                    let (open, close) = if self.text(self.pos) == "[" {
+                        ("[", "]")
+                    } else {
+                        ("{", "}")
+                    };
+                    self.skip_balanced(open, close);
+                    Vec::new()
+                }
+            };
+            return Expr::Opaque { children, line };
+        }
+        // Struct literal: `Path { field: ..., }` — only when the brace
+        // contents look like fields, and never in scrutinee position.
+        if self.text(self.pos) == "{" && !no_struct && self.looks_like_struct_body() {
+            return self.parse_struct_body(segs, line, ast);
+        }
+        Expr::Path { segs, line }
+    }
+
+    fn looks_like_struct_body(&self) -> bool {
+        // After `{`: `}` (empty), `ident:`/`ident,`/`ident}` (fields),
+        // or `..` (functional update).
+        if self.text(self.pos) != "{" {
+            return false;
+        }
+        if self.text(self.pos + 1) == "}" {
+            return true;
+        }
+        let (op, _) = self.punct_run(self.pos + 1);
+        if op == ".." {
+            return true;
+        }
+        self.is_ident(self.pos + 1)
+            && (matches!(self.text(self.pos + 2), "," | "}")
+                || (self.text(self.pos + 2) == ":" && self.text(self.pos + 3) != ":"))
+    }
+
+    fn parse_struct_body(&mut self, segs: Vec<String>, line: u32, ast: &mut Ast) -> Expr {
+        self.pos += 1; // `{`
+        let mut fields = Vec::new();
+        let mut rest = None;
+        while self.pos < self.toks.len() && self.burn() {
+            let (op, n) = self.punct_run(self.pos);
+            match op.as_str() {
+                "}" => {
+                    self.pos += 1;
+                    break;
+                }
+                "," => self.pos += 1,
+                ".." => {
+                    self.pos += n;
+                    rest = Some(Box::new(self.parse_expr(2, false, ast)));
+                }
+                _ if self.is_ident(self.pos) => {
+                    let fline = self.line(self.pos);
+                    let fname = self.text(self.pos).to_string();
+                    self.pos += 1;
+                    if self.text(self.pos) == ":" && self.text(self.pos + 1) != ":" {
+                        self.pos += 1;
+                        let value = self.parse_expr(2, false, ast);
+                        fields.push((fname, value));
+                    } else {
+                        // Shorthand `Struct { field }` — the field is a
+                        // use of the local with the same name.
+                        let value = Expr::Path {
+                            segs: vec![fname.clone()],
+                            line: fline,
+                        };
+                        fields.push((fname, value));
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Expr::Struct {
+            segs,
+            fields,
+            rest,
+            line,
+        }
+    }
+
+    /// Skip a balanced `<...>` group, starting on the `<`.
+    fn skip_angles(&mut self) {
+        let mut depth = 0i32;
+        while self.pos < self.toks.len() && self.burn() {
+            match self.text(self.pos) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        self.pos += 1;
+                        return;
+                    }
+                }
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                ";" | "{" => return, // malformed; bail
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Skip a balanced delimiter group, starting on `open`.
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0i32;
+        while self.pos < self.toks.len() && self.burn() {
+            let t = self.text(self.pos);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth <= 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consume the type tokens after `as` (idents, paths, references,
+    /// balanced groups), stopping at anything that cannot be a type.
+    fn skip_type(&mut self) {
+        while self.pos < self.toks.len() && self.burn() {
+            let t = match self.tok(self.pos) {
+                Some(t) => t,
+                None => return,
+            };
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Ident, "dyn" | "mut" | "const") => self.pos += 1,
+                (TokKind::Ident, _) => {
+                    self.pos += 1;
+                    if self.punct_run(self.pos).0 == "::" {
+                        self.pos += 2;
+                        continue;
+                    }
+                    if self.text(self.pos) == "<" {
+                        self.skip_angles();
+                    }
+                    // A single type name (with optional path tail) is the
+                    // common case; stop unless a path continues.
+                    if self.punct_run(self.pos).0 != "::" {
+                        return;
+                    }
+                }
+                (TokKind::Punct, "&" | "*") => self.pos += 1,
+                (TokKind::Punct, "(") => {
+                    self.skip_balanced("(", ")");
+                    return;
+                }
+                (TokKind::Punct, "[") => {
+                    self.skip_balanced("[", "]");
+                    return;
+                }
+                _ => return,
+            }
+        }
+    }
+}
+
+fn is_compound(op: &str) -> bool {
+    matches!(
+        op,
+        "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>="
+    )
+}
+
+/// Binding power of a binary operator; 0 means "not a binary operator".
+fn binary_bp(op: &str) -> u8 {
+    match op {
+        "=" | "+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=" => 3,
+        ".." | "..=" => 5,
+        "||" => 7,
+        "&&" => 9,
+        "==" | "!=" | "<" | ">" | "<=" | ">=" => 11,
+        "|" => 13,
+        "^" => 15,
+        "&" => 17,
+        "<<" | ">>" => 19,
+        "+" | "-" => 21,
+        "*" | "/" | "%" => 23,
+        _ => 0,
+    }
+}

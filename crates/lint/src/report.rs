@@ -5,7 +5,7 @@
 
 use triton_bench::json::JsonObject;
 
-use crate::rules::{FileAnalysis, Finding, Rule, ALL_RULES};
+use crate::rules::{FileAnalysis, Finding, Rule, Waiver, ALL_RULES};
 
 /// One file's findings, tagged with its workspace-relative path.
 #[derive(Debug)]
@@ -58,10 +58,22 @@ impl WorkspaceReport {
         })
     }
 
-    /// Does the run fail (any unwaived finding, or any reasonless
-    /// pragma)?
+    /// Pragmas that matched no finding, as `(path, waiver)` pairs.
+    pub fn unused_waivers(&self) -> impl Iterator<Item = (&str, &Waiver)> {
+        self.files.iter().flat_map(|f| {
+            f.analysis
+                .unused_waivers
+                .iter()
+                .map(move |w| (f.path.as_str(), w))
+        })
+    }
+
+    /// Does the run fail (any unwaived finding, reasonless pragma, or
+    /// stale waiver)?
     pub fn failed(&self) -> bool {
-        self.unwaived().next().is_some() || self.malformed_waivers().next().is_some()
+        self.unwaived().next().is_some()
+            || self.malformed_waivers().next().is_some()
+            || self.unused_waivers().next().is_some()
     }
 
     /// Count of findings for `rule`, waived or not.
@@ -91,6 +103,14 @@ impl WorkspaceReport {
                  every waiver must say why\n"
             ));
         }
+        for (path, w) in self.unused_waivers() {
+            out.push_str(&format!(
+                "{path}:{line}: WAIVER — allow({rules}) matches no finding; \
+                 stale waivers hide future violations, remove it\n",
+                line = w.line,
+                rules = w.rules.join(","),
+            ));
+        }
         let waived: Vec<(&str, &Finding)> = self.waived().collect();
         if !waived.is_empty() {
             out.push_str(&format!("\nwaivers in effect ({}):\n", waived.len()));
@@ -112,6 +132,10 @@ impl WorkspaceReport {
         ));
         if malformed > 0 {
             out.push_str(&format!(", {malformed} reasonless waivers"));
+        }
+        let unused = self.unused_waivers().count();
+        if unused > 0 {
+            out.push_str(&format!(", {unused} stale waivers"));
         }
         out.push('\n');
         for rule in ALL_RULES {
@@ -169,6 +193,17 @@ impl WorkspaceReport {
                 );
                 out.push('\n');
             }
+            for w in &f.analysis.unused_waivers {
+                out.push_str(
+                    &JsonObject::new()
+                        .str("kind", "unused_waiver")
+                        .str("file", &f.path)
+                        .int("line", u64::from(w.line))
+                        .str("rules", &w.rules.join(","))
+                        .render(),
+                );
+                out.push('\n');
+            }
         }
         let mut summary = JsonObject::new()
             .str("kind", "summary")
@@ -176,6 +211,7 @@ impl WorkspaceReport {
             .int("violations", self.unwaived().count() as u64)
             .int("waived", self.waived().count() as u64)
             .int("malformed_waivers", self.malformed_waivers().count() as u64)
+            .int("unused_waivers", self.unused_waivers().count() as u64)
             .bool("failed", self.failed());
         for rule in ALL_RULES {
             summary = summary.int(rule.code(), self.count_for(rule) as u64);
@@ -183,5 +219,88 @@ impl WorkspaceReport {
         out.push_str(&summary.render());
         out.push('\n');
         out
+    }
+
+    /// Per-rule total finding counts (waived included) — the quantity
+    /// the ratchet tracks: waived findings still represent debt, so the
+    /// baseline keeps waiver creep from hiding growth.
+    pub fn rule_totals(&self) -> Vec<(&'static str, usize)> {
+        ALL_RULES
+            .iter()
+            .map(|&r| (r.code(), self.count_for(r)))
+            .collect()
+    }
+
+    /// Render the ratchet baseline for this run (single JSON object,
+    /// stable key order — suitable for committing).
+    pub fn render_ratchet(&self) -> String {
+        let mut obj = JsonObject::new();
+        for (code, n) in self.rule_totals() {
+            obj = obj.int(code, n as u64);
+        }
+        let mut out = obj.render();
+        out.push('\n');
+        out
+    }
+
+    /// Compare this run against a committed baseline. Returns the rules
+    /// whose finding count grew, as `(rule, baseline, now)` — any entry
+    /// is a ratchet regression and fails the run. Rules absent from the
+    /// baseline (newly added) default to 0.
+    pub fn ratchet_regressions(&self, baseline: &Ratchet) -> Vec<(&'static str, u64, u64)> {
+        self.rule_totals()
+            .into_iter()
+            .filter_map(|(code, n)| {
+                let base = baseline.count(code);
+                (n as u64 > base).then_some((code, base, n as u64))
+            })
+            .collect()
+    }
+}
+
+/// A committed ratchet baseline: per-rule finding counts that may only
+/// go down. Parsed from the flat one-object JSON `render_ratchet`
+/// writes.
+#[derive(Debug, Default)]
+pub struct Ratchet {
+    counts: Vec<(String, u64)>,
+}
+
+impl Ratchet {
+    /// Baseline count for a rule code (0 if the rule is not listed —
+    /// new rules start with an implicit zero-debt baseline).
+    pub fn count(&self, code: &str) -> u64 {
+        self.counts
+            .iter()
+            .find(|(k, _)| k == code)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Parse the baseline file. The format is a single flat JSON object
+    /// of `"rule": count` pairs; anything else is an error (a corrupt
+    /// baseline must fail loudly, not silently reset the ratchet).
+    pub fn parse(src: &str) -> Result<Ratchet, String> {
+        let body = src.trim();
+        let body = body
+            .strip_prefix('{')
+            .and_then(|b| b.strip_suffix('}'))
+            .ok_or_else(|| "ratchet baseline is not a JSON object".to_string())?;
+        let mut counts = Vec::new();
+        for part in body.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (k, v) = part
+                .split_once(':')
+                .ok_or_else(|| format!("bad ratchet entry: {part}"))?;
+            let key = k.trim().trim_matches('"').to_string();
+            let val: u64 = v
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad ratchet count: {part}"))?;
+            counts.push((key, val));
+        }
+        Ok(Ratchet { counts })
     }
 }

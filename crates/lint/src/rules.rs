@@ -1,14 +1,17 @@
-//! The project rules: determinism (D1–D3), unit safety (U1–U2), and
-//! panic hygiene (P1), plus the waiver pragma that makes exceptions
-//! explicit and countable.
+//! The project rules: determinism (D1–D3), unit safety (U1–U2), panic
+//! hygiene (P1), cost fidelity (F1–F2), grant lifecycle (L1–L2), and
+//! match exhaustiveness (E1), plus the waiver pragma that makes
+//! exceptions explicit and countable.
 //!
 //! Every rule works on the lexed token stream of one file — never on raw
 //! text — so occurrences inside strings, comments, and `#[cfg(test)]`
-//! regions are structurally invisible to it. See `DESIGN.md`
-//! ("Determinism & unit-safety invariants") for the rationale behind
-//! each rule.
+//! regions are structurally invisible to it. The F/L/E families
+//! additionally parse the stream into a small AST (see [`crate::parser`]
+//! and [`crate::semantic`]). See `DESIGN.md` §8 and §13 for the
+//! rationale behind each rule.
 
 use crate::lexer::{lex, test_regions, TokKind, Token};
+use crate::{parser, semantic};
 
 /// The rules `triton-lint` enforces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -29,10 +32,38 @@ pub enum Rule {
     U2,
     /// No `unwrap`/`expect`/`panic!` in library crates' non-test code.
     P1,
+    /// `PhaseReport`/`JoinReport` time fields must not be fed literals;
+    /// report times come from costs priced through `crates/hw`.
+    F1,
+    /// A `KernelCost` that accrues `.link` traffic must be priced
+    /// (`.timing(hw)`) or escape the function — no silent drops.
+    F2,
+    /// Admission-grant results (`try_admit`/`try_admit_shrunk`) must not
+    /// be discarded or bound to a dead name.
+    L1,
+    /// Allocator handles (`SimAllocator::{alloc*,resize}`) must not be
+    /// discarded or bound to a dead name.
+    L2,
+    /// No `_` wildcard arms in matches over invariant-bearing enums
+    /// (`FaultKind`, `RejectReason`, `GrantRevision`, `PlanNode`,
+    /// `EventKind`) in library crates.
+    E1,
 }
 
 /// All rules, in report order.
-pub const ALL_RULES: [Rule; 6] = [Rule::D1, Rule::D2, Rule::D3, Rule::U1, Rule::U2, Rule::P1];
+pub const ALL_RULES: [Rule; 11] = [
+    Rule::D1,
+    Rule::D2,
+    Rule::D3,
+    Rule::U1,
+    Rule::U2,
+    Rule::P1,
+    Rule::F1,
+    Rule::F2,
+    Rule::L1,
+    Rule::L2,
+    Rule::E1,
+];
 
 impl Rule {
     /// Lower-case code used in reports and waiver pragmas.
@@ -44,6 +75,11 @@ impl Rule {
             Rule::U1 => "u1",
             Rule::U2 => "u2",
             Rule::P1 => "p1",
+            Rule::F1 => "f1",
+            Rule::F2 => "f2",
+            Rule::L1 => "l1",
+            Rule::L2 => "l2",
+            Rule::E1 => "e1",
         }
     }
 
@@ -56,6 +92,11 @@ impl Rule {
             Rule::U1 => "unit-newtype bypass",
             Rule::U2 => "float equality",
             Rule::P1 => "panic in library code",
+            Rule::F1 => "literal-fed report field",
+            Rule::F2 => "unpriced link traffic",
+            Rule::L1 => "dropped admission grant",
+            Rule::L2 => "dropped allocation handle",
+            Rule::E1 => "wildcard over invariant enum",
         }
     }
 }
@@ -112,7 +153,10 @@ impl FileClass {
             Rule::D2 | Rule::D3 => !self.crate_is("bench"),
             Rule::U1 => !self.is_units_rs,
             Rule::U2 => true,
-            Rule::P1 => {
+            // The flow-aware families hold library code to the cost and
+            // lifecycle contracts; examples and the bench harness narrate
+            // rather than serve.
+            Rule::P1 | Rule::F1 | Rule::F2 | Rule::L1 | Rule::L2 | Rule::E1 => {
                 !self.is_example
                     && self
                         .crate_name
@@ -158,6 +202,9 @@ pub struct FileAnalysis {
     pub waivers: Vec<Waiver>,
     /// Pragmas missing the mandatory `-- reason` clause.
     pub malformed_waivers: Vec<u32>,
+    /// Well-formed pragmas that matched no finding: stale waivers hide
+    /// future violations, so they fail the run like violations do.
+    pub unused_waivers: Vec<Waiver>,
 }
 
 /// Parse `triton-lint: allow(d1, u2) -- reason` out of a comment.
@@ -206,11 +253,17 @@ pub fn analyze_source(class: &FileClass, src: &str) -> FileAnalysis {
     let in_test = test_regions(&tokens);
     let mut findings = Vec::new();
 
-    for rule in ALL_RULES {
+    for rule in [Rule::D1, Rule::D2, Rule::D3, Rule::U1, Rule::U2, Rule::P1] {
         if class.applies(rule) {
             run_rule(rule, &tokens, &in_test, &mut findings);
         }
     }
+
+    // The flow-aware families parse once and share the AST. A malformed
+    // file degrades to a partial AST (the parser never fails), so the
+    // token rules above always run at full strength.
+    let ast = parser::parse(&tokens, &in_test);
+    semantic::run(&ast, |rule| class.applies(rule), &mut findings);
 
     let mut waivers = Vec::new();
     let mut malformed = Vec::new();
@@ -224,21 +277,42 @@ pub fn analyze_source(class: &FileClass, src: &str) -> FileAnalysis {
         }
     }
 
-    // A pragma on line L covers findings on L (trailing comment) and
-    // L + 1 (pragma on its own line above the flagged code).
+    // A pragma on line L covers findings on L (trailing comment) and on
+    // the next line that holds any code — so a pragma above a doc
+    // comment or a stacked pragma still reaches the flagged line.
+    let covered_lines = |w: &Waiver| -> (u32, u32) {
+        let next_code = tokens
+            .iter()
+            .map(|t| t.line)
+            .filter(|&l| l > w.line)
+            .min()
+            .unwrap_or(w.line);
+        (w.line, next_code)
+    };
+    let mut used = vec![false; waivers.len()];
     for f in &mut findings {
-        if let Some(w) = waivers.iter().find(|w| {
-            (w.line == f.line || w.line + 1 == f.line) && w.rules.iter().any(|r| r == f.rule.code())
-        }) {
+        let hit = waivers.iter().enumerate().find(|(_, w)| {
+            let (own, next) = covered_lines(w);
+            (f.line == own || f.line == next) && w.rules.iter().any(|r| r == f.rule.code())
+        });
+        if let Some((i, w)) = hit {
             f.waived = Some(w.reason.clone());
+            used[i] = true;
         }
     }
+    let unused_waivers = waivers
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(w, _)| w.clone())
+        .collect();
 
     findings.sort_by_key(|f| (f.line, f.rule));
     FileAnalysis {
         findings,
         waivers,
         malformed_waivers: malformed,
+        unused_waivers,
     }
 }
 
@@ -286,6 +360,8 @@ fn run_rule(rule: Rule, tokens: &[Token], in_test: &[bool], findings: &mut Vec<F
         Rule::U1 => rule_u1(tokens, in_test, findings),
         Rule::U2 => rule_u2(tokens, in_test, findings),
         Rule::P1 => rule_p1(tokens, in_test, findings),
+        // The flow-aware families run through `semantic::run`, not here.
+        Rule::F1 | Rule::F2 | Rule::L1 | Rule::L2 | Rule::E1 => {}
     }
 }
 

@@ -1,0 +1,679 @@
+//! The flow-aware rule families that run over the parsed AST: cost
+//! fidelity (F1/F2), grant lifecycle (L1/L2), and match exhaustiveness
+//! over invariant-bearing enums (E1).
+//!
+//! All three families use the same deliberately simple machinery: a
+//! linear, per-function event stream of let-bindings and identifier
+//! uses (no control-flow graph, no type inference). That approximation
+//! is documented in DESIGN.md §13; the short version is that a binding
+//! counts as *consumed* by any later occurrence, so the rules flag only
+//! the unambiguous failure shapes — a resource result discarded in
+//! statement position, bound to `_`, or bound to a name that is never
+//! mentioned again.
+
+use crate::parser::{Ast, Expr, FnItem, Stmt};
+use crate::rules::{Finding, Rule};
+
+/// Enums whose variants encode cross-crate invariants: adding a variant
+/// must force every `match` site to be reviewed, so `_` wildcard arms
+/// over them are banned in library crates (rule E1).
+pub const INVARIANT_ENUMS: [&str; 5] = [
+    "FaultKind",
+    "RejectReason",
+    "GrantRevision",
+    "PlanNode",
+    "EventKind",
+];
+
+/// Methods whose results carry an admission grant that must reach
+/// `release`/`retire` (or be handed off) on every path.
+const GRANT_OPENERS: [&str; 2] = ["try_admit", "try_admit_shrunk"];
+
+/// `SimAllocator` methods whose results carry a live allocation. The
+/// receiver chain must mention `alloc` (`self.alloc.…`, `allocator.…`)
+/// so `Vec::resize` and friends stay invisible.
+const ALLOC_OPENERS: [&str; 5] = [
+    "alloc",
+    "alloc_hybrid",
+    "alloc_hybrid_with",
+    "alloc_hybrid_planned",
+    "resize",
+];
+
+/// Methods that price a `KernelCost` through the roofline model; a cost
+/// that accrues link traffic must reach one of these or escape the
+/// function.
+const PRICING_METHODS: [&str; 1] = ["timing"];
+
+/// Run every semantic rule that `enabled` admits over the parsed file.
+/// `enabled` receives each rule exactly once; findings append to `out`.
+pub fn run(ast: &Ast, enabled: impl Fn(Rule) -> bool, out: &mut Vec<Finding>) {
+    let f1 = enabled(Rule::F1);
+    let f2 = enabled(Rule::F2);
+    let l1 = enabled(Rule::L1);
+    let l2 = enabled(Rule::L2);
+    let e1 = enabled(Rule::E1);
+    if !(f1 || f2 || l1 || l2 || e1) {
+        return;
+    }
+    for func in &ast.fns {
+        if func.is_test {
+            continue;
+        }
+        if f1 || e1 {
+            walk_fn_exprs(func, &mut |e| {
+                if f1 {
+                    rule_f1(e, out);
+                }
+                if e1 {
+                    rule_e1(e, out);
+                }
+            });
+        }
+        if f2 || l1 || l2 {
+            let events = collect_events(func);
+            if f2 {
+                rule_f2(&events, out);
+            }
+            if l1 {
+                rule_l(&events, Family::Grant, out);
+            }
+            if l2 {
+                rule_l(&events, Family::Alloc, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression walking
+// ---------------------------------------------------------------------
+
+fn walk_fn_exprs(func: &FnItem, visit: &mut impl FnMut(&Expr)) {
+    for s in &func.stmts {
+        walk_stmt(s, visit);
+    }
+}
+
+fn walk_stmt(stmt: &Stmt, visit: &mut impl FnMut(&Expr)) {
+    match stmt {
+        Stmt::Let { init, .. } => {
+            if let Some(e) = init {
+                walk_expr(e, visit);
+            }
+        }
+        Stmt::Expr { expr, .. } => walk_expr(expr, visit),
+    }
+}
+
+fn walk_expr(e: &Expr, visit: &mut impl FnMut(&Expr)) {
+    visit(e);
+    match e {
+        Expr::Path { .. } | Expr::Lit { .. } => {}
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, visit);
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        Expr::Method { recv, args, .. } => {
+            walk_expr(recv, visit);
+            for a in args {
+                walk_expr(a, visit);
+            }
+        }
+        Expr::Field { recv, .. } => walk_expr(recv, visit),
+        Expr::Struct { fields, rest, .. } => {
+            for (_, v) in fields {
+                walk_expr(v, visit);
+            }
+            if let Some(r) = rest {
+                walk_expr(r, visit);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            walk_expr(scrutinee, visit);
+            for arm in arms {
+                walk_expr(&arm.body, visit);
+            }
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            walk_expr(lhs, visit);
+            walk_expr(rhs, visit);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, visit);
+            walk_expr(rhs, visit);
+        }
+        Expr::Try { expr, .. } => walk_expr(expr, visit),
+        Expr::Return { value, .. } => {
+            if let Some(v) = value {
+                walk_expr(v, visit);
+            }
+        }
+        Expr::Block { stmts, .. } => {
+            for s in stmts {
+                walk_stmt(s, visit);
+            }
+        }
+        Expr::Opaque { children, .. } => {
+            for c in children {
+                walk_expr(c, visit);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// F1 — literal-fed report fields
+// ---------------------------------------------------------------------
+
+/// Does the expression tree contain a non-zero numeric literal? Zero
+/// (`Ns(0.0)`, `Bytes(0)`) is a legitimate "nothing happened" value;
+/// anything else in a report's time/total field is an unpriced number.
+fn has_nonzero_literal(e: &Expr) -> bool {
+    let mut found = false;
+    walk_expr(e, &mut |x| {
+        if let Expr::Lit { kind, text, .. } = x {
+            if matches!(
+                kind,
+                crate::lexer::TokKind::Int | crate::lexer::TokKind::Float
+            ) && text.chars().any(|c| c.is_ascii_digit() && c != '0')
+            {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+fn rule_f1(e: &Expr, out: &mut Vec<Finding>) {
+    match e {
+        // `PhaseReport::cpu(name, <literal time>)`
+        Expr::Call { callee, args, line } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                let is_cpu_ctor = segs.len() >= 2
+                    && segs[segs.len() - 2] == "PhaseReport"
+                    && segs[segs.len() - 1] == "cpu";
+                if is_cpu_ctor && args.get(1).is_some_and(has_nonzero_literal) {
+                    push(
+                        out,
+                        Rule::F1,
+                        *line,
+                        "PhaseReport::cpu(..) fed a literal time; derive the Ns from a \
+                         KernelCost/LinkTraffic priced through crates/hw so the phase \
+                         stays on the cost model"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        // `PhaseReport { time: <literal>, .. }` / `JoinReport { total: <literal>, .. }`
+        Expr::Struct { segs, fields, .. } => {
+            let last = segs.last().map(String::as_str).unwrap_or("");
+            let checked_field = match last {
+                "PhaseReport" => "time",
+                "JoinReport" => "total",
+                _ => return,
+            };
+            for (name, value) in fields {
+                if name == checked_field && has_nonzero_literal(value) {
+                    push(
+                        out,
+                        Rule::F1,
+                        value.line(),
+                        format!(
+                            "{last} {{ {checked_field}: .. }} fed a literal; report times \
+                             must come from priced KernelCost/LinkTraffic values"
+                        ),
+                    );
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// E1 — wildcard arms over invariant enums
+// ---------------------------------------------------------------------
+
+fn rule_e1(e: &Expr, out: &mut Vec<Finding>) {
+    let Expr::Match { arms, .. } = e else {
+        return;
+    };
+    let named_enum = arms.iter().find_map(|a| {
+        a.pat
+            .path_roots
+            .iter()
+            .find(|r| INVARIANT_ENUMS.contains(&r.as_str()))
+    });
+    let Some(enum_name) = named_enum else {
+        return;
+    };
+    for arm in arms {
+        if arm.pat.is_wildcard {
+            push(
+                out,
+                Rule::E1,
+                arm.pat.line,
+                format!(
+                    "`_` arm in a match over {enum_name}; list the remaining variants \
+                     explicitly so adding a variant forces this site to be reviewed"
+                ),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-function event stream (shared by F2/L1/L2)
+// ---------------------------------------------------------------------
+
+/// Which resource family a binding carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    /// Admission grant (`try_admit`/`try_admit_shrunk` result).
+    Grant,
+    /// Allocator handle (`SimAllocator::{alloc*,resize}` result).
+    Alloc,
+    /// `KernelCost` under construction.
+    Cost,
+}
+
+impl Family {
+    fn rule(self) -> Rule {
+        match self {
+            Family::Grant => Rule::L1,
+            Family::Alloc => Rule::L2,
+            Family::Cost => Rule::F2,
+        }
+    }
+
+    fn noun(self) -> &'static str {
+        match self {
+            Family::Grant => "admission grant",
+            Family::Alloc => "allocation handle",
+            Family::Cost => "KernelCost",
+        }
+    }
+}
+
+/// How an identifier occurrence relates to the binding it names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum UseKind {
+    /// Written through (`x.f = …`, `x.f.g += …`); carries the field path.
+    Mutated(Vec<String>),
+    /// Read through a field chain with no call (`x.f.g`).
+    FieldRead,
+    /// Direct receiver of a method call; carries the method name.
+    MethodRecv(String),
+    /// Any other occurrence: argument, return value, struct field,
+    /// match scrutinee — the value escapes this function's bookkeeping.
+    Consumed,
+}
+
+#[derive(Debug)]
+enum Event {
+    Bind {
+        name: Option<String>,
+        family: Family,
+        line: u32,
+        /// `let _ = …` — deliberate discard.
+        discard: bool,
+    },
+    Use {
+        name: String,
+        kind: UseKind,
+    },
+    /// A resource-producing call whose value is dropped in statement
+    /// position (`ac.try_admit(..);`, `ac.try_admit(..)?;`).
+    DroppedResult {
+        family: Family,
+        line: u32,
+    },
+    /// A `return`/`?` boundary: bindings created before it may release
+    /// on a path this linear scan cannot see, so they are exempt only
+    /// when used later — this event exists to keep ordering honest but
+    /// carries no extra logic today.
+    Boundary,
+}
+
+fn collect_events(func: &FnItem) -> Vec<Event> {
+    let mut ev = Vec::new();
+    let n = func.stmts.len();
+    for (i, s) in func.stmts.iter().enumerate() {
+        event_stmt(s, i + 1 == n, &mut ev);
+    }
+    ev
+}
+
+fn event_stmt(stmt: &Stmt, is_tail: bool, ev: &mut Vec<Event>) {
+    match stmt {
+        Stmt::Let {
+            name,
+            discard,
+            init,
+            line,
+        } => {
+            if let Some(init) = init {
+                event_expr(init, ev);
+                if let Some(family) = spine_resource(init) {
+                    ev.push(Event::Bind {
+                        name: name.clone(),
+                        family,
+                        line: *line,
+                        discard: *discard,
+                    });
+                }
+            }
+        }
+        Stmt::Expr { expr, semi } => {
+            event_expr(expr, ev);
+            let dropped = *semi || !is_tail;
+            if dropped {
+                if let Some(family) = spine_resource(expr) {
+                    ev.push(Event::DroppedResult {
+                        family,
+                        line: expr.line(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Emit `Use` events for every identifier occurrence in `e`, classified
+/// by how the occurrence treats the named binding.
+fn event_expr(e: &Expr, ev: &mut Vec<Event>) {
+    emit_uses(e, Ctx::Value, ev);
+}
+
+#[derive(Clone)]
+enum Ctx {
+    Value,
+    FieldRead,
+    MethodRecv(String),
+    AssignTarget(Vec<String>),
+}
+
+fn emit_uses(e: &Expr, ctx: Ctx, ev: &mut Vec<Event>) {
+    match e {
+        Expr::Path { segs, .. } if segs.len() == 1 => {
+            let name = &segs[0];
+            let local_like = name
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase() || c == '_');
+            if local_like {
+                let kind = match ctx {
+                    Ctx::Value => UseKind::Consumed,
+                    Ctx::FieldRead => UseKind::FieldRead,
+                    Ctx::MethodRecv(m) => UseKind::MethodRecv(m),
+                    Ctx::AssignTarget(path) => UseKind::Mutated(path),
+                };
+                ev.push(Event::Use {
+                    name: name.clone(),
+                    kind,
+                });
+            }
+        }
+        Expr::Path { .. } | Expr::Lit { .. } => {}
+        Expr::Field { recv, name, .. } => {
+            let inner = match ctx {
+                Ctx::AssignTarget(mut path) => {
+                    path.push(name.clone());
+                    Ctx::AssignTarget(path)
+                }
+                // Reading or calling through a field: the root binding
+                // is only *accessed*, not consumed.
+                _ => Ctx::FieldRead,
+            };
+            emit_uses(recv, inner, ev);
+        }
+        Expr::Method {
+            recv, name, args, ..
+        } => {
+            emit_uses(recv, Ctx::MethodRecv(name.clone()), ev);
+            for a in args {
+                emit_uses(a, Ctx::Value, ev);
+            }
+        }
+        Expr::Call { callee, args, .. } => {
+            emit_uses(callee, Ctx::Value, ev);
+            for a in args {
+                emit_uses(a, Ctx::Value, ev);
+            }
+        }
+        Expr::Struct { fields, rest, .. } => {
+            for (_, v) in fields {
+                emit_uses(v, Ctx::Value, ev);
+            }
+            if let Some(r) = rest {
+                emit_uses(r, Ctx::Value, ev);
+            }
+        }
+        Expr::Match {
+            scrutinee, arms, ..
+        } => {
+            emit_uses(scrutinee, Ctx::Value, ev);
+            for arm in arms {
+                emit_uses(&arm.body, Ctx::Value, ev);
+            }
+        }
+        Expr::Assign { lhs, rhs, .. } => {
+            emit_uses(lhs, Ctx::AssignTarget(Vec::new()), ev);
+            emit_uses(rhs, Ctx::Value, ev);
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            emit_uses(lhs, Ctx::Value, ev);
+            emit_uses(rhs, Ctx::Value, ev);
+        }
+        Expr::Try { expr, .. } => {
+            emit_uses(expr, ctx, ev);
+            ev.push(Event::Boundary);
+        }
+        Expr::Return { value, .. } => {
+            if let Some(v) = value {
+                emit_uses(v, Ctx::Value, ev);
+            }
+            ev.push(Event::Boundary);
+        }
+        Expr::Block { stmts, .. } => {
+            let n = stmts.len();
+            for (i, s) in stmts.iter().enumerate() {
+                event_stmt(s, i + 1 == n, ev);
+            }
+        }
+        Expr::Opaque { children, .. } => {
+            for c in children {
+                emit_uses(c, Ctx::Value, ev);
+            }
+        }
+    }
+}
+
+/// Does the value this expression produces come from a resource-opening
+/// call on its *spine* (receiver/callee chain, not arguments)? Returns
+/// the family whose handle would be dropped if the value is discarded.
+fn spine_resource(e: &Expr) -> Option<Family> {
+    match e {
+        Expr::Method { recv, name, .. } => {
+            if GRANT_OPENERS.contains(&name.as_str()) {
+                return Some(Family::Grant);
+            }
+            if ALLOC_OPENERS.contains(&name.as_str()) && recv_mentions_alloc(recv) {
+                return Some(Family::Alloc);
+            }
+            spine_resource(recv)
+        }
+        Expr::Call { callee, .. } => {
+            if let Expr::Path { segs, .. } = callee.as_ref() {
+                if segs.len() >= 2
+                    && segs[segs.len() - 2] == "KernelCost"
+                    && segs[segs.len() - 1] == "new"
+                {
+                    return Some(Family::Cost);
+                }
+            }
+            spine_resource(callee)
+        }
+        Expr::Field { recv, .. } => spine_resource(recv),
+        Expr::Try { expr, .. } => spine_resource(expr),
+        _ => None,
+    }
+}
+
+/// Does the receiver chain of an alloc-family call actually look like an
+/// allocator (`self.alloc.…`, `allocator.resize(..)`)? Keeps `Vec::resize`
+/// and other same-named methods out of L2.
+fn recv_mentions_alloc(recv: &Expr) -> bool {
+    match recv {
+        Expr::Path { segs, .. } => segs
+            .last()
+            .is_some_and(|s| s.contains("alloc") || s.contains("allocator")),
+        Expr::Field { recv, name, .. } => name.contains("alloc") || recv_mentions_alloc(recv),
+        Expr::Method { recv, .. } | Expr::Try { expr: recv, .. } => recv_mentions_alloc(recv),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// L1/L2 — grant & allocation lifecycle
+// ---------------------------------------------------------------------
+
+fn rule_l(events: &[Event], family: Family, out: &mut Vec<Finding>) {
+    for (i, ev) in events.iter().enumerate() {
+        match ev {
+            Event::DroppedResult { family: f, line } if *f == family => {
+                push(
+                    out,
+                    family.rule(),
+                    *line,
+                    format!(
+                        "{} result discarded in statement position; bind it and make \
+                         sure it reaches release/retire (or is handed off) on every path",
+                        family.noun()
+                    ),
+                );
+            }
+            Event::Bind {
+                name,
+                family: f,
+                line,
+                discard,
+            } if *f == family => {
+                if *discard {
+                    push(
+                        out,
+                        family.rule(),
+                        *line,
+                        format!(
+                            "{} bound to `_`; the handle leaks the moment it is dropped — \
+                             bind it and route it to release/retire",
+                            family.noun()
+                        ),
+                    );
+                    continue;
+                }
+                let Some(name) = name else {
+                    // Multi-binding destructuring: too ambiguous to track.
+                    continue;
+                };
+                if !used_later(events, i, name) {
+                    push(
+                        out,
+                        family.rule(),
+                        *line,
+                        format!(
+                            "{} bound to `{name}` but `{name}` is never used again; \
+                             the handle never reaches release/retire or any hand-off",
+                            family.noun()
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is `name` mentioned (in any way) after event index `i`, before being
+/// rebound? A later rebinding without an intervening use means the first
+/// handle was dropped on the floor.
+fn used_later(events: &[Event], i: usize, name: &str) -> bool {
+    for ev in &events[i + 1..] {
+        match ev {
+            Event::Use { name: n, .. } if n == name => return true,
+            Event::Bind { name: Some(n), .. } if n == name => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------
+// F2 — link traffic accrued but never priced
+// ---------------------------------------------------------------------
+
+fn rule_f2(events: &[Event], out: &mut Vec<Finding>) {
+    for (i, ev) in events.iter().enumerate() {
+        let Event::Bind {
+            name: Some(name),
+            family: Family::Cost,
+            line,
+            discard: false,
+        } = ev
+        else {
+            continue;
+        };
+        let mut touches_link = false;
+        let mut priced_or_escapes = false;
+        for later in &events[i + 1..] {
+            match later {
+                Event::Bind { name: Some(n), .. } if n == name => break,
+                Event::Use { name: n, kind } if n == name => match kind {
+                    UseKind::Mutated(path) => {
+                        if path.iter().any(|f| f == "link") {
+                            touches_link = true;
+                        }
+                    }
+                    UseKind::FieldRead => {}
+                    UseKind::MethodRecv(m) => {
+                        // Any method call prices it (`.timing(hw)`) or at
+                        // least inspects it; only pricing and escapes
+                        // count as settling the traffic.
+                        if PRICING_METHODS.contains(&m.as_str()) {
+                            priced_or_escapes = true;
+                        }
+                    }
+                    UseKind::Consumed => priced_or_escapes = true,
+                },
+                _ => {}
+            }
+        }
+        if touches_link && !priced_or_escapes {
+            push(
+                out,
+                Rule::F2,
+                *line,
+                format!(
+                    "KernelCost `{name}` accrues `.link` traffic but is never priced \
+                     (`.timing(hw)`) and never escapes this function; the transfer \
+                     would go uncharged"
+                ),
+            );
+        }
+    }
+}
+
+fn push(out: &mut Vec<Finding>, rule: Rule, line: u32, message: String) {
+    out.push(Finding {
+        rule,
+        line,
+        message,
+        waived: None,
+    });
+}

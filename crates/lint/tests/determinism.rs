@@ -1,0 +1,106 @@
+//! Output-determinism property tests: the JSON and text reports must be
+//! byte-identical across repeated runs and across arbitrary file-walk
+//! orders. CI archives `lint-report.json`; a nondeterministic report
+//! would make every diff against it noise.
+
+use std::path::{Path, PathBuf};
+
+use triton_lint::{analyze_files, walk};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// Deterministic Fisher-Yates driven by a splitmix64 stream — no
+/// ambient entropy, so the test itself is reproducible.
+fn shuffle(files: &mut [PathBuf], mut seed: u64) {
+    let mut next = move || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..files.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        files.swap(i, j);
+    }
+}
+
+#[test]
+fn json_report_is_byte_identical_across_runs_and_walk_orders() {
+    let root = workspace_root();
+    let files = walk::workspace_rs_files(&root).expect("walk workspace");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks implausibly small: {} files",
+        files.len()
+    );
+
+    let baseline = analyze_files(&root, &files).expect("analyze");
+    let base_json = baseline.render_json();
+    let base_text = baseline.render_text();
+
+    // Repeated run over the same order.
+    let again = analyze_files(&root, &files).expect("analyze");
+    assert_eq!(base_json, again.render_json(), "same-order rerun diverged");
+
+    // Shuffled, reversed, and re-shuffled walk orders.
+    for seed in [3u64, 0xdead_beef, 41] {
+        let mut shuffled = files.clone();
+        shuffle(&mut shuffled, seed);
+        let report = analyze_files(&root, &shuffled).expect("analyze shuffled");
+        assert_eq!(
+            base_json,
+            report.render_json(),
+            "walk order (seed {seed}) leaked into the JSON report"
+        );
+        assert_eq!(
+            base_text,
+            report.render_text(),
+            "walk order (seed {seed}) leaked into the text report"
+        );
+    }
+    let mut reversed = files.clone();
+    reversed.reverse();
+    let report = analyze_files(&root, &reversed).expect("analyze reversed");
+    assert_eq!(base_json, report.render_json(), "reverse order diverged");
+}
+
+#[test]
+fn json_report_is_json_lines_with_stable_summary() {
+    let root = workspace_root();
+    let files = walk::workspace_rs_files(&root).expect("walk workspace");
+    let report = analyze_files(&root, &files).expect("analyze");
+    let json = report.render_json();
+    let lines: Vec<&str> = json.lines().collect();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object line: {line}"
+        );
+    }
+    let last = lines.last().expect("summary line");
+    assert!(
+        last.contains("\"kind\":\"summary\""),
+        "report must end with the summary row: {last}"
+    );
+    assert!(last.contains("\"unused_waivers\""));
+}
+
+#[test]
+fn ratchet_render_matches_current_counts_and_reparses() {
+    let root = workspace_root();
+    let files = walk::workspace_rs_files(&root).expect("walk workspace");
+    let report = analyze_files(&root, &files).expect("analyze");
+    let rendered = report.render_ratchet();
+    let parsed = triton_lint::report::Ratchet::parse(&rendered).expect("round-trip");
+    assert!(
+        report.ratchet_regressions(&parsed).is_empty(),
+        "a freshly rendered ratchet can never regress against itself"
+    );
+}

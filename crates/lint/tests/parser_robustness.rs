@@ -1,0 +1,124 @@
+//! Fuzz-ish parser corpus: malformed, truncated, and pathologically
+//! nested sources must never panic or hang the analyzer, and token
+//! rules must keep firing when item parsing degrades to opaque nodes.
+
+use std::path::Path;
+
+use triton_lint::lexer::lex;
+use triton_lint::{analyze_source, parser, FileClass, Rule};
+
+fn lib_class() -> FileClass {
+    FileClass::classify("crates/core/src/fixture.rs")
+}
+
+#[test]
+fn malformed_corpus_never_panics() {
+    let corpus: &[&str] = &[
+        "",
+        ";",
+        "fn",
+        "fn (",
+        "fn f(",
+        "fn f() {",
+        "fn f() { let ",
+        "fn f() { let x = ",
+        "fn f() { let x = match ",
+        "fn f() { match x { ",
+        "fn f() { match x { A:: ",
+        "fn f() { a. }",
+        "fn f() { a.b( }",
+        "fn f() { |x }",
+        "fn f() { #[ }",
+        "pub struct ;;; impl impl",
+        "fn f() -> { . . . :: :: => => }",
+        "fn f() { 0x }",
+        "fn f() { \"unterminated",
+        "impl T { fn g() { fn h() { fn i() {",
+        "fn f<'a, T: Iterator<Item = &'a (u8, u8)>>(x: T) {",
+        "fn f() { x += += += }",
+        "fn f() { return return return }",
+        "fn f() { ..= ..= }",
+        "fn f() { struct }",
+        "macro_rules! m { ($x:expr) => { $x } } fn f() { m!(1 + ) }",
+    ];
+    for src in corpus {
+        // A panic here fails the test; completion is the assertion.
+        let analysis = analyze_source(&lib_class(), src);
+        drop(analysis);
+        let (tokens, _comments) = lex(src);
+        let ast = parser::parse(&tokens, &vec![false; tokens.len()]);
+        drop(ast);
+    }
+}
+
+#[test]
+fn deep_nesting_degrades_instead_of_overflowing() {
+    // 400 levels of nested blocks and parens — past MAX_DEPTH, the
+    // parser must skip balanced regions rather than recurse.
+    let mut deep_blocks = String::from("fn f() ");
+    for _ in 0..400 {
+        deep_blocks.push('{');
+    }
+    deep_blocks.push_str("panic!(\"x\")");
+    for _ in 0..400 {
+        deep_blocks.push('}');
+    }
+    let analysis = analyze_source(&lib_class(), &deep_blocks);
+    // Token rules see through the nesting even when the parser bails.
+    assert!(
+        analysis.findings.iter().any(|f| f.rule == Rule::P1),
+        "P1 is token-level and must survive deep nesting"
+    );
+
+    let mut deep_parens = String::from("fn g() { let x = ");
+    for _ in 0..400 {
+        deep_parens.push('(');
+    }
+    deep_parens.push('1');
+    for _ in 0..400 {
+        deep_parens.push(')');
+    }
+    deep_parens.push_str("; }");
+    let _ = analyze_source(&lib_class(), &deep_parens);
+
+    // Unbalanced: open-only, so fuel has to end it.
+    let mut open_only = String::from("fn h() { ");
+    for _ in 0..2000 {
+        open_only.push_str("( { ");
+    }
+    let _ = analyze_source(&lib_class(), &open_only);
+}
+
+#[test]
+fn malformed_items_fixture_degrades_to_token_rules() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("malformed_items.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let analysis = analyze_source(&lib_class(), &src);
+    let d1 = analysis
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::D1)
+        .count();
+    assert_eq!(d1, 1, "token-level D1 must fire despite broken items");
+    // And no semantic rule may hallucinate findings from garbage.
+    assert!(analysis.findings.iter().all(|f| matches!(f.rule, Rule::D1)));
+}
+
+#[test]
+fn well_formed_items_still_parse_next_to_broken_ones() {
+    // A broken item must not eat its well-formed successor.
+    let src = "\
+pub struct ;;;\n\
+fn ok_after_garbage(ac: &mut AdmissionController, q: Grant, hw: &HwProfile) {\n\
+    ac.try_admit(QueryId(1), q, hw);\n\
+}\n";
+    let class = FileClass::classify("crates/exec/src/fixture.rs");
+    let analysis = analyze_source(&class, src);
+    assert!(
+        analysis.findings.iter().any(|f| f.rule == Rule::L1),
+        "the dropped grant after the garbage item must still be seen: {:#?}",
+        analysis.findings
+    );
+}

@@ -228,7 +228,13 @@ impl Plan {
                     }
                     _ => {}
                 },
-                _ => {}
+                // The guarded Scan/Agg arms above fall through here when
+                // their guards are false; every variant is listed so a
+                // new PlanNode forces this validator to be revisited.
+                PlanNode::Scan { .. }
+                | PlanNode::Bloom { .. }
+                | PlanNode::Join { .. }
+                | PlanNode::Agg { .. } => {}
             }
         }
         if let Some(orphan) = (0..n - 1).find(|&i| !consumed[i]) {
