@@ -1,0 +1,43 @@
+//! Sustained-load serving trajectory with telemetry and SLO accounting.
+//!
+//! Usage: `fig_serve [--check] [--out PATH]`
+//!
+//! Prints the trajectory table, writes the machine-readable rows to
+//! `PATH` (default `BENCH_serve.json`), and with `--check` exits
+//! non-zero unless every committed invariant holds: outcomes cover
+//! submissions, the registry's counters reconcile with the scheduler
+//! metrics, windowed rollups reconcile with run totals, and the text
+//! and JSON expositions replay byte-identically (clean and chaos).
+
+use triton_bench::figs::fig_serve;
+
+fn main() {
+    let mut check = false;
+    let mut out = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let hw = triton_bench::hw();
+    let rows = fig_serve::print(&hw);
+    let json = fig_serve::to_json(&hw, &rows);
+    std::fs::write(&out, &json).expect("write trajectory JSON");
+    println!("wrote {out}");
+
+    if check {
+        if let Err(e) = fig_serve::check(&rows) {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+        if !fig_serve::replay_identical(&hw) {
+            eprintln!("FAIL: telemetry exposition diverged across same-seed replays");
+            std::process::exit(1);
+        }
+        println!("check ok: trajectory invariants hold, expositions replay byte-identically");
+    }
+}

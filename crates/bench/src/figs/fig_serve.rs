@@ -1,0 +1,388 @@
+//! Sustained-load serving trajectory with telemetry and SLO accounting.
+//!
+//! The committed trajectory (`BENCH_serve.json`) the observability layer
+//! is graded against: two tenant mixes × an offered-load axis, each
+//! point a full serving run with the time-series registry and per-tenant
+//! SLO accounts threaded through [`triton_exec::ServeResult`], plus one
+//! chaos point per mix (degraded link + ECC retirement + kernel fault)
+//! to show telemetry stays deterministic under faults. Every row carries
+//! the registry's own cross-checks: the counter totals must reconcile
+//! with `SchedulerMetrics`, window sums must reconcile with run totals,
+//! and the text exposition must replay byte-identically.
+
+use triton_core::{CpuRadixJoin, HashScheme, TritonJoin};
+use triton_datagen::{Rng, WorkloadSpec};
+use triton_exec::{FaultPlan, JoinQuery, Operator, Scheduler, SchedulerConfig, ServeResult};
+use triton_hw::units::Ns;
+use triton_hw::HwConfig;
+
+use crate::json::JsonObject;
+
+/// Offered-load axis (fractions of serial drain capacity).
+pub const LOAD_AXIS: [f64; 3] = [0.5, 1.0, 2.0];
+
+/// Tenant mixes swept: `shared` leans on build-side sharing (probe
+/// batches over one dimension relation plus fact joins), `mixed` adds a
+/// CPU-radix tenant overlapping the GPU tenants.
+pub const MIXES: [&str; 2] = ["shared", "mixed"];
+
+/// Offered load of the chaos points.
+pub const CHAOS_LOAD: f64 = 1.0;
+
+/// Queries per operating point.
+const QUERIES: usize = 18;
+
+/// Deadline budget in mean dedicated service times.
+const DEADLINE_SERVICE_TIMES: f64 = 10.0;
+
+/// One measured operating point of the committed trajectory.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Tenant mix (`shared` or `mixed`).
+    pub mix: &'static str,
+    /// `clean` or `chaos`.
+    pub mode: &'static str,
+    /// Offered load as a fraction of serial capacity.
+    pub load: f64,
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Queries completed.
+    pub completed: u64,
+    /// Queries shed (all typed reasons).
+    pub shed: u64,
+    /// Median end-to-end latency in simulated ns (histogram-resolved).
+    pub p50_ns: f64,
+    /// 99th-percentile latency in simulated ns.
+    pub p99_ns: f64,
+    /// Aggregate SLO attainment across tenants, ppm of deadline holders.
+    pub slo_attainment_ppm: u64,
+    /// Worst per-tenant error-budget burn, ppm of the budget.
+    pub max_budget_burn_ppm: u64,
+    /// Mid-run grant revisions the scheduler issued.
+    pub grant_revisions: u64,
+    /// Distinct tenants with SLO accounts.
+    pub tenants: u64,
+    /// The registry's `sched.completed` counter — must equal
+    /// `completed` (telemetry/metrics reconciliation).
+    pub telemetry_completed: u64,
+    /// Bytes of the deterministic text exposition.
+    pub exposition_bytes: u64,
+    /// Whether the registry's windowed rollups reconciled exactly with
+    /// its run totals.
+    pub reconciled: bool,
+    /// Host wall-clock spent on this point (ns; machine-dependent, not
+    /// covered by determinism checks).
+    pub wall_ns: u64,
+}
+
+/// One mix's tenant population with the given arrival times. Tenant
+/// labels are the query-name prefixes (`batch`, `fact`, `cpu`), so the
+/// SLO accounts split by workload family.
+fn tenant_mix(mix: &str, k: u64, arrivals: &[f64]) -> Vec<JoinQuery> {
+    assert_eq!(arrivals.len(), QUERIES);
+    let dim = WorkloadSpec::paper_default(8, k).generate();
+    let mut queries = Vec::with_capacity(QUERIES);
+    for (i, &at) in arrivals.iter().enumerate() {
+        let cpu_tenant = mix == "mixed" && i % 3 == 2;
+        let q = if cpu_tenant {
+            let mut spec = WorkloadSpec::paper_default(8, k);
+            spec.seed ^= (0xCCu64 << 8) | i as u64;
+            let mut q = JoinQuery::new(format!("cpu-{i}"), spec.generate(), Ns(at));
+            q.op = Operator::CpuRadix(CpuRadixJoin::power9(HashScheme::BucketChaining));
+            q
+        } else if i % 2 == 0 {
+            // Probe batches against the shared dimension relation.
+            let w = if i == 0 {
+                dim.clone()
+            } else {
+                JoinQuery::probe_batch(&dim, 0x5EED + i as u64)
+            };
+            let mut q = JoinQuery::new(format!("batch-{i}"), w, Ns(at));
+            q.build_key = Some(1);
+            q
+        } else {
+            let mut spec = WorkloadSpec::paper_default(16, k);
+            spec.seed ^= (i as u64) << 24;
+            let mut q = JoinQuery::new(format!("fact-{i}"), spec.generate(), Ns(at));
+            q.op = Operator::Triton(TritonJoin::default());
+            q
+        };
+        queries.push(q);
+    }
+    queries
+}
+
+/// Mean dedicated service time of one mix (the load unit).
+fn mean_service_time(hw: &HwConfig, mix: &str) -> Ns {
+    let queries = tenant_mix(mix, hw.scale, &[0.0; QUERIES]);
+    let total: f64 = queries
+        .iter()
+        .map(|q| match q.op.run(&q.workload, hw) {
+            Ok(rep) => rep.total.0,
+            Err(_) => 0.0,
+        })
+        .sum();
+    Ns(total / QUERIES as f64)
+}
+
+/// The mix with Poisson arrivals at `load` times the serial drain rate;
+/// every query holds the sweep's queueing deadline, so every query
+/// participates in its tenant's SLO.
+fn queries_at_load(hw: &HwConfig, mix: &str, s_mean: Ns, load: f64) -> Vec<JoinQuery> {
+    let rate = load / s_mean.0; // queries per ns
+    let mut rng = Rng::seed_from_u64(0x5E12E ^ load.to_bits() ^ mix.len() as u64);
+    let mut t = 0.0f64;
+    let arrivals: Vec<f64> = (0..QUERIES)
+        .map(|_| {
+            t += -(1.0 - rng.next_f64()).ln() / rate;
+            t
+        })
+        .collect();
+    let mut queries = tenant_mix(mix, hw.scale, &arrivals);
+    for q in &mut queries {
+        q.deadline = Some(s_mean * DEADLINE_SERVICE_TIMES);
+    }
+    queries
+}
+
+/// The standard hazard schedule of the chaos points: a halved link for
+/// the whole run, plus an ECC retirement of a third of device memory
+/// and a kernel fault aimed mid-run.
+fn chaos_plan(hw: &HwConfig, clean: &ServeResult) -> FaultPlan {
+    let span = clean.metrics.makespan;
+    let strike = clean
+        .completed()
+        .max_by(|a, b| a.reserved.cmp(&b.reserved).then(a.id.cmp(&b.id)))
+        .map_or(span * 0.5, |c| (c.start + c.finish) * 0.5);
+    FaultPlan::with_seed(0x5E12E)
+        .degrade_link(Ns::ZERO, span * 4.0, 0.5)
+        .retire_gpu_mem(strike, hw.gpu.mem_capacity / 3)
+        .kernel_fault(strike)
+}
+
+/// Run one operating point and fold its telemetry into a [`Row`].
+fn measure(
+    hw: &HwConfig,
+    mix: &'static str,
+    mode: &'static str,
+    load: f64,
+    queries: Vec<JoinQuery>,
+    plan: &FaultPlan,
+) -> Row {
+    let t0 = std::time::Instant::now();
+    let res = Scheduler::new(hw.clone(), SchedulerConfig::default()).run_with_faults(queries, plan);
+    let wall_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+    let m = &res.metrics;
+    let (slo_total, slo_met) = res
+        .slo
+        .iter()
+        .fold((0u64, 0u64), |(t, m), a| (t + a.slo_total, m + a.slo_met));
+    let attainment = if slo_total == 0 {
+        1_000_000
+    } else {
+        (u128::from(slo_met) * 1_000_000 / u128::from(slo_total)) as u64
+    };
+    Row {
+        mix,
+        mode,
+        load,
+        submitted: m.completed + m.rejected,
+        completed: m.completed,
+        shed: m.rejected,
+        p50_ns: m.latency_p50.0,
+        p99_ns: m.latency_p99.0,
+        slo_attainment_ppm: attainment,
+        max_budget_burn_ppm: res
+            .slo
+            .iter()
+            .map(|a| a.budget_burn_ppm())
+            .max()
+            .unwrap_or(0),
+        grant_revisions: m.grant_revisions,
+        tenants: res.slo.len() as u64,
+        telemetry_completed: res.telemetry.counter("sched.completed"),
+        exposition_bytes: res.telemetry.expose_text().len() as u64,
+        reconciled: res.telemetry.reconcile().is_ok(),
+        wall_ns,
+    }
+}
+
+/// One full serving result for a point (used by the replay check and
+/// the trace/exposition exports).
+pub fn serve_point(hw: &HwConfig, mix: &str, load: f64, chaos: bool) -> ServeResult {
+    let s_mean = mean_service_time(hw, mix);
+    let queries = queries_at_load(hw, mix, s_mean, load);
+    let plan = if chaos {
+        let clean = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(queries.clone());
+        chaos_plan(hw, &clean)
+    } else {
+        FaultPlan::none()
+    };
+    Scheduler::new(hw.clone(), SchedulerConfig::default()).run_with_faults(queries, &plan)
+}
+
+/// Run the trajectory: clean points for every mix × load, then one
+/// chaos point per mix at [`CHAOS_LOAD`].
+pub fn run(hw: &HwConfig) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &mix in &MIXES {
+        let s_mean = mean_service_time(hw, mix);
+        for &load in &LOAD_AXIS {
+            let queries = queries_at_load(hw, mix, s_mean, load);
+            rows.push(measure(hw, mix, "clean", load, queries, &FaultPlan::none()));
+        }
+        let queries = queries_at_load(hw, mix, s_mean, CHAOS_LOAD);
+        let clean = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(queries.clone());
+        let plan = chaos_plan(hw, &clean);
+        rows.push(measure(hw, mix, "chaos", CHAOS_LOAD, queries, &plan));
+    }
+    rows
+}
+
+/// The determinism cross-check behind `--check`: serve one clean and one
+/// chaos point twice each and require byte-identical text expositions.
+pub fn replay_identical(hw: &HwConfig) -> bool {
+    for (mix, chaos) in [("shared", false), ("mixed", true)] {
+        let a = serve_point(hw, mix, CHAOS_LOAD, chaos);
+        let b = serve_point(hw, mix, CHAOS_LOAD, chaos);
+        if a.telemetry.expose_text() != b.telemetry.expose_text()
+            || a.telemetry.expose_json() != b.telemetry.expose_json()
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Deterministic facts every committed trajectory must satisfy.
+pub fn check(rows: &[Row]) -> Result<(), String> {
+    for r in rows {
+        let tag = format!("{}/{} load {}", r.mix, r.mode, r.load);
+        if r.completed + r.shed != r.submitted {
+            return Err(format!("{tag}: outcomes do not cover submissions"));
+        }
+        if r.telemetry_completed != r.completed {
+            return Err(format!(
+                "{tag}: telemetry counted {} completions, metrics {}",
+                r.telemetry_completed, r.completed
+            ));
+        }
+        if !r.reconciled {
+            return Err(format!("{tag}: windowed rollups failed to reconcile"));
+        }
+        if r.slo_attainment_ppm > 1_000_000 {
+            return Err(format!("{tag}: attainment above 1M ppm"));
+        }
+        if r.tenants == 0 || r.exposition_bytes == 0 {
+            return Err(format!("{tag}: empty telemetry"));
+        }
+    }
+    let saturated = |mix: &str| {
+        let p99 = |load: f64| {
+            rows.iter()
+                .find(|r| r.mix == mix && r.mode == "clean" && r.load == load)
+                .map_or(0.0, |r| r.p99_ns)
+        };
+        p99(LOAD_AXIS[2]) >= p99(LOAD_AXIS[0]) * 0.99
+    };
+    if !MIXES.iter().all(|m| saturated(m)) {
+        return Err("heavier load finished faster end-to-end".to_string());
+    }
+    Ok(())
+}
+
+/// Render the trajectory as a stable JSON document (fixed key order).
+pub fn to_json(hw: &HwConfig, rows: &[Row]) -> String {
+    let header = JsonObject::new()
+        .str("schema", "triton-bench/fig-serve/v1")
+        .int("scale", hw.scale)
+        .int("queries_per_point", QUERIES as u64)
+        .num("deadline_service_times", DEADLINE_SERVICE_TIMES)
+        .render();
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            JsonObject::new()
+                .str("mix", r.mix)
+                .str("mode", r.mode)
+                .num("load", r.load)
+                .int("submitted", r.submitted)
+                .int("completed", r.completed)
+                .int("shed", r.shed)
+                .num("p50_ns", r.p50_ns)
+                .num("p99_ns", r.p99_ns)
+                .int("slo_attainment_ppm", r.slo_attainment_ppm)
+                .int("max_budget_burn_ppm", r.max_budget_burn_ppm)
+                .int("grant_revisions", r.grant_revisions)
+                .int("tenants", r.tenants)
+                .int("telemetry_completed", r.telemetry_completed)
+                .int("exposition_bytes", r.exposition_bytes)
+                .bool("reconciled", r.reconciled)
+                .int("wall_ns", r.wall_ns)
+                .render()
+        })
+        .collect();
+    format!(
+        "{{\"config\":{},\"rows\":[\n{}\n]}}\n",
+        header,
+        body.join(",\n")
+    )
+}
+
+/// Print the figure.
+pub fn print(hw: &HwConfig) -> Vec<Row> {
+    crate::banner(
+        "Fig serve",
+        "sustained load: telemetry, SLO attainment, and the chaos points",
+    );
+    let rows = run(hw);
+    let mut t = crate::Table::new([
+        "mix",
+        "mode",
+        "load",
+        "done/sub",
+        "p99 (us)",
+        "SLO (ppm)",
+        "burn (ppm)",
+        "revisions",
+        "tenants",
+    ]);
+    for r in &rows {
+        t.row([
+            r.mix.to_string(),
+            r.mode.to_string(),
+            crate::f3(r.load),
+            format!("{}/{}", r.completed, r.submitted),
+            format!("{:.1}", r.p99_ns / 1e3),
+            r.slo_attainment_ppm.to_string(),
+            r.max_budget_burn_ppm.to_string(),
+            r.grant_revisions.to_string(),
+            r.tenants.to_string(),
+        ]);
+    }
+    t.print();
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_reconciles_and_serializes() {
+        let hw = HwConfig::ac922().scaled(256);
+        let rows = run(&hw);
+        assert_eq!(rows.len(), MIXES.len() * (LOAD_AXIS.len() + 1));
+        check(&rows).expect("committed invariants must hold");
+        assert!(rows.iter().any(|r| r.mode == "chaos"));
+        let json = to_json(&hw, &rows);
+        assert!(json.contains("\"schema\":\"triton-bench/fig-serve/v1\""));
+        assert_eq!(json.matches("\"mix\"").count(), rows.len());
+    }
+
+    #[test]
+    fn expositions_replay_byte_identical() {
+        let hw = HwConfig::ac922().scaled(256);
+        assert!(replay_identical(&hw), "telemetry must replay exactly");
+    }
+}

@@ -17,6 +17,7 @@ pub mod fig22;
 pub mod fig23;
 pub mod fig24;
 pub mod fig_elastic;
+pub mod fig_serve;
 pub mod fig_skew;
 pub mod fig_tpch;
 pub mod serve_load;

@@ -69,5 +69,5 @@ pub use report::{
     JoinReport, JoinResult, OverlapLanes, PairPlacement, PhaseReport, PlacementReport,
 };
 pub use skew::{SkewMechanisms, SkewPolicy};
-pub use trace::{phase_bytes, phase_key, record_overlap, record_report};
+pub use trace::{phase_bytes, phase_key, phase_progress, record_overlap, record_report};
 pub use triton::{JoinRunOptions, TritonJoin};

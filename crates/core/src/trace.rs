@@ -47,6 +47,30 @@ pub fn phase_bytes(p: &PhaseReport) -> u64 {
     }
 }
 
+/// Join phase-progress counter increments for a finished report: one
+/// `(phase_key, time_ns, bytes)` triple per phase, in report order.
+///
+/// This is the bridge from a [`JoinReport`] to time-series telemetry
+/// counters (`phase.<op>.<key>.count/.time_ns/.bytes`): times are
+/// truncated to integer nanoseconds at this boundary so everything
+/// downstream stays in integer arithmetic, and bytes reuse the rollup
+/// convention of [`phase_bytes`].
+pub fn phase_progress(report: &JoinReport) -> Vec<(String, u64, u64)> {
+    report
+        .phases
+        .iter()
+        .map(|p| {
+            let time_ns = p.time.0;
+            let t = if time_ns.is_finite() && time_ns > 0.0 {
+                time_ns as u64
+            } else {
+                0
+            };
+            (phase_key(&p.name), t, phase_bytes(p))
+        })
+        .collect()
+}
+
 /// Record a report's phases as a sequential span chain on `(pid, tid)`
 /// starting at `t0_ns`, with every duration scaled by `stretch` (so the
 /// chain can be stretched to cover exactly the query's scheduled
@@ -146,6 +170,29 @@ mod tests {
         assert_eq!(phase_key("Join"), "join");
         assert_eq!(phase_key("  CPU -- merge  "), "cpu_merge");
         assert_eq!(phase_key(""), "");
+    }
+
+    #[test]
+    fn phase_progress_truncates_to_integer_ns() {
+        let report = JoinReport {
+            name: "x".into(),
+            phases: vec![
+                PhaseReport::cpu("PS 1", Ns(30.7)),
+                PhaseReport::cpu("Join", Ns(-1.0)),
+            ],
+            total: Ns(29.7),
+            tuples_actual: 1,
+            tuples_modeled: 1,
+            result: JoinResult::empty(),
+            executor: Executor::Cpu,
+            overlap: None,
+            placement: None,
+        };
+        let prog = phase_progress(&report);
+        assert_eq!(
+            prog,
+            vec![("ps_1".to_string(), 30, 0), ("join".to_string(), 0, 0)]
+        );
     }
 
     #[test]

@@ -193,6 +193,23 @@ impl AdmissionController {
         self.alloc.available(MemSide::Gpu)
     }
 
+    /// GPU bytes grant holders actually asked for (before page
+    /// rounding) — the occupancy-gauge companion of [`Self::reserved`].
+    pub fn requested(&self) -> Bytes {
+        self.alloc.requested(MemSide::Gpu)
+    }
+
+    /// Page-rounding waste on the GPU side: reserved minus requested.
+    pub fn fragmentation(&self) -> Bytes {
+        self.alloc.fragmentation(MemSide::Gpu)
+    }
+
+    /// GPU occupancy in integer ppm of the (possibly retired) capacity;
+    /// exceeds 1 000 000 while overcommitted after a retirement.
+    pub fn occupancy_ppm(&self) -> u64 {
+        self.alloc.occupancy_ppm(MemSide::Gpu)
+    }
+
     /// The minimum GPU reservation `query` needs to start: the pipeline
     /// floor without any cache grant. A query whose floor exceeds the
     /// whole GPU can never be admitted (the caller should reject it

@@ -31,9 +31,20 @@
 //!   order, bounded), admit, arbitrate speeds, advance to the next
 //!   arrival/completion; backpressure and typed shedding
 //!   ([`RejectReason`]) when the machine is full.
-//! * [`SchedulerMetrics`] — aggregate throughput, p50/p99 latency,
-//!   memory high-water marks, shed counts, fault/recovery accounting,
-//!   and a stable JSON encoding for determinism checks.
+//! * [`SchedulerMetrics`] — aggregate throughput, p50/p99 latency
+//!   (resolved by a bounded streaming log2 histogram), memory high-water
+//!   marks, shed counts, fault/recovery accounting, and a stable JSON
+//!   encoding for determinism checks.
+//! * Telemetry ([`crate::observe`], [`triton_metrics`]) — a windowed
+//!   time-series registry on the simulated clock: allocator occupancy
+//!   and fragmentation gauges, link/SM utilization sampled off the
+//!   arbitrated rates, per-phase progress counters, and Perfetto counter
+//!   lanes; exposed on [`ServeResult::telemetry`] and byte-identical
+//!   across same-seed replays.
+//! * SLO accounting ([`SloAccount`]) — per-tenant latency-SLO
+//!   attainment, shed counts, error-budget burn, and grant-revision
+//!   counts, settled at scheduler decision points and threaded into
+//!   [`ServeResult::slo`].
 //! * Resilience ([`crate::fault`], [`crate::resilience`]) — replay a
 //!   [`triton_hw::FaultPlan`] with [`Scheduler::run_with_faults`]: link
 //!   degradations reshape demand vectors, ECC retirements shrink
@@ -86,6 +97,7 @@ pub mod observe;
 pub mod query;
 pub mod resilience;
 pub mod scheduler;
+pub mod slo;
 
 pub use admission::{
     operator_with_grant, AdmissionController, AdmissionError, GrantRevision, MemoryGrant,
@@ -95,15 +107,22 @@ pub use build_cache::BuildCache;
 pub use demand::ResourceDemand;
 pub use fault::{degraded_vector, FaultCause, FaultOutcome};
 pub use metrics::{percentile, PhaseRollup, SchedulerMetrics};
-pub use observe::{query_pid, Recorder, SCHEDULER_PID, SCHED_TID_FLIGHT, TID_LIFECYCLE};
+pub use observe::{
+    query_pid, GaugeSample, Recorder, METRICS_WINDOW_NS, SCHEDULER_PID, SCHED_TID_FLIGHT,
+    SCHED_TID_GAUGES, TID_LIFECYCLE,
+};
 pub use query::{JoinQuery, Operator, QueryId};
 pub use resilience::{downgrade_operator, ElasticGrants, ResilienceConfig, RetryPolicy};
 pub use scheduler::{
     CompletedQuery, Outcome, RejectReason, Scheduler, SchedulerConfig, ServeResult,
 };
+pub use slo::{tenant_of, SloAccount, DEFAULT_ERROR_BUDGET_PPM};
 // Re-exported so serving callers can build fault plans without a direct
 // triton-hw dependency.
 pub use triton_hw::FaultPlan;
+// Re-exported so serving callers can read the telemetry registry without
+// a direct triton-metrics dependency.
+pub use triton_metrics::{Log2Histogram, MetricsRegistry};
 // Re-exported so serving callers can export and validate traces without
 // a direct triton-trace dependency.
 pub use triton_trace::{to_chrome_json, validate_chrome, Trace};

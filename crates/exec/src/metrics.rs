@@ -3,6 +3,7 @@
 //! one scheduler run.
 
 use triton_hw::units::{Bytes, Ns};
+use triton_metrics::{sim_ns, Log2Histogram};
 
 use crate::scheduler::{Outcome, RejectReason};
 
@@ -54,11 +55,14 @@ pub struct SchedulerMetrics {
     pub tuples: u64,
     /// Aggregate throughput in G tuples/s over the makespan.
     pub throughput_gtps: f64,
-    /// Median end-to-end latency of completed queries.
+    /// Median end-to-end latency of completed queries, resolved by the
+    /// streaming log2 histogram (nearest-rank bucket lower bound, within
+    /// one sub-bucket — ≤ 6.25 % relative — of the exact sample; memory
+    /// stays bounded under sustained load).
     pub latency_p50: Ns,
-    /// 99th-percentile end-to-end latency.
+    /// 99th-percentile end-to-end latency (same histogram resolution).
     pub latency_p99: Ns,
-    /// Worst-case latency.
+    /// Worst-case latency (tracked exactly, not bucketed).
     pub latency_max: Ns,
     /// High-water mark of concurrently reserved GPU memory.
     pub peak_gpu_reserved: Bytes,
@@ -149,7 +153,11 @@ impl SchedulerMetrics {
         totals: RunTotals,
         phases: Vec<PhaseRollup>,
     ) -> Self {
-        let mut latencies: Vec<f64> = Vec::new();
+        // Latencies stream through a bounded log2 histogram instead of a
+        // per-query vector: under sustained load the scheduler's memory
+        // for latency accounting no longer grows with completions.
+        let mut latency_hist = Log2Histogram::new();
+        let mut latency_max = 0.0f64;
         let mut tuples = 0u64;
         let (mut completed, mut rejected) = (0u64, 0u64);
         let (mut shed_deadline, mut shed_queue_full) = (0u64, 0u64);
@@ -161,7 +169,8 @@ impl SchedulerMetrics {
                 Outcome::Completed(c) => {
                     completed += 1;
                     tuples += c.report.tuples_actual;
-                    latencies.push(c.latency().0);
+                    latency_hist.record(sim_ns(c.latency().0));
+                    latency_max = latency_max.max(c.latency().0);
                     if let Some(p) = &c.report.placement {
                         cache_hit_bytes += p.cache_hit_bytes;
                         cache_spilled_bytes += p.spilled_bytes;
@@ -201,9 +210,9 @@ impl SchedulerMetrics {
             makespan: totals.makespan,
             tuples,
             throughput_gtps,
-            latency_p50: Ns(percentile(&latencies, 50.0)),
-            latency_p99: Ns(percentile(&latencies, 99.0)),
-            latency_max: Ns(latencies.iter().cloned().fold(0.0, f64::max)),
+            latency_p50: Ns(latency_hist.value_at_percentile(50) as f64),
+            latency_p99: Ns(latency_hist.value_at_percentile(99) as f64),
+            latency_max: Ns(latency_max),
             peak_gpu_reserved: totals.peak_gpu_reserved,
             gpu_capacity: totals.gpu_capacity,
             gpu_retired: totals.gpu_retired,
@@ -376,6 +385,39 @@ mod tests {
         assert_eq!(percentile(&v, 35.5), 36.0);
         assert_eq!(percentile(&v, 90.0), 90.0);
         assert_eq!(percentile(&v, 0.0), 1.0, "p=0 clamps to the minimum");
+    }
+
+    #[test]
+    fn histogram_percentiles_agree_with_nearest_rank_within_one_bucket() {
+        // The streaming histogram behind latency_p50/p99 must stay within
+        // one bucket width of the exact nearest-rank percentile it
+        // replaced. Deterministic LCG spread over several decades of
+        // magnitude so multiple major buckets participate.
+        let mut x = 0x2545_f491_4f6c_dd1du64;
+        let samples: Vec<f64> = (0..2000)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) % 50_000_000) as f64
+            })
+            .collect();
+        let mut hist = Log2Histogram::new();
+        for s in &samples {
+            hist.record(sim_ns(*s));
+        }
+        for p in [50u64, 99] {
+            let exact = percentile(&samples, p as f64);
+            let approx = hist.value_at_percentile(p) as f64;
+            let width = Log2Histogram::bucket_width_for(sim_ns(exact)) as f64;
+            assert!(
+                approx <= exact && exact - approx < width.max(1.0),
+                "p{p}: approx {approx} vs exact {exact} (bucket width {width})"
+            );
+        }
+        // Max is tracked exactly, not bucketed.
+        let exact_max = samples.iter().cloned().fold(0.0, f64::max);
+        assert_eq!(hist.max() as f64, exact_max);
     }
 
     #[test]

@@ -25,14 +25,16 @@
 
 use std::collections::BTreeMap;
 
-use triton_core::{phase_bytes, phase_key, record_overlap, record_report};
+use triton_core::{phase_bytes, phase_key, phase_progress, record_overlap, record_report};
 use triton_hw::units::{Bytes, Ns};
 use triton_hw::HwConfig;
+use triton_metrics::{sim_ns, MetricsRegistry};
 use triton_trace::{Attr, FlightRecorder, Trace, TraceEvent};
 
 use crate::metrics::PhaseRollup;
 use crate::query::{JoinQuery, QueryId};
 use crate::scheduler::{CompletedQuery, RejectReason};
+use crate::slo::{tenant_of, SloAccount};
 
 /// Track group of the scheduler itself.
 pub const SCHEDULER_PID: u64 = 0;
@@ -40,6 +42,11 @@ pub const SCHEDULER_PID: u64 = 0;
 pub const SCHED_TID_FAULTS: u64 = 0;
 /// Scheduler track receiving flight-recorder dumps.
 pub const SCHED_TID_FLIGHT: u64 = 1;
+/// Scheduler track carrying gauge counter lanes (Perfetto `ph: "C"`
+/// series: GPU memory occupancy, resource utilization, in-flight count).
+pub const SCHED_TID_GAUGES: u64 = 2;
+/// Rollup window of the time-series registry: 1 simulated millisecond.
+pub const METRICS_WINDOW_NS: u64 = 1_000_000;
 /// Per-query track carrying the queue span and lifecycle instants.
 pub const TID_LIFECYCLE: u64 = 0;
 /// Per-query track carrying the stretched phase span chain.
@@ -67,9 +74,41 @@ fn reject_kind(reason: &RejectReason) -> &'static str {
     }
 }
 
-/// Collects one serving run's trace, flight-recorder ring, and phase
-/// rollups. The scheduler drives it at every lifecycle transition; it
-/// never influences scheduling decisions (pure observation).
+/// One gauge observation the scheduler takes per decision-loop
+/// iteration: allocator occupancy from triton-mem and resource
+/// utilization priced off the triton-hw cost model (already in integer
+/// ppm, so the registry stays float-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaugeSample {
+    /// GPU bytes currently reserved (page-rounded).
+    pub gpu_used: Bytes,
+    /// GPU capacity the reservations draw from.
+    pub gpu_capacity: Bytes,
+    /// GPU bytes callers actually asked for.
+    pub gpu_requested: Bytes,
+    /// Page-rounding waste: used − requested.
+    pub gpu_fragmentation: Bytes,
+    /// GPU occupancy in ppm of capacity (may exceed 1 M under
+    /// overcommit).
+    pub gpu_occupancy_ppm: u64,
+    /// Aggregate interconnect utilization in ppm.
+    pub link_util_ppm: u64,
+    /// Aggregate SM (compute) utilization in ppm.
+    pub sm_util_ppm: u64,
+    /// Aggregate GPU memory-bandwidth utilization in ppm.
+    pub gpu_mem_util_ppm: u64,
+    /// Aggregate CPU utilization in ppm.
+    pub cpu_util_ppm: u64,
+    /// Queries currently running.
+    pub running: u64,
+    /// Queries waiting in the admission queue.
+    pub queued: u64,
+}
+
+/// Collects one serving run's trace, flight-recorder ring, phase
+/// rollups, time-series registry, and per-tenant SLO accounts. The
+/// scheduler drives it at every lifecycle transition; it never
+/// influences scheduling decisions (pure observation).
 #[derive(Debug)]
 pub struct Recorder {
     trace: Trace,
@@ -77,6 +116,16 @@ pub struct Recorder {
     /// `(operator, phase)` → `(count, time_ns, bytes)`; `BTreeMap` keeps
     /// the export order deterministic.
     rollup: BTreeMap<(String, String), (u64, f64, u64)>,
+    /// Windowed counters/gauges/histograms on the simulated clock.
+    registry: MetricsRegistry,
+    /// Per-tenant SLO accounts, keyed by tenant label.
+    slo: BTreeMap<String, SloAccount>,
+    /// Per-query `(tenant, deadline_ns)` captured at enqueue so terminal
+    /// events can settle the SLO without re-threading the query.
+    meta: BTreeMap<QueryId, (String, Option<f64>)>,
+    /// Latest gauge snapshot as trace attributes, stamped onto every
+    /// flight-recorder dump marker.
+    gauge_ctx: Vec<Attr>,
 }
 
 impl Recorder {
@@ -87,11 +136,23 @@ impl Recorder {
         trace.name_process(SCHEDULER_PID, "scheduler");
         trace.name_thread(SCHEDULER_PID, SCHED_TID_FAULTS, "faults");
         trace.name_thread(SCHEDULER_PID, SCHED_TID_FLIGHT, "flight-recorder");
+        trace.name_thread(SCHEDULER_PID, SCHED_TID_GAUGES, "gauges");
         Recorder {
             trace,
             flight: FlightRecorder::new(flight_capacity),
             rollup: BTreeMap::new(),
+            registry: MetricsRegistry::new(METRICS_WINDOW_NS),
+            slo: BTreeMap::new(),
+            meta: BTreeMap::new(),
+            gauge_ctx: Vec::new(),
         }
+    }
+
+    /// The tenant account for `tenant`, created on first touch.
+    fn slo_entry(&mut self, tenant: &str) -> &mut SloAccount {
+        self.slo
+            .entry(tenant.to_string())
+            .or_insert_with(|| SloAccount::new(tenant))
     }
 
     /// Record a lifecycle instant on a query's lifecycle track and mirror
@@ -117,6 +178,11 @@ impl Recorder {
             attrs.push(Attr::f64("deadline_ns", d.0));
         }
         self.lifecycle(id, "enqueue", ts, attrs);
+        let tenant = tenant_of(&q.name).to_string();
+        self.registry
+            .counter_inc(&format!("tenant.{tenant}.enqueued"), sim_ns(ts.0));
+        self.registry.counter_inc("sched.enqueued", sim_ns(ts.0));
+        self.meta.insert(id, (tenant, q.deadline.map(|d| d.0)));
     }
 
     /// A query was admitted: memory reserved, operator chosen, running.
@@ -157,11 +223,13 @@ impl Recorder {
                 Attr::f64("backoff_ns", backoff.0),
             ],
         );
+        self.registry.counter_inc("sched.retries", sim_ns(ts.0));
     }
 
     /// A query's reservation was revoked by capacity loss.
     pub fn revoked(&mut self, id: QueryId, ts: Ns) {
         self.lifecycle(id, "revoked", ts, Vec::new());
+        self.registry.counter_inc("sched.revocations", sim_ns(ts.0));
     }
 
     /// A running query's memory grant was revised in place (the
@@ -191,6 +259,13 @@ impl Recorder {
                 Attr::str("reason", reason),
             ],
         );
+        self.registry
+            .counter_inc("sched.grant_revisions", sim_ns(ts.0));
+        self.registry
+            .counter_inc(&format!("sched.grant_revisions.{kind}"), sim_ns(ts.0));
+        if let Some((tenant, _)) = self.meta.get(&id).cloned() {
+            self.slo_entry(&tenant).grant_revisions += 1;
+        }
         self.dump("grant-revision", ts);
     }
 
@@ -214,20 +289,35 @@ impl Recorder {
                 Attr::str("reason", reason),
             ],
         );
+        self.registry.counter_inc("sched.downgrades", sim_ns(ts.0));
         self.dump("downgrade", ts);
     }
 
-    /// A query was refused with a typed reason.
+    /// A query was refused with a typed reason. A shed of a
+    /// deadline-holding query settles its tenant's SLO as a violation.
     pub fn shed(&mut self, id: QueryId, ts: Ns, reason: &RejectReason) {
+        let kind = reject_kind(reason);
         self.lifecycle(
             id,
             "shed",
             ts,
             vec![
-                Attr::str("kind", reject_kind(reason)),
+                Attr::str("kind", kind),
                 Attr::str("reason", reason.to_string()),
             ],
         );
+        self.registry.counter_inc("sched.shed", sim_ns(ts.0));
+        self.registry
+            .counter_inc(&format!("sched.shed.{kind}"), sim_ns(ts.0));
+        if let Some((tenant, deadline)) = self.meta.remove(&id) {
+            self.registry
+                .counter_inc(&format!("tenant.{tenant}.shed"), sim_ns(ts.0));
+            let account = self.slo_entry(&tenant);
+            account.shed += 1;
+            if deadline.is_some() {
+                account.slo_total += 1;
+            }
+        }
     }
 
     /// A hardware fault struck the run: recorded on the scheduler's fault
@@ -239,18 +329,82 @@ impl Recorder {
             .attrs(attrs)
             .clone();
         self.flight.record(ev);
+        self.registry.counter_inc("sched.faults", sim_ns(ts.0));
+        self.registry
+            .counter_inc(&format!("sched.faults.{kind}"), sim_ns(ts.0));
         self.dump(kind, ts);
     }
 
-    /// Dump the flight ring onto the scheduler's flight track.
+    /// Dump the flight ring onto the scheduler's flight track, stamping
+    /// the marker with the latest gauge snapshot so forensics carry the
+    /// machine state (occupancy, utilization) at the decision point.
     fn dump(&mut self, reason: &str, ts: Ns) {
-        self.flight.dump(
+        self.flight.dump_with_context(
             &mut self.trace,
             SCHEDULER_PID,
             SCHED_TID_FLIGHT,
             reason,
             ts.0,
+            &self.gauge_ctx,
         );
+    }
+
+    /// Take one gauge observation at a scheduler decision point: update
+    /// the registry's gauges, refresh the flight-dump context, and emit
+    /// Perfetto counter lanes on [`SCHED_TID_GAUGES`]. Counter events are
+    /// only appended when a series member actually changed, so an idle
+    /// loop iteration costs nothing in the trace.
+    pub fn sample_gauges(&mut self, ts: Ns, s: &GaugeSample) {
+        let t = sim_ns(ts.0);
+        let mem_changed = self.registry.gauge_set("gpu.used_bytes", s.gpu_used.0, t)
+            | self
+                .registry
+                .gauge_set("gpu.requested_bytes", s.gpu_requested.0, t)
+            | self
+                .registry
+                .gauge_set("gpu.fragmentation_bytes", s.gpu_fragmentation.0, t)
+            | self
+                .registry
+                .gauge_set("gpu.occupancy_ppm", s.gpu_occupancy_ppm, t);
+        let util_changed = self.registry.gauge_set("util.link_ppm", s.link_util_ppm, t)
+            | self.registry.gauge_set("util.sm_ppm", s.sm_util_ppm, t)
+            | self
+                .registry
+                .gauge_set("util.gpu_mem_ppm", s.gpu_mem_util_ppm, t)
+            | self.registry.gauge_set("util.cpu_ppm", s.cpu_util_ppm, t);
+        let flight_changed = self.registry.gauge_set("sched.running", s.running, t)
+            | self.registry.gauge_set("sched.queued", s.queued, t);
+        if mem_changed {
+            self.trace
+                .counter(SCHEDULER_PID, SCHED_TID_GAUGES, "gpu_mem", ts.0)
+                .attr(Attr::u64("used_bytes", s.gpu_used.0))
+                .attr(Attr::u64("requested_bytes", s.gpu_requested.0))
+                .attr(Attr::u64("fragmentation_bytes", s.gpu_fragmentation.0))
+                .attr(Attr::u64("occupancy_ppm", s.gpu_occupancy_ppm));
+        }
+        if util_changed {
+            self.trace
+                .counter(SCHEDULER_PID, SCHED_TID_GAUGES, "utilization", ts.0)
+                .attr(Attr::u64("link_ppm", s.link_util_ppm))
+                .attr(Attr::u64("sm_ppm", s.sm_util_ppm))
+                .attr(Attr::u64("gpu_mem_ppm", s.gpu_mem_util_ppm))
+                .attr(Attr::u64("cpu_ppm", s.cpu_util_ppm));
+        }
+        if flight_changed {
+            self.trace
+                .counter(SCHEDULER_PID, SCHED_TID_GAUGES, "inflight", ts.0)
+                .attr(Attr::u64("running", s.running))
+                .attr(Attr::u64("queued", s.queued));
+        }
+        self.gauge_ctx = vec![
+            Attr::u64("gpu_used_bytes", s.gpu_used.0),
+            Attr::u64("gpu_occupancy_ppm", s.gpu_occupancy_ppm),
+            Attr::u64("gpu_fragmentation_bytes", s.gpu_fragmentation.0),
+            Attr::u64("link_util_ppm", s.link_util_ppm),
+            Attr::u64("sm_util_ppm", s.sm_util_ppm),
+            Attr::u64("running", s.running),
+            Attr::u64("queued", s.queued),
+        ];
     }
 
     /// A query completed: emit its queue span, stretched phase chain,
@@ -333,6 +487,39 @@ impl Recorder {
             attrs.push(Attr::u64("pairs_cached", p.pairs_cached()));
         }
         self.lifecycle(c.id, "complete", c.finish, attrs);
+
+        // Registry counters/histograms and SLO settlement. All values
+        // cross the float boundary once, through `sim_ns`.
+        let t = sim_ns(c.finish.0);
+        let latency_ns = sim_ns(c.latency().0);
+        self.registry.counter_inc("sched.completed", t);
+        self.registry
+            .counter_add("sched.tuples", c.report.tuples_actual, t);
+        self.registry.observe("sched.latency_ns", latency_ns, t);
+        self.registry
+            .observe("sched.queue_wait_ns", sim_ns(queue_wait), t);
+        for (key, time_ns, bytes) in phase_progress(&c.report) {
+            let op = c.operator;
+            self.registry
+                .counter_inc(&format!("phase.{op}.{key}.count"), t);
+            self.registry
+                .counter_add(&format!("phase.{op}.{key}.time_ns"), time_ns, t);
+            self.registry
+                .counter_add(&format!("phase.{op}.{key}.bytes"), bytes, t);
+        }
+        if let Some((tenant, deadline)) = self.meta.remove(&c.id) {
+            self.registry
+                .counter_inc(&format!("tenant.{tenant}.completed"), t);
+            let account = self.slo_entry(&tenant);
+            account.completed += 1;
+            account.latency.record(latency_ns);
+            if let Some(d) = deadline {
+                account.slo_total += 1;
+                if c.latency().0 <= d {
+                    account.slo_met += 1;
+                }
+            }
+        }
     }
 
     fn add_rollup(&mut self, operator: &str, phase: &str, time_ns: f64, bytes: u64) {
@@ -366,10 +553,30 @@ impl Recorder {
         self.flight.snapshot()
     }
 
+    /// The run's time-series registry so far.
+    #[must_use]
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The per-tenant SLO accounts so far, sorted by tenant label.
+    #[must_use]
+    pub fn slo_accounts(&self) -> Vec<SloAccount> {
+        self.slo.values().cloned().collect()
+    }
+
     /// Finish the run and take the trace.
     #[must_use]
     pub fn into_trace(self) -> Trace {
         self.trace
+    }
+
+    /// Finish the run and take every artifact: the trace, the
+    /// time-series registry, and the per-tenant SLO accounts.
+    #[must_use]
+    pub fn into_parts(self) -> (Trace, MetricsRegistry, Vec<SloAccount>) {
+        let slo = self.slo.into_values().collect();
+        (self.trace, self.registry, slo)
     }
 }
 
@@ -409,6 +616,62 @@ mod tests {
         assert_eq!(flight[1].name, "enqueue");
         assert_eq!(flight[2].name, "admit");
         assert_eq!(flight[3].name, "kernel-fault");
+    }
+
+    #[test]
+    fn gauge_sampling_is_change_driven_and_stamps_dumps() {
+        let mut obs = Recorder::new(8);
+        let s = GaugeSample {
+            gpu_used: Bytes(4096),
+            gpu_occupancy_ppm: 250_000,
+            running: 1,
+            ..GaugeSample::default()
+        };
+        obs.sample_gauges(Ns(10.0), &s);
+        // Identical snapshot: gauges unchanged, no new counter lanes.
+        obs.sample_gauges(Ns(20.0), &s);
+        obs.fault("kernel-fault", Ns(30.0), Vec::new());
+        let trace = obs.into_trace();
+        let lanes: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.pid == SCHEDULER_PID && e.tid == SCHED_TID_GAUGES)
+            .collect();
+        assert_eq!(lanes.len(), 3, "one counter event per group, once");
+        let marker = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "flight.dump")
+            .expect("fault dumps the ring");
+        assert!(
+            marker
+                .attrs
+                .iter()
+                .any(|a| a.key == "gpu_used_bytes"
+                    && a.value == triton_trace::AttrValue::U64(4096)),
+            "dump marker carries the latest gauge snapshot"
+        );
+    }
+
+    #[test]
+    fn terminal_events_settle_tenant_slo() {
+        let mut obs = Recorder::new(8);
+        let mut q = JoinQuery::new(
+            "dash-0",
+            triton_datagen::WorkloadSpec::paper_default(2, 256).generate(),
+            Ns::ZERO,
+        );
+        q.deadline = Some(Ns(100.0));
+        obs.enqueue(QueryId(0), &q, Ns(0.0));
+        obs.shed(QueryId(0), Ns(5.0), &RejectReason::QueueFull { limit: 1 });
+        let accounts = obs.slo_accounts();
+        assert_eq!(accounts.len(), 1);
+        assert_eq!(accounts[0].tenant, "dash");
+        assert_eq!(accounts[0].shed, 1);
+        assert_eq!(accounts[0].slo_total, 1, "shed deadline holder violates");
+        assert_eq!(accounts[0].slo_met, 0);
+        assert_eq!(obs.registry().counter("sched.shed.queue-full"), 1);
+        assert_eq!(obs.registry().counter("tenant.dash.enqueued"), 1);
     }
 
     #[test]

@@ -48,8 +48,11 @@ use triton_core::JoinReport;
 use triton_datagen::TUPLE_BYTES;
 use triton_hw::fault::splitmix64;
 use triton_hw::units::{Bytes, Ns};
-use triton_hw::{fair_share_rates, FaultPlan, HwConfig, ResourceVector};
+use triton_hw::{
+    aggregate_utilization, fair_share_rates, utilization_ppm, FaultPlan, HwConfig, ResourceVector,
+};
 use triton_mem::OutOfMemory;
+use triton_metrics::MetricsRegistry;
 
 use triton_trace::{Attr, Trace};
 
@@ -58,10 +61,11 @@ use crate::build_cache::BuildCache;
 use crate::demand::ResourceDemand;
 use crate::fault::{degraded_vector, FaultCause, FaultOutcome};
 use crate::metrics::{RunTotals, SchedulerMetrics};
-use crate::observe::Recorder;
+use crate::observe::{GaugeSample, Recorder};
 use crate::query::{JoinQuery, QueryId};
 use crate::resilience::downgrade_operator;
 pub use crate::resilience::ResilienceConfig;
+use crate::slo::SloAccount;
 
 /// Why the scheduler refused to run a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -264,6 +268,13 @@ pub struct ServeResult {
     /// [`triton_trace::to_chrome_json`] or render with
     /// [`triton_hw::Timeline::from_trace`].
     pub trace: Trace,
+    /// Windowed time-series telemetry on the simulated clock: scheduler
+    /// counters, allocator gauges, and latency histograms. Deterministic:
+    /// equal runs expose byte-identical text/JSON.
+    pub telemetry: MetricsRegistry,
+    /// Per-tenant SLO accounts (latency attainment, shed counts, error
+    /// budget burn, grant revisions), sorted by tenant label.
+    pub slo: Vec<SloAccount>,
 }
 
 impl ServeResult {
@@ -544,6 +555,27 @@ impl Scheduler {
             let weights: Vec<f64> = running.iter().map(|r| r.weight).collect();
             let rates = fair_share_rates(&loads, &weights);
 
+            // --- Gauge observation at this decision point: allocator
+            // occupancy plus aggregate utilization priced off the same
+            // arbitrated rates that drive the fluid state.
+            let util = aggregate_utilization(&loads, &rates);
+            obs.sample_gauges(
+                clock,
+                &GaugeSample {
+                    gpu_used: admission.reserved(),
+                    gpu_capacity: admission.capacity(),
+                    gpu_requested: admission.requested(),
+                    gpu_fragmentation: admission.fragmentation(),
+                    gpu_occupancy_ppm: admission.occupancy_ppm(),
+                    link_util_ppm: utilization_ppm(util.link),
+                    sm_util_ppm: utilization_ppm(util.compute),
+                    gpu_mem_util_ppm: utilization_ppm(util.gpu_mem),
+                    cpu_util_ppm: utilization_ppm(util.cpu),
+                    running: running.len() as u64,
+                    queued: queue.len() as u64,
+                },
+            );
+
             // --- Time to the next event.
             let t_complete = running
                 .iter()
@@ -663,10 +695,13 @@ impl Scheduler {
             },
             obs.rollups(),
         );
+        let (trace, telemetry, slo) = obs.into_parts();
         ServeResult {
             outcomes,
             metrics,
-            trace: obs.into_trace(),
+            trace,
+            telemetry,
+            slo,
         }
     }
 

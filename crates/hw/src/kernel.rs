@@ -508,6 +508,46 @@ pub fn fair_share_rates(loads: &[ResourceVector], weights: &[f64]) -> Vec<f64> {
     sigma
 }
 
+/// Machine-wide resource utilization implied by a set of tasks running at
+/// the given speeds: for each roofline resource `r`, the busy fraction is
+/// `Σ_q σ_q · u_{q,r}`, clamped to `[0, 1]`.
+///
+/// The inputs are the same cost-model-priced [`ResourceVector`]s and
+/// [`fair_share_rates`] speeds the scheduler arbitrates with, so this is
+/// the telemetry view of §5.2's overlap: `link` is NVLink wire
+/// utilization, `compute` is SM issue-slot occupancy, and so on. Returns
+/// the zero vector when nothing runs. Panics if the slices differ in
+/// length (same contract as [`fair_share_rates`]).
+pub fn aggregate_utilization(loads: &[ResourceVector], rates: &[f64]) -> ResourceVector {
+    assert_eq!(loads.len(), rates.len());
+    let mut total = ResourceVector::default();
+    for (l, &s) in loads.iter().zip(rates) {
+        total.link += s * l.link;
+        total.gpu_mem += s * l.gpu_mem;
+        total.compute += s * l.compute;
+        total.tlb += s * l.tlb;
+        total.cpu += s * l.cpu;
+    }
+    ResourceVector {
+        link: total.link.clamp(0.0, 1.0),
+        gpu_mem: total.gpu_mem.clamp(0.0, 1.0),
+        compute: total.compute.clamp(0.0, 1.0),
+        tlb: total.tlb.clamp(0.0, 1.0),
+        cpu: total.cpu.clamp(0.0, 1.0),
+    }
+}
+
+/// A busy fraction as integer parts-per-million — the float→integer
+/// boundary for utilization gauges, so downstream telemetry stays in
+/// integer arithmetic. Non-finite and negative inputs clamp to 0.
+pub fn utilization_ppm(fraction: f64) -> u64 {
+    if fraction.is_finite() && fraction > 0.0 {
+        (fraction.min(1.0) * 1_000_000.0) as u64
+    } else {
+        0
+    }
+}
+
 /// Sum kernel times sequentially (barrier between each).
 pub fn serial(times: &[Ns]) -> Ns {
     times.iter().copied().sum()
@@ -816,5 +856,41 @@ mod tests {
         k.link.seq_read = Bytes::gib(2);
         let t = k.timing(&h);
         assert!(t.link_utilization() > 0.95);
+    }
+
+    #[test]
+    fn aggregate_utilization_sums_and_clamps() {
+        let link_bound = ResourceVector {
+            link: 1.0,
+            gpu_mem: 0.2,
+            ..ResourceVector::default()
+        };
+        let compute_bound = ResourceVector {
+            compute: 1.0,
+            gpu_mem: 0.3,
+            ..ResourceVector::default()
+        };
+        let loads = [link_bound, compute_bound];
+        let rates = fair_share_rates(&loads, &[1.0, 1.0]);
+        let u = aggregate_utilization(&loads, &rates);
+        // Two complementary bound tasks at full speed: both resources
+        // saturated, memory traffic additive.
+        assert!(u.link > 0.99, "{u:?}");
+        assert!(u.compute > 0.99, "{u:?}");
+        assert!((u.gpu_mem - 0.5).abs() < 1e-9, "{u:?}");
+        assert!((u.cpu - 0.0).abs() < 1e-12, "{u:?}");
+        // Never above 1 even when demand oversubscribes.
+        let o = aggregate_utilization(&[link_bound; 3], &[1.0; 3]);
+        assert!((o.link - 1.0).abs() < 1e-12, "{o:?}");
+        assert!(aggregate_utilization(&[], &[]).peak() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_ppm_is_a_safe_boundary() {
+        assert_eq!(utilization_ppm(0.0), 0);
+        assert_eq!(utilization_ppm(-0.5), 0);
+        assert_eq!(utilization_ppm(f64::NAN), 0);
+        assert_eq!(utilization_ppm(2.0), 1_000_000);
+        assert_eq!(utilization_ppm(0.5), 500_000);
     }
 }

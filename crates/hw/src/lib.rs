@@ -41,8 +41,8 @@ pub mod units;
 pub use config::{CpuConfig, GpuConfig, HwConfig, LinkConfig, PowerConfig, TlbConfig};
 pub use fault::{splitmix64, unit_f64, FaultEvent, FaultKind, FaultPlan};
 pub use kernel::{
-    fair_share_rates, lpt_order, pipeline2_scheduled, Bound, KernelCost, KernelTiming,
-    ResourceVector, StallProfile,
+    aggregate_utilization, fair_share_rates, lpt_order, pipeline2_scheduled, utilization_ppm,
+    Bound, KernelCost, KernelTiming, ResourceVector, StallProfile,
 };
 pub use link::{Alignment, Dir, LinkModel, WireCost};
 pub use timeline::Timeline;

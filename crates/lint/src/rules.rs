@@ -119,8 +119,8 @@ pub struct FileClass {
 /// Library crates: panics in their non-test code take the whole serving
 /// process down, so P1 applies. `bench` is a reporting harness and
 /// exempt; `lint` holds itself to the same bar as the libraries.
-const LIB_CRATES: [&str; 9] = [
-    "core", "hw", "mem", "part", "datagen", "plan", "exec", "lint", "trace",
+const LIB_CRATES: [&str; 10] = [
+    "core", "hw", "mem", "part", "datagen", "plan", "exec", "lint", "trace", "metrics",
 ];
 
 impl FileClass {

@@ -74,6 +74,10 @@ pub struct SimAllocator {
     cpu_capacity: u64,
     gpu_used: u64,
     cpu_used: u64,
+    // Live *requested* bytes per side (before page rounding): the gap to
+    // `used` is internal fragmentation, exported as a telemetry gauge.
+    gpu_requested: u64,
+    cpu_requested: u64,
     next_vaddr: u64,
 }
 
@@ -86,6 +90,8 @@ impl SimAllocator {
             cpu_capacity: hw.cpu.mem_capacity.0,
             gpu_used: 0,
             cpu_used: 0,
+            gpu_requested: 0,
+            cpu_requested: 0,
             // Start away from zero so "null" never aliases an allocation.
             next_vaddr: 1 << 20,
         }
@@ -140,6 +146,48 @@ impl SimAllocator {
         self.page_size
     }
 
+    /// Live requested bytes on `side` — what callers asked for, before
+    /// page rounding. Always `<=` [`Self::used`].
+    pub fn requested(&self, side: MemSide) -> Bytes {
+        match side {
+            MemSide::Gpu => Bytes(self.gpu_requested),
+            MemSide::Cpu => Bytes(self.cpu_requested),
+        }
+    }
+
+    /// Internal fragmentation on `side`: bytes charged to the device
+    /// budget that no caller asked for (huge-page rounding waste). This
+    /// is the allocator's fragmentation gauge — it rises as many small
+    /// allocations each strand a partial page, and returns to zero when
+    /// they are freed.
+    pub fn fragmentation(&self, side: MemSide) -> Bytes {
+        Bytes(match side {
+            MemSide::Gpu => self.gpu_used.saturating_sub(self.gpu_requested),
+            MemSide::Cpu => self.cpu_used.saturating_sub(self.cpu_requested),
+        })
+    }
+
+    /// Occupancy of `side` in integer parts-per-million of current
+    /// capacity (may exceed 1_000_000 while overcommitted after a
+    /// [`Self::retire`]). Integer math so telemetry gauges built on it
+    /// replay byte-identically.
+    pub fn occupancy_ppm(&self, side: MemSide) -> u64 {
+        let cap = self.capacity(side).0;
+        if cap == 0 {
+            return 0;
+        }
+        (u128::from(self.used(side).0) * 1_000_000 / u128::from(cap)) as u64
+    }
+
+    /// Bookkeeping for requested-byte deltas.
+    fn note_requested(&mut self, side: MemSide, add: u64, sub: u64) {
+        let slot = match side {
+            MemSide::Gpu => &mut self.gpu_requested,
+            MemSide::Cpu => &mut self.cpu_requested,
+        };
+        *slot = slot.saturating_add(add).saturating_sub(sub);
+    }
+
     /// Allocate `len` bytes on `side`.
     pub fn alloc(&mut self, side: MemSide, len: Bytes) -> Result<Allocation, OutOfMemory> {
         let pages = len.0.div_ceil(self.page_size);
@@ -156,6 +204,7 @@ impl SimAllocator {
             MemSide::Gpu => self.gpu_used += phys,
             MemSide::Cpu => self.cpu_used += phys,
         }
+        self.note_requested(side, len.0, 0);
         let base = self.next_vaddr;
         self.next_vaddr += phys;
         Ok(Allocation {
@@ -198,6 +247,7 @@ impl SimAllocator {
                 MemSide::Cpu => self.cpu_used = self.cpu_used.saturating_sub(delta),
             }
         }
+        self.note_requested(alloc.side, new_len.0, alloc.len);
         Ok(Allocation {
             base: alloc.base,
             len: new_len.0,
@@ -212,6 +262,7 @@ impl SimAllocator {
             MemSide::Gpu => self.gpu_used = self.gpu_used.saturating_sub(phys),
             MemSide::Cpu => self.cpu_used = self.cpu_used.saturating_sub(phys),
         }
+        self.note_requested(alloc.side, 0, alloc.len);
     }
 
     /// Allocate a hybrid array of `len` bytes, caching up to
@@ -262,6 +313,11 @@ impl SimAllocator {
         }
         self.gpu_used += gpu_pages * self.page_size;
         self.cpu_used += cpu_bytes;
+        // Resident pages are fully requested up to the array length; the
+        // page-rounding waste is attributed to the spilled (CPU) share.
+        let gpu_req = (gpu_pages * self.page_size).min(len.0);
+        self.note_requested(MemSide::Gpu, gpu_req, 0);
+        self.note_requested(MemSide::Cpu, len.0 - gpu_req, 0);
         let base = self.next_vaddr;
         self.next_vaddr += total_pages * self.page_size;
         Ok(HybridLayout::with_placement(
@@ -312,6 +368,11 @@ impl SimAllocator {
         }
         self.gpu_used += gpu_pages * self.page_size;
         self.cpu_used += cpu_bytes;
+        // Resident pages are fully requested up to the array length; the
+        // page-rounding waste is attributed to the spilled (CPU) share.
+        let gpu_req = (gpu_pages * self.page_size).min(len.0);
+        self.note_requested(MemSide::Gpu, gpu_req, 0);
+        self.note_requested(MemSide::Cpu, len.0 - gpu_req, 0);
         let base = self.next_vaddr;
         self.next_vaddr += total_pages * self.page_size;
         Ok(HybridLayout::with_placement(
@@ -330,6 +391,9 @@ impl SimAllocator {
         self.cpu_used = self
             .cpu_used
             .saturating_sub((total_pages - gpu_pages) * self.page_size);
+        let gpu_req = (gpu_pages * self.page_size).min(layout.len());
+        self.note_requested(MemSide::Gpu, 0, gpu_req);
+        self.note_requested(MemSide::Cpu, 0, layout.len() - gpu_req);
     }
 }
 
@@ -503,6 +567,57 @@ mod tests {
         let layout = a.alloc_hybrid_planned(Bytes(4 * ps), plan).unwrap();
         assert_eq!(layout.gpu_bytes(), ps);
         assert_eq!(a.used(MemSide::Gpu).0, g0 + ps);
+    }
+
+    #[test]
+    fn fragmentation_gauge_tracks_page_rounding_waste() {
+        let mut a = small_alloc();
+        let ps = a.page_size();
+        assert_eq!(a.fragmentation(MemSide::Gpu), Bytes(0));
+        // One byte strands almost a full page.
+        let x = a.alloc(MemSide::Gpu, Bytes(1)).unwrap();
+        assert_eq!(a.requested(MemSide::Gpu), Bytes(1));
+        assert_eq!(a.fragmentation(MemSide::Gpu), Bytes(ps - 1));
+        // A page-aligned allocation adds no waste.
+        let y = a.alloc(MemSide::Gpu, Bytes(2 * ps)).unwrap();
+        assert_eq!(a.fragmentation(MemSide::Gpu), Bytes(ps - 1));
+        // Resize re-attributes: 1 byte -> half a page.
+        let x = a.resize(x, Bytes(ps / 2)).unwrap();
+        assert_eq!(a.fragmentation(MemSide::Gpu), Bytes(ps - ps / 2));
+        a.free(x);
+        a.free(y);
+        assert_eq!(a.fragmentation(MemSide::Gpu), Bytes(0));
+        assert_eq!(a.requested(MemSide::Gpu), Bytes(0));
+    }
+
+    #[test]
+    fn occupancy_ppm_is_integer_and_saturation_aware() {
+        let mut a = small_alloc();
+        let cap = a.capacity(MemSide::Gpu).0;
+        assert_eq!(a.occupancy_ppm(MemSide::Gpu), 0);
+        let x = a.alloc(MemSide::Gpu, Bytes(cap / 2)).unwrap();
+        let ppm = a.occupancy_ppm(MemSide::Gpu);
+        assert!((499_000..=501_000).contains(&ppm), "{ppm}");
+        // Retirement can push occupancy past one million.
+        a.retire(MemSide::Gpu, Bytes(cap * 3 / 4));
+        assert!(a.occupancy_ppm(MemSide::Gpu) > 1_000_000);
+        a.free(x);
+        // Zero capacity never divides by zero.
+        a.retire(MemSide::Gpu, Bytes(u64::MAX));
+        assert_eq!(a.occupancy_ppm(MemSide::Gpu), 0);
+    }
+
+    #[test]
+    fn hybrid_requested_attribution_reverses_on_free() {
+        let mut a = small_alloc();
+        let len = Bytes((1 << 22) + 123);
+        let layout = a.alloc_hybrid(len, Bytes(1 << 21)).unwrap();
+        let total_req = a.requested(MemSide::Gpu).0 + a.requested(MemSide::Cpu).0;
+        assert_eq!(total_req, len.0);
+        a.free_hybrid(&layout);
+        assert_eq!(a.requested(MemSide::Gpu), Bytes(0));
+        assert_eq!(a.requested(MemSide::Cpu), Bytes(0));
+        assert_eq!(a.fragmentation(MemSide::Cpu), Bytes(0));
     }
 
     #[test]

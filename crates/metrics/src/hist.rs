@@ -1,0 +1,290 @@
+//! Fixed-boundary log2-bucket streaming histogram.
+//!
+//! The bucket layout is an HDR-style two-level scheme computed with
+//! integer arithmetic only — no floats touch the bucket math, so two
+//! replays of the same value stream produce byte-identical state on any
+//! host:
+//!
+//! * values `0..16` land in sixteen exact single-value buckets;
+//! * every larger value lands in one of 16 linear sub-buckets of its
+//!   power-of-two major bucket: bucket boundaries are
+//!   `(16 + sub) << (major - 1)` for `major >= 1`, `sub` in `0..16`.
+//!
+//! The relative bucket width is therefore at most 1/16 (6.25 %) of the
+//! value, the index space is a fixed 976 slots, and storage is a sparse
+//! map of the buckets actually hit — bounded regardless of how many
+//! samples stream through, which is what lets the scheduler keep one
+//! histogram per window without ever holding a latency vector.
+
+use std::collections::BTreeMap;
+
+/// log2 of the sub-bucket count per major bucket.
+const SUB_BITS: u32 = 4;
+/// Linear sub-buckets per power-of-two major bucket.
+const SUB: u64 = 1 << SUB_BITS;
+/// One past the largest reachable bucket index (`msb = 63`).
+const NUM_BUCKETS: u64 = (64 - SUB_BITS as u64) * SUB + SUB;
+
+/// Streaming histogram over `u64` values (simulated nanoseconds, bytes,
+/// counts — any non-negative integer series).
+///
+/// Bounded memory: at most [`Log2Histogram::num_buckets`] sparse slots
+/// plus five scalars, however many values are recorded. Byte-identical
+/// across replays: all state transitions are integer arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Log2Histogram {
+    /// Sparse bucket index → sample count.
+    buckets: BTreeMap<u16, u64>,
+    /// Total samples recorded.
+    count: u64,
+    /// Exact sum of recorded values (saturating).
+    sum: u64,
+    /// Smallest recorded value (exact, not bucketed).
+    min: u64,
+    /// Largest recorded value (exact, not bucketed).
+    max: u64,
+}
+
+/// Bucket index for a value. Integer-only.
+fn index_of(v: u64) -> u16 {
+    if v < SUB {
+        return v as u16;
+    }
+    let msb = 63 - v.leading_zeros();
+    let major = (msb - SUB_BITS + 1) as u64;
+    let sub = (v >> (msb - SUB_BITS)) & (SUB - 1);
+    (major * SUB + sub) as u16
+}
+
+/// Inclusive lower boundary of a bucket index. Integer-only.
+fn lower_of(idx: u16) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let major = idx / SUB;
+    let sub = idx % SUB;
+    (SUB + sub) << (major - 1)
+}
+
+/// Width of a bucket index (its value range covers `[lower, lower + width)`).
+fn width_of(idx: u16) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        1
+    } else {
+        1 << (idx / SUB - 1)
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Log2Histogram {
+        Log2Histogram::default()
+    }
+
+    /// The fixed size of the bucket index space (memory upper bound).
+    pub fn num_buckets() -> u64 {
+        NUM_BUCKETS
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let slot = self.buckets.entry(index_of(v)).or_insert(0);
+        *slot = slot.saturating_add(1);
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Fold another histogram into this one. Merging the per-window
+    /// histograms of a run reproduces the run-total histogram exactly
+    /// (equality, not approximation) — the reconciliation invariant.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (&idx, &n) in &other.buckets {
+            let slot = self.buckets.entry(idx).or_insert(0);
+            *slot = slot.saturating_add(n);
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact (saturating) sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100), resolved to the lower
+    /// boundary of the bucket holding that rank, clamped to the exact
+    /// recorded `[min, max]`. The error versus the exact nearest-rank
+    /// sample is therefore below one bucket width (≤ 1/16 relative).
+    pub fn value_at_percentile(&self, p: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.min(100);
+        let rank = (p * self.count).div_ceil(100).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (&idx, &n) in &self.buckets {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return lower_of(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Width of the bucket the value `v` falls in — the agreement bound
+    /// between [`Log2Histogram::value_at_percentile`] and the exact
+    /// nearest-rank percentile of the raw samples.
+    pub fn bucket_width_for(v: u64) -> u64 {
+        width_of(index_of(v))
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` in ascending order —
+    /// the exposition encoding.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().map(|(&idx, &n)| (lower_of(idx), n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Log2Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for p in [0, 1, 50, 100] {
+            let v = h.value_at_percentile(p);
+            assert!(v < 16, "p{p} -> {v}");
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.sum(), (0..16).sum::<u64>());
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_log2_with_16_subbuckets() {
+        // Boundary values map to sub-bucket lower bounds exactly.
+        for (v, lower) in [
+            (16u64, 16u64),
+            (17, 17),
+            (31, 31),
+            (32, 32),
+            (33, 32),
+            (48, 48),
+            (1 << 20, 1 << 20),
+            ((1 << 20) + 1, 1 << 20),
+            (u64::MAX, (2 * SUB - 1) << 59),
+        ] {
+            let idx = index_of(v);
+            assert_eq!(lower_of(idx), lower, "v={v}");
+            assert!(lower_of(idx) <= v, "v={v}");
+            assert!(v - lower_of(idx) < width_of(idx), "v={v}");
+        }
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_subbucket() {
+        for shift in 4..63u32 {
+            let v = (1u64 << shift) + (1u64 << shift.saturating_sub(1)) / 3;
+            let idx = index_of(v);
+            let w = width_of(idx);
+            assert!(w * SUB <= v.next_power_of_two().max(SUB), "v={v} w={w}");
+        }
+    }
+
+    #[test]
+    fn merge_reproduces_the_union_exactly() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        let mut whole = Log2Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * i % 7919 + i;
+            whole.record(v);
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn percentile_within_one_bucket_of_exact_nearest_rank() {
+        let mut h = Log2Histogram::new();
+        let mut raw: Vec<u64> = (0..500u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        for &v in &raw {
+            h.record(v);
+        }
+        raw.sort_unstable();
+        for p in [50u64, 90, 99] {
+            let rank = (p * raw.len() as u64)
+                .div_ceil(100)
+                .clamp(1, raw.len() as u64);
+            let exact = raw[(rank - 1) as usize];
+            let approx = h.value_at_percentile(p);
+            let width = Log2Histogram::bucket_width_for(exact);
+            assert!(
+                approx <= exact && exact - approx < width,
+                "p{p}: approx {approx} exact {exact} width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.value_at_percentile(99), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn index_space_is_bounded() {
+        assert!(u64::from(index_of(u64::MAX)) < NUM_BUCKETS);
+        assert_eq!(NUM_BUCKETS, 976);
+    }
+}

@@ -73,6 +73,10 @@ pub fn to_chrome_json(trace: &Trace) -> String {
                 out.push_str(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
                 push_f64(&mut out, ev.ts_ns / 1e3);
             }
+            EventKind::Counter => {
+                out.push_str(",\"ph\":\"C\",\"ts\":");
+                push_f64(&mut out, ev.ts_ns / 1e3);
+            }
         }
         let _ = std::fmt::Write::write_fmt(
             &mut out,
@@ -132,6 +136,13 @@ pub fn validate_chrome(json: &str) -> Result<usize, String> {
                             return Err(format!("event {events} is missing {key}"));
                         }
                     }
+                    // A counter sample with no series is invisible to
+                    // Perfetto: require at least one args entry.
+                    if obj.contains("\"ph\":\"C\"")
+                        && (!obj.contains("\"args\":{") || obj.contains("\"args\":{}"))
+                    {
+                        return Err(format!("counter event {events} has no args series"));
+                    }
                     events += 1;
                 }
             }
@@ -176,6 +187,30 @@ mod tests {
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("\"cache_hit\":true"));
+    }
+
+    #[test]
+    fn counter_events_export_as_ph_c_and_validate() {
+        let mut t = Trace::new();
+        t.name_thread(0, 2, "gauges");
+        t.counter(0, 2, "gpu_mem", 2000.0)
+            .attr(Attr::u64("used_bytes", 1 << 20))
+            .attr(Attr::u64("fragmentation_bytes", 4096));
+        let json = to_chrome_json(&t);
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        // Timestamps are microseconds: 2000 ns -> 2 us.
+        assert!(json.contains("\"ph\":\"C\",\"ts\":2,"), "{json}");
+        assert!(json.contains("\"used_bytes\":1048576"), "{json}");
+        assert_eq!(validate_chrome(&json), Ok(2));
+    }
+
+    #[test]
+    fn validation_rejects_counter_without_series() {
+        let mut t = Trace::new();
+        t.counter(0, 2, "empty_gauge", 0.0);
+        let json = to_chrome_json(&t);
+        let err = validate_chrome(&json).unwrap_err();
+        assert!(err.contains("no args series"), "{err}");
     }
 
     #[test]

@@ -72,6 +72,10 @@ pub enum EventKind {
     /// A point-in-time marker (Chrome `ph: "i"`).
     // triton-lint: allow(d2) -- names the Chrome instant event phase, not std::time::Instant
     Instant,
+    /// A counter sample (Chrome `ph: "C"`): Perfetto renders the event's
+    /// numeric attributes as stacked counter-track series. The sampled
+    /// values live in [`TraceEvent::attrs`] so the variant stays `Copy`.
+    Counter,
 }
 
 /// One recorded event. Tracks are addressed Chrome-style: a `pid` groups
@@ -113,6 +117,7 @@ impl TraceEvent {
             EventKind::Span { dur_ns } => self.ts_ns + dur_ns,
             // triton-lint: allow(d2) -- matches the Chrome instant variant, not std::time::Instant
             EventKind::Instant => self.ts_ns,
+            EventKind::Counter => self.ts_ns,
         }
     }
 }

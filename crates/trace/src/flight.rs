@@ -81,6 +81,23 @@ impl FlightRecorder {
         reason: &str,
         ts_ns: f64,
     ) -> usize {
+        self.dump_with_context(trace, pid, tid, reason, ts_ns, &[])
+    }
+
+    /// Like [`FlightRecorder::dump`], but stamping `context` attributes
+    /// onto the `flight.dump` marker — the owner's latest resource
+    /// snapshot (memory occupancy, link utilization, ...), so post-fault
+    /// forensics show the machine state at the decision point, not just
+    /// the event prehistory.
+    pub fn dump_with_context(
+        &mut self,
+        trace: &mut Trace,
+        pid: u64,
+        tid: u64,
+        reason: &str,
+        ts_ns: f64,
+        context: &[Attr],
+    ) -> usize {
         self.dumps += 1;
         let seq = self.dumps;
         let replayed = self.buf.len();
@@ -89,7 +106,8 @@ impl FlightRecorder {
             .attr(Attr::str("reason", reason))
             .attr(Attr::u64("dump_seq", seq))
             .attr(Attr::u64("events", replayed as u64))
-            .attr(Attr::u64("evicted", self.recorded - replayed as u64));
+            .attr(Attr::u64("evicted", self.recorded - replayed as u64))
+            .attrs(context.iter().cloned());
         for ev in &self.buf {
             let mut replay = ev.clone();
             replay.pid = pid;
@@ -148,6 +166,33 @@ mod tests {
             .attrs
             .iter()
             .any(|a| a.key == "dump_seq" && a.value == crate::AttrValue::U64(2)));
+    }
+
+    #[test]
+    fn dump_with_context_stamps_the_marker_only() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(marker(0));
+        fr.record(marker(1));
+        let mut trace = Trace::new();
+        let ctx = [
+            Attr::u64("gpu_used_bytes", 4096),
+            Attr::u64("link_util_ppm", 750_000),
+        ];
+        fr.dump_with_context(&mut trace, 0, 1, "ecc-retirement", 99.0, &ctx);
+        let m = &trace.events()[0];
+        assert_eq!(m.name, "flight.dump");
+        let get = |key: &str| {
+            m.attrs
+                .iter()
+                .find(|a| a.key == key)
+                .map(|a| a.value.clone())
+        };
+        assert_eq!(get("gpu_used_bytes"), Some(crate::AttrValue::U64(4096)));
+        assert_eq!(get("link_util_ppm"), Some(crate::AttrValue::U64(750_000)));
+        // Replayed events carry the dump tag, not the context.
+        for ev in &trace.events()[1..] {
+            assert!(ev.attrs.iter().all(|a| a.key != "gpu_used_bytes"));
+        }
     }
 
     #[test]

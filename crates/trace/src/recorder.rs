@@ -68,6 +68,26 @@ impl Trace {
         })
     }
 
+    /// Record a counter sample and return it for attribute chaining: the
+    /// numeric attributes attached to it become the counter-track series
+    /// Perfetto plots under `name` (Chrome `ph: "C"`).
+    pub fn counter(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: impl Into<String>,
+        ts_ns: f64,
+    ) -> &mut TraceEvent {
+        self.push(TraceEvent {
+            pid,
+            tid,
+            name: name.into(),
+            ts_ns,
+            kind: EventKind::Counter,
+            attrs: Vec::new(),
+        })
+    }
+
     /// Record a prebuilt event and return it for attribute chaining.
     pub fn push(&mut self, ev: TraceEvent) -> &mut TraceEvent {
         let idx = self.events.len();

@@ -12,8 +12,10 @@
 //! scale, default 512 — admission budgets scale with it just like the
 //! workloads). Pass `--trace <path>` to export the run as Chrome
 //! `trace_event` JSON (open in Perfetto / `chrome://tracing`) and print
-//! an ASCII timeline of the per-query tracks. Pass `--plan` to add a
-//! fourth tenant running a TPC-H-Q3-shaped multi-operator plan
+//! an ASCII timeline of the per-query tracks. Pass `--metrics <path>`
+//! to dump the telemetry registry's text exposition (deterministic:
+//! two same-seed runs produce byte-identical files). Pass `--plan` to
+//! add a fourth tenant running a TPC-H-Q3-shaped multi-operator plan
 //! (select → Bloom → join → join → aggregate) alongside the joins —
 //! admission reserves its peak concurrent operator footprint, not the
 //! sum of all operators.
@@ -28,15 +30,18 @@ use triton_hw::units::Ns;
 use triton_hw::{HwConfig, Timeline};
 use triton_plan::tpch_query;
 
-/// Parse `[K] [--trace <path>] [--plan]` in any order.
-fn parse_args() -> (u64, Option<String>, bool) {
+/// Parse `[K] [--trace <path>] [--metrics <path>] [--plan]` in any order.
+fn parse_args() -> (u64, Option<String>, Option<String>, bool) {
     let mut k: Option<u64> = None;
     let mut trace: Option<String> = None;
+    let mut metrics: Option<String> = None;
     let mut plan = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace" {
             trace = args.next();
+        } else if a == "--metrics" {
+            metrics = args.next();
         } else if a == "--plan" {
             plan = true;
         } else if let Ok(v) = a.parse() {
@@ -46,11 +51,11 @@ fn parse_args() -> (u64, Option<String>, bool) {
     let k = k
         .or_else(|| std::env::var("TRITON_SCALE").ok()?.parse().ok())
         .unwrap_or(512);
-    (k, trace, plan)
+    (k, trace, metrics, plan)
 }
 
 fn main() {
-    let (k, trace_path, with_plan) = parse_args();
+    let (k, trace_path, metrics_path, with_plan) = parse_args();
     let hw = HwConfig::ac922().scaled(k);
     println!("== multi-tenant join serving (K = {k}) ==\n");
 
@@ -146,6 +151,20 @@ fn main() {
         res.metrics.shed_queue_full,
         res.metrics.shed_capacity
     );
+
+    // Per-tenant SLO ledgers settled by the scheduler.
+    for account in &res.slo {
+        println!("slo: {}", account.summary());
+    }
+
+    if let Some(path) = metrics_path {
+        let text = res.telemetry.expose_text();
+        if let Err(e) = std::fs::write(&path, &text) {
+            eprintln!("metrics: failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("metrics: {} bytes of exposition -> {path}", text.len());
+    }
 
     if let Some(path) = trace_path {
         let json = to_chrome_json(&res.trace);

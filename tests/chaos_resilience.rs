@@ -135,6 +135,16 @@ fn chaos_runs_replay_byte_identically() {
         let b = run();
         assert_eq!(a.metrics, b.metrics, "seed {seed}: two replays diverged");
         assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        assert_eq!(
+            a.telemetry.expose_text(),
+            b.telemetry.expose_text(),
+            "seed {seed}: telemetry text exposition diverged"
+        );
+        assert_eq!(
+            a.telemetry.expose_json(),
+            b.telemetry.expose_json(),
+            "seed {seed}: telemetry JSON exposition diverged"
+        );
         assert_eq!(a.outcomes.len(), n);
         assert_eq!(
             a.metrics.completed + a.metrics.rejected,

@@ -66,7 +66,7 @@ fn per_query_spans_sum_to_latency() {
             })
             .filter_map(|e| match e.kind {
                 EventKind::Span { dur_ns } => Some(dur_ns),
-                EventKind::Instant => None,
+                EventKind::Instant | EventKind::Counter => None,
             })
             .sum();
         let latency = c.latency().0;
