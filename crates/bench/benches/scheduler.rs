@@ -1,0 +1,87 @@
+//! Microbenchmarks of the serving scheduler's decision overhead:
+//! host-side wall time of admission + arbitration per 1k arrivals,
+//! comparing the event-per-arrival loop against the epoch-batched
+//! throughput path, with and without the cost/plan memos. The fluid
+//! simulation does no real joins per *re*-pricing when the memo hits,
+//! so the spread between the configurations is exactly the scheduler
+//! overhead the throughput path removes.
+
+use triton_bench::micro::Group;
+use triton_datagen::WorkloadSpec;
+use triton_exec::{JoinQuery, Scheduler, SchedulerConfig};
+use triton_hw::units::Ns;
+use triton_hw::HwConfig;
+
+const K: u64 = 512;
+const ARRIVALS: usize = 1000;
+
+/// 1k arrivals: a bounded pool of repeat statements (4 build families ×
+/// 4 distinct probe batches each) cycling at a fixed cadence — the
+/// sustained-load shape the epoch batch and the pricing memo both
+/// target: builds are shared and repeat statements re-price the same
+/// (workload, grant) pairs.
+fn arrivals() -> Vec<JoinQuery> {
+    let families: Vec<_> = (0..4)
+        .map(|f| {
+            let mut spec = WorkloadSpec::paper_default(4, K);
+            spec.seed = 0xABBA ^ (f as u64);
+            spec.generate()
+        })
+        .collect();
+    let pool: Vec<(usize, triton_datagen::Workload)> = (0..16)
+        .map(|s| {
+            let fam = s % families.len();
+            let base = &families[fam];
+            let w = if s < families.len() {
+                base.clone()
+            } else {
+                JoinQuery::probe_batch(base, s as u64)
+            };
+            (fam, w)
+        })
+        .collect();
+    (0..ARRIVALS)
+        .map(|i| {
+            let (fam, w) = &pool[i % pool.len()];
+            let mut q = JoinQuery::new(format!("tenant-{fam}"), w.clone(), Ns(i as f64 * 5_000.0));
+            q.build_key = Some(*fam as u64);
+            q
+        })
+        .collect()
+}
+
+fn bench_scheduler_overhead() {
+    let hw = HwConfig::ac922().scaled(K);
+    let queries = arrivals();
+    let g = Group::new("scheduler_1k_arrivals", ARRIVALS as u64);
+
+    let per_arrival = SchedulerConfig {
+        cost_caching: false,
+        ..SchedulerConfig::default()
+    };
+    g.bench("per_arrival_uncached", || {
+        Scheduler::new(hw.clone(), per_arrival.clone()).run(queries.clone())
+    });
+
+    let cached = SchedulerConfig::default();
+    g.bench("per_arrival_cached", || {
+        Scheduler::new(hw.clone(), cached.clone()).run(queries.clone())
+    });
+
+    let batched_uncached = SchedulerConfig {
+        cost_caching: false,
+        ..SchedulerConfig::throughput()
+    };
+    g.bench("epoch_batched_uncached", || {
+        Scheduler::new(hw.clone(), batched_uncached.clone()).run(queries.clone())
+    });
+
+    let batched = SchedulerConfig::throughput();
+    g.bench("epoch_batched_cached", || {
+        Scheduler::new(hw.clone(), batched.clone()).run(queries.clone())
+    });
+}
+
+fn main() {
+    bench_scheduler_overhead();
+}

@@ -30,7 +30,7 @@ fn main() {
     println!("wrote {out}");
 
     if check {
-        if let Err(e) = fig_serve::check(&rows) {
+        if let Err(e) = fig_serve::check(&hw, &rows) {
             eprintln!("FAIL: {e}");
             std::process::exit(1);
         }

@@ -9,6 +9,14 @@
 //! the registry's own cross-checks: the counter totals must reconcile
 //! with `SchedulerMetrics`, window sums must reconcile with run totals,
 //! and the text exposition must replay byte-identically.
+//!
+//! The points run the *throughput path*
+//! ([`SchedulerConfig::throughput`]): epoch-batched admission over the
+//! cost/plan memos, with slice tenants exercising prefix build reuse.
+//! [`check`] holds every committed-scale point to the pre-throughput
+//! baseline ([`BASELINE`]): completions and SLO attainment may never
+//! regress below the trajectory the event-per-arrival scheduler
+//! committed.
 
 use triton_core::{CpuRadixJoin, HashScheme, TritonJoin};
 use triton_datagen::{Rng, WorkloadSpec};
@@ -73,11 +81,45 @@ pub struct Row {
     /// Host wall-clock spent on this point (ns; machine-dependent, not
     /// covered by determinism checks).
     pub wall_ns: u64,
+    /// Operator pricings replayed from the cost memo.
+    pub cost_cache_hits: u64,
+    /// Operator pricings that had to run.
+    pub cost_cache_misses: u64,
+    /// Memo effectiveness, ppm of cacheable pricings.
+    pub cost_cache_hit_ppm: u64,
+    /// Build-cache hits served from a *covering* build (prefix reuse).
+    pub build_prefix_hits: u64,
+    /// Host scheduling overhead per submitted query (`wall_ns /
+    /// submitted`; machine-dependent, like `wall_ns`).
+    pub sched_overhead_ns: u64,
 }
 
+/// The pre-throughput trajectory at the committed scale (512):
+/// `(mix, mode, load, completed, slo_attainment_ppm)` of every point as
+/// the event-per-arrival scheduler locked them. [`check`] fails if the
+/// batched + cached path loses completions or attainment against any of
+/// these floors.
+pub const BASELINE: [(&str, &str, f64, u64, u64); 8] = [
+    ("shared", "clean", 0.5, 18, 1_000_000),
+    ("shared", "clean", 1.0, 18, 1_000_000),
+    ("shared", "clean", 2.0, 18, 611_111),
+    ("shared", "chaos", 1.0, 10, 166_666),
+    ("mixed", "clean", 0.5, 18, 1_000_000),
+    ("mixed", "clean", 1.0, 18, 1_000_000),
+    ("mixed", "clean", 2.0, 18, 1_000_000),
+    ("mixed", "chaos", 1.0, 18, 944_444),
+];
+
+/// The scale the baseline floors were locked at; [`check`] only applies
+/// them there (unit tests sweep a coarser scale).
+pub const BASELINE_SCALE: u64 = 512;
+
 /// One mix's tenant population with the given arrival times. Tenant
-/// labels are the query-name prefixes (`batch`, `fact`, `cpu`), so the
-/// SLO accounts split by workload family.
+/// labels are the query-name prefixes (`batch`, `slice`, `fact`,
+/// `cpu`), so the SLO accounts split by workload family. The `slice`
+/// tenants join against a radix sub-range of the shared dimension
+/// relation and carry its `build_range`, so a resident full build
+/// serves them by prefix reuse instead of a rebuild.
 fn tenant_mix(mix: &str, k: u64, arrivals: &[f64]) -> Vec<JoinQuery> {
     assert_eq!(arrivals.len(), QUERIES);
     let dim = WorkloadSpec::paper_default(8, k).generate();
@@ -99,6 +141,18 @@ fn tenant_mix(mix: &str, k: u64, arrivals: &[f64]) -> Vec<JoinQuery> {
             };
             let mut q = JoinQuery::new(format!("batch-{i}"), w, Ns(at));
             q.build_key = Some(1);
+            q
+        } else if i % 4 == 3 {
+            // Sub-range tenants of the same dimension family: their
+            // build side is the low half of the radix space, covered by
+            // the family's resident full build.
+            // Fixed seed: every slice arrival is the same repeat
+            // statement (a dashboard refresh), so under a stable grant
+            // the cost memo replays its pricing instead of re-running.
+            let w = JoinQuery::probe_slice(&dim, (0, 128), 0xA11CE);
+            let mut q = JoinQuery::new(format!("slice-{i}"), w, Ns(at));
+            q.build_key = Some(1);
+            q.build_range = Some((0, 128));
             q
         } else {
             let mut spec = WorkloadSpec::paper_default(16, k);
@@ -170,7 +224,8 @@ fn measure(
     plan: &FaultPlan,
 ) -> Row {
     let t0 = std::time::Instant::now();
-    let res = Scheduler::new(hw.clone(), SchedulerConfig::default()).run_with_faults(queries, plan);
+    let res =
+        Scheduler::new(hw.clone(), SchedulerConfig::throughput()).run_with_faults(queries, plan);
     let wall_ns = t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
     let m = &res.metrics;
     let (slo_total, slo_met) = res
@@ -204,6 +259,16 @@ fn measure(
         exposition_bytes: res.telemetry.expose_text().len() as u64,
         reconciled: res.telemetry.reconcile().is_ok(),
         wall_ns,
+        cost_cache_hits: m.cost_cache_hits,
+        cost_cache_misses: m.cost_cache_misses,
+        cost_cache_hit_ppm: if m.cost_cache_hits + m.cost_cache_misses == 0 {
+            0
+        } else {
+            (u128::from(m.cost_cache_hits) * 1_000_000
+                / u128::from(m.cost_cache_hits + m.cost_cache_misses)) as u64
+        },
+        build_prefix_hits: m.build_cache_prefix_hits,
+        sched_overhead_ns: wall_ns / (m.completed + m.rejected).max(1),
     }
 }
 
@@ -213,12 +278,12 @@ pub fn serve_point(hw: &HwConfig, mix: &str, load: f64, chaos: bool) -> ServeRes
     let s_mean = mean_service_time(hw, mix);
     let queries = queries_at_load(hw, mix, s_mean, load);
     let plan = if chaos {
-        let clean = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(queries.clone());
+        let clean = Scheduler::new(hw.clone(), SchedulerConfig::throughput()).run(queries.clone());
         chaos_plan(hw, &clean)
     } else {
         FaultPlan::none()
     };
-    Scheduler::new(hw.clone(), SchedulerConfig::default()).run_with_faults(queries, &plan)
+    Scheduler::new(hw.clone(), SchedulerConfig::throughput()).run_with_faults(queries, &plan)
 }
 
 /// Run the trajectory: clean points for every mix × load, then one
@@ -232,7 +297,7 @@ pub fn run(hw: &HwConfig) -> Vec<Row> {
             rows.push(measure(hw, mix, "clean", load, queries, &FaultPlan::none()));
         }
         let queries = queries_at_load(hw, mix, s_mean, CHAOS_LOAD);
-        let clean = Scheduler::new(hw.clone(), SchedulerConfig::default()).run(queries.clone());
+        let clean = Scheduler::new(hw.clone(), SchedulerConfig::throughput()).run(queries.clone());
         let plan = chaos_plan(hw, &clean);
         rows.push(measure(hw, mix, "chaos", CHAOS_LOAD, queries, &plan));
     }
@@ -254,8 +319,11 @@ pub fn replay_identical(hw: &HwConfig) -> bool {
     true
 }
 
-/// Deterministic facts every committed trajectory must satisfy.
-pub fn check(rows: &[Row]) -> Result<(), String> {
+/// Deterministic facts every committed trajectory must satisfy. At the
+/// committed scale ([`BASELINE_SCALE`]) the batched + cached throughput
+/// path is additionally held to the pre-throughput [`BASELINE`]: losing
+/// completions or SLO attainment at *any* point fails the check.
+pub fn check(hw: &HwConfig, rows: &[Row]) -> Result<(), String> {
     for r in rows {
         let tag = format!("{}/{} load {}", r.mix, r.mode, r.load);
         if r.completed + r.shed != r.submitted {
@@ -277,6 +345,28 @@ pub fn check(rows: &[Row]) -> Result<(), String> {
             return Err(format!("{tag}: empty telemetry"));
         }
     }
+    if hw.scale == BASELINE_SCALE {
+        for &(mix, mode, load, completed, attainment) in &BASELINE {
+            let Some(r) = rows
+                .iter()
+                .find(|r| r.mix == mix && r.mode == mode && r.load == load)
+            else {
+                return Err(format!("{mix}/{mode} load {load}: baseline point missing"));
+            };
+            if r.completed < completed {
+                return Err(format!(
+                    "{mix}/{mode} load {load}: throughput path completed {} < baseline {}",
+                    r.completed, completed
+                ));
+            }
+            if r.slo_attainment_ppm < attainment {
+                return Err(format!(
+                    "{mix}/{mode} load {load}: attainment {} ppm < baseline {} ppm",
+                    r.slo_attainment_ppm, attainment
+                ));
+            }
+        }
+    }
     let saturated = |mix: &str| {
         let p99 = |load: f64| {
             rows.iter()
@@ -294,7 +384,7 @@ pub fn check(rows: &[Row]) -> Result<(), String> {
 /// Render the trajectory as a stable JSON document (fixed key order).
 pub fn to_json(hw: &HwConfig, rows: &[Row]) -> String {
     let header = JsonObject::new()
-        .str("schema", "triton-bench/fig-serve/v1")
+        .str("schema", "triton-bench/fig-serve/v2")
         .int("scale", hw.scale)
         .int("queries_per_point", QUERIES as u64)
         .num("deadline_service_times", DEADLINE_SERVICE_TIMES)
@@ -319,6 +409,11 @@ pub fn to_json(hw: &HwConfig, rows: &[Row]) -> String {
                 .int("exposition_bytes", r.exposition_bytes)
                 .bool("reconciled", r.reconciled)
                 .int("wall_ns", r.wall_ns)
+                .int("cost_cache_hits", r.cost_cache_hits)
+                .int("cost_cache_misses", r.cost_cache_misses)
+                .int("cost_cache_hit_ppm", r.cost_cache_hit_ppm)
+                .int("build_prefix_hits", r.build_prefix_hits)
+                .int("sched_overhead_ns", r.sched_overhead_ns)
                 .render()
         })
         .collect();
@@ -346,6 +441,9 @@ pub fn print(hw: &HwConfig) -> Vec<Row> {
         "burn (ppm)",
         "revisions",
         "tenants",
+        "cost hit%",
+        "prefix",
+        "ovh (us)",
     ]);
     for r in &rows {
         t.row([
@@ -358,6 +456,9 @@ pub fn print(hw: &HwConfig) -> Vec<Row> {
             r.max_budget_burn_ppm.to_string(),
             r.grant_revisions.to_string(),
             r.tenants.to_string(),
+            format!("{:.1}", r.cost_cache_hit_ppm as f64 / 10_000.0),
+            r.build_prefix_hits.to_string(),
+            format!("{:.1}", r.sched_overhead_ns as f64 / 1e3),
         ]);
     }
     t.print();
@@ -373,10 +474,12 @@ mod tests {
         let hw = HwConfig::ac922().scaled(256);
         let rows = run(&hw);
         assert_eq!(rows.len(), MIXES.len() * (LOAD_AXIS.len() + 1));
-        check(&rows).expect("committed invariants must hold");
+        check(&hw, &rows).expect("committed invariants must hold");
         assert!(rows.iter().any(|r| r.mode == "chaos"));
         let json = to_json(&hw, &rows);
-        assert!(json.contains("\"schema\":\"triton-bench/fig-serve/v1\""));
+        assert!(json.contains("\"schema\":\"triton-bench/fig-serve/v2\""));
+        assert!(json.contains("\"cost_cache_hit_ppm\""));
+        assert!(json.contains("\"sched_overhead_ns\""));
         assert_eq!(json.matches("\"mix\"").count(), rows.len());
     }
 

@@ -9,29 +9,76 @@
 //! discount the build side's share of the first partitioning pass (see
 //! [`crate::demand::ResourceDemand::from_report`]).
 //!
+//! # Prefix / subsume matching
+//!
+//! Partitioned build state is range-addressable: the first pass scatters
+//! R by the low [`BUILD_RADIX_BITS`] radix bits of the hashed key, so a
+//! resident build over partition range `[lo, hi)` physically *contains*
+//! the partitioned state of any sub-range. Entries therefore key on
+//! `(family, lo, hi)`, and a query whose build side is a sub-range of a
+//! resident build reuses the covering state ([`BuildHit::Prefix`])
+//! instead of rebuilding — the follower skips exactly its own build
+//! side's share of the partitioning pass, which is what
+//! [`crate::demand::ResourceDemand::from_report`] discounts, so prefix
+//! reuse is priced identically honestly to exact reuse. Full-relation
+//! builds use [`FULL_RANGE`] and behave exactly as before.
+//!
 //! # Circuit breaker
 //!
 //! A hardware fault can invalidate resident partitioned state (ECC page
 //! retirement tears the GPU-cached pages of the hybrid array). The cache
 //! then acts as a circuit breaker: [`BuildCache::quarantine_all`] evicts
-//! every entry and *quarantines* its key. The next query naming a
-//! quarantined key is forced to rebuild (a deliberate miss that closes
-//! the breaker for that key) instead of trusting stale shared state.
+//! every entry and *quarantines* its family. The next query naming a
+//! quarantined family is forced to rebuild (a deliberate miss that
+//! closes the breaker for that family) instead of trusting stale shared
+//! state — sub-range reuse included, since the whole family's resident
+//! state is suspect.
 
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Radix bits addressing shared build state: partition = hash & 0xFF.
+pub const BUILD_RADIX_BITS: u32 = 8;
+
+/// The partition range of a whole-relation build.
+pub const FULL_RANGE: (u32, u32) = (0, 1 << BUILD_RADIX_BITS);
+
+/// How an acquire was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildHit {
+    /// The exact `(family, range)` build was resident.
+    Exact,
+    /// A resident build of the same family covers this query's range;
+    /// the sub-range state is reused without rebuilding.
+    Prefix,
+    /// Nothing reusable: this query builds (and leaves its state behind).
+    Miss,
+}
+
+impl BuildHit {
+    /// Whether the query skips re-partitioning its build side.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, BuildHit::Miss)
+    }
+}
 
 /// Refcounted registry of resident partitioned build relations.
 #[derive(Debug, Default)]
 pub struct BuildCache {
-    entries: BTreeMap<u64, Entry>,
-    /// Keys whose partitioned state a fault invalidated; the next
+    /// Resident builds keyed by `(family, lo, hi)` partition range.
+    entries: BTreeMap<(u64, u32, u32), Entry>,
+    /// Families whose partitioned state a fault invalidated; the next
     /// acquire rebuilds and clears the quarantine.
     quarantined: BTreeSet<u64>,
-    /// Queries that found their build side already partitioned.
+    /// Queries that found their build side already partitioned
+    /// (exact + prefix).
     pub hits: u64,
+    /// Hits on the exact `(family, range)` entry.
+    pub exact_hits: u64,
+    /// Hits served from a covering (superset) entry of the family.
+    pub prefix_hits: u64,
     /// Queries that had to partition their build side themselves.
     pub misses: u64,
-    /// Forced misses served while a key was quarantined.
+    /// Forced misses served while a family was quarantined.
     pub quarantine_rebuilds: u64,
 }
 
@@ -48,57 +95,98 @@ impl BuildCache {
         Self::default()
     }
 
-    /// Acquire the build state for `key`, pinning it while the query
-    /// runs. Returns `true` on a hit (state already resident — the query
-    /// skips re-partitioning R), `false` on a miss (this query
-    /// partitions R and leaves the state behind for followers).
+    /// First resident entry of `family` covering `range`, if any.
+    fn covering(&self, family: u64, range: (u32, u32)) -> Option<(u64, u32, u32)> {
+        self.entries
+            .range((family, 0, 0)..=(family, u32::MAX, u32::MAX))
+            .map(|(k, _)| *k)
+            .find(|&(_, lo, hi)| lo <= range.0 && range.1 <= hi)
+    }
+
+    /// Acquire the build state for `key` over the full partition range,
+    /// pinning it while the query runs. Returns `true` on a hit.
     pub fn acquire(&mut self, key: u64, r_bytes: u64) -> bool {
+        self.acquire_range(key, r_bytes, FULL_RANGE).is_hit()
+    }
+
+    /// Acquire the build state for family `key` over the partition
+    /// `range` (half-open, within `0..1 << BUILD_RADIX_BITS`), pinning
+    /// the serving entry while the query runs. Exact entries are
+    /// preferred; otherwise any resident build of the family whose range
+    /// covers this one serves the acquire as a [`BuildHit::Prefix`]. On
+    /// a miss this query partitions its own range and leaves the state
+    /// behind for followers.
+    pub fn acquire_range(&mut self, key: u64, r_bytes: u64, range: (u32, u32)) -> BuildHit {
         if self.quarantined.remove(&key) {
             // Breaker half-open: this query rebuilds the partitioned
             // state from scratch; followers may share the fresh copy.
             self.quarantine_rebuilds += 1;
             self.misses += 1;
-            self.entries.insert(key, Entry { refs: 1, r_bytes });
-            return false;
+            self.entries
+                .insert((key, range.0, range.1), Entry { refs: 1, r_bytes });
+            return BuildHit::Miss;
         }
-        match self.entries.get_mut(&key) {
-            Some(e) => {
+        if let Some(e) = self.entries.get_mut(&(key, range.0, range.1)) {
+            e.refs += 1;
+            self.hits += 1;
+            self.exact_hits += 1;
+            return BuildHit::Exact;
+        }
+        if let Some(cover) = self.covering(key, range) {
+            if let Some(e) = self.entries.get_mut(&cover) {
                 e.refs += 1;
-                self.hits += 1;
-                true
             }
-            None => {
-                self.entries.insert(key, Entry { refs: 1, r_bytes });
-                self.misses += 1;
-                false
-            }
+            self.hits += 1;
+            self.prefix_hits += 1;
+            return BuildHit::Prefix;
         }
+        self.entries
+            .insert((key, range.0, range.1), Entry { refs: 1, r_bytes });
+        self.misses += 1;
+        BuildHit::Miss
     }
 
-    /// Unpin after the query finishes. Idle entries stay resident for
-    /// later probe batches until [`Self::evict_idle`].
+    /// Unpin the full-range build state after the query finishes.
     pub fn release(&mut self, key: u64) {
-        if let Some(e) = self.entries.get_mut(&key) {
-            e.refs = e.refs.saturating_sub(1);
+        self.release_range(key, FULL_RANGE);
+    }
+
+    /// Unpin after the query finishes: the exact entry if resident, else
+    /// the covering entry that served the acquire. Entries only vanish
+    /// wholesale (quarantine), so the lookup resolves to the same entry
+    /// the acquire pinned — or to nothing, in which case the pin died
+    /// with the quarantined state and there is nothing to unpin. Idle
+    /// entries stay resident for later probe batches until
+    /// [`Self::evict_idle`].
+    pub fn release_range(&mut self, key: u64, range: (u32, u32)) {
+        let target = if self.entries.contains_key(&(key, range.0, range.1)) {
+            Some((key, range.0, range.1))
+        } else {
+            self.covering(key, range)
+        };
+        if let Some(k) = target {
+            if let Some(e) = self.entries.get_mut(&k) {
+                e.refs = e.refs.saturating_sub(1);
+            }
         }
     }
 
     /// Trip the circuit breaker: evict *every* resident build (pinned
-    /// or not — the backing pages are gone) and quarantine the keys so
-    /// the next acquire rebuilds instead of sharing stale state.
+    /// or not — the backing pages are gone) and quarantine the families
+    /// so the next acquire rebuilds instead of sharing stale state.
     /// Returns the number of builds invalidated. In-flight queries that
     /// already consumed their shared state keep exact results; only the
     /// reusable partitioned copy is lost.
     pub fn quarantine_all(&mut self) -> usize {
         let n = self.entries.len();
-        for k in self.entries.keys() {
-            self.quarantined.insert(*k);
+        for (family, _, _) in self.entries.keys() {
+            self.quarantined.insert(*family);
         }
         self.entries.clear();
         n
     }
 
-    /// Whether `key` is currently quarantined (breaker open).
+    /// Whether `key`'s family is currently quarantined (breaker open).
     pub fn is_quarantined(&self, key: u64) -> bool {
         self.quarantined.contains(&key)
     }
@@ -140,7 +228,40 @@ mod tests {
         assert!(c.acquire(7, 1000));
         assert!(!c.acquire(8, 500));
         assert_eq!((c.hits, c.misses), (2, 2));
+        assert_eq!((c.exact_hits, c.prefix_hits), (2, 0));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn sub_range_reuses_the_covering_build() {
+        let mut c = BuildCache::new();
+        assert_eq!(c.acquire_range(7, 1000, FULL_RANGE), BuildHit::Miss);
+        // A slice of the same family rides the resident full build.
+        assert_eq!(c.acquire_range(7, 250, (0, 64)), BuildHit::Prefix);
+        assert_eq!(c.acquire_range(7, 500, (64, 192)), BuildHit::Prefix);
+        // Repeating the full range is an exact hit, not a prefix.
+        assert_eq!(c.acquire_range(7, 1000, FULL_RANGE), BuildHit::Exact);
+        // A different family never matches.
+        assert_eq!(c.acquire_range(8, 250, (0, 64)), BuildHit::Miss);
+        // A *superset* of a resident slice is not covered: it rebuilds.
+        assert_eq!(c.acquire_range(8, 500, (0, 128)), BuildHit::Miss);
+        assert_eq!((c.hits, c.misses), (3, 3));
+        assert_eq!((c.exact_hits, c.prefix_hits), (1, 2));
+        // Only builds that actually ran left entries behind.
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn prefix_pins_the_covering_entry() {
+        let mut c = BuildCache::new();
+        c.acquire_range(7, 1000, FULL_RANGE);
+        c.release_range(7, FULL_RANGE);
+        assert_eq!(c.acquire_range(7, 250, (0, 64)), BuildHit::Prefix);
+        // The covering full-range entry is pinned by the slice reader.
+        assert_eq!(c.evict_idle(), 0);
+        c.release_range(7, (0, 64));
+        assert_eq!(c.evict_idle(), 1000);
+        assert!(c.is_empty());
     }
 
     #[test]
@@ -159,6 +280,20 @@ mod tests {
         assert_eq!(c.quarantine_rebuilds, 1);
         // Followers share the rebuilt state again.
         assert!(c.acquire(7, 1000));
+    }
+
+    #[test]
+    fn quarantine_blocks_sub_range_reuse_family_wide() {
+        let mut c = BuildCache::new();
+        c.acquire_range(7, 1000, FULL_RANGE);
+        assert_eq!(c.quarantine_all(), 1);
+        // The slice may not trust any of the family's torn state; its
+        // rebuild closes the breaker for the family.
+        assert_eq!(c.acquire_range(7, 250, (0, 64)), BuildHit::Miss);
+        assert_eq!(c.quarantine_rebuilds, 1);
+        // The full build is gone, so a full query must rebuild too (the
+        // slice's fresh state does not cover it).
+        assert_eq!(c.acquire_range(7, 1000, FULL_RANGE), BuildHit::Miss);
     }
 
     #[test]

@@ -90,6 +90,7 @@
 
 pub mod admission;
 pub mod build_cache;
+pub mod cost_cache;
 pub mod demand;
 pub mod fault;
 pub mod metrics;
@@ -103,7 +104,8 @@ pub use admission::{
     operator_with_grant, AdmissionController, AdmissionError, GrantRevision, MemoryGrant,
     Reservation, RevisionOutcome,
 };
-pub use build_cache::BuildCache;
+pub use build_cache::{BuildCache, BuildHit, BUILD_RADIX_BITS, FULL_RANGE};
+pub use cost_cache::{CostCache, CostKey};
 pub use demand::ResourceDemand;
 pub use fault::{degraded_vector, FaultCause, FaultOutcome};
 pub use metrics::{percentile, PhaseRollup, SchedulerMetrics};

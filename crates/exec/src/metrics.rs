@@ -80,8 +80,13 @@ pub struct SchedulerMetrics {
     pub cache_hit_bytes: Bytes,
     /// Bytes of partitioned working sets spilled to CPU memory.
     pub cache_spilled_bytes: Bytes,
-    /// Build-cache hits (probe batches reusing a partitioned build side).
+    /// Build-cache hits (probe batches reusing a partitioned build side,
+    /// exact and prefix together).
     pub build_cache_hits: u64,
+    /// Of the build-cache hits: queries whose build range was served by a
+    /// *covering* resident build of the same family (prefix/subsume
+    /// reuse) rather than an exact entry.
+    pub build_cache_prefix_hits: u64,
     /// Build-cache misses (build sides partitioned from scratch).
     pub build_cache_misses: u64,
     /// Resident builds invalidated by the circuit breaker.
@@ -100,6 +105,13 @@ pub struct SchedulerMetrics {
     pub grant_revisions: u64,
     /// Cache bytes reclaimed from running queries by shrink revisions.
     pub grant_reclaimed: Bytes,
+    /// Operator pricings served from the cost/plan memo (repeat tenants
+    /// skipping partitioning, planning, and the roofline entirely).
+    pub cost_cache_hits: u64,
+    /// Operator pricings that had to run. Zero when cost caching is
+    /// disabled: the memo then never engages, keeping the disabled
+    /// configuration byte-identical to the pre-cache scheduler.
+    pub cost_cache_misses: u64,
     /// Per-`(operator, phase)` time/byte rollups over completed queries,
     /// sorted by operator then phase (deterministic order).
     pub phases: Vec<PhaseRollup>,
@@ -115,11 +127,14 @@ pub(crate) struct RunTotals {
     pub peak_concurrency: usize,
     pub mean_concurrency: f64,
     pub build_cache_hits: u64,
+    pub build_cache_prefix_hits: u64,
     pub build_cache_misses: u64,
     pub builds_quarantined: u64,
     pub faults_injected: u64,
     pub grant_revisions: u64,
     pub grant_reclaimed: Bytes,
+    pub cost_cache_hits: u64,
+    pub cost_cache_misses: u64,
 }
 
 /// `p`-th percentile (0..=100) of an unsorted sample, by the
@@ -140,7 +155,7 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * sorted.len() as f64 - 1e-9).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -221,6 +236,7 @@ impl SchedulerMetrics {
             cache_hit_bytes: Bytes(cache_hit_bytes),
             cache_spilled_bytes: Bytes(cache_spilled_bytes),
             build_cache_hits: totals.build_cache_hits,
+            build_cache_prefix_hits: totals.build_cache_prefix_hits,
             build_cache_misses: totals.build_cache_misses,
             builds_quarantined: totals.builds_quarantined,
             faults_injected: totals.faults_injected,
@@ -229,6 +245,8 @@ impl SchedulerMetrics {
             revocations,
             grant_revisions: totals.grant_revisions,
             grant_reclaimed: totals.grant_reclaimed,
+            cost_cache_hits: totals.cost_cache_hits,
+            cost_cache_misses: totals.cost_cache_misses,
             phases,
         }
     }
@@ -238,7 +256,7 @@ impl SchedulerMetrics {
     pub fn summary(&self) -> String {
         let mut s = format!(
             "{} done / {} rejected | makespan {} | {:.2} Gtps | p50 {} p99 {} | \
-             peak mem {} of {} | peak conc {} (mean {:.2}) | cache {}h/{}m",
+             peak mem {} of {} | peak conc {} (mean {:.2}) | cache {}h ({}p)/{}m",
             self.completed,
             self.rejected,
             self.makespan,
@@ -250,6 +268,7 @@ impl SchedulerMetrics {
             self.peak_concurrency,
             self.mean_concurrency,
             self.build_cache_hits,
+            self.build_cache_prefix_hits,
             self.build_cache_misses,
         );
         if self.faults_injected > 0 || self.shed_faulted > 0 {
@@ -267,6 +286,12 @@ impl SchedulerMetrics {
             s.push_str(&format!(
                 " | grants revised {} (reclaimed {})",
                 self.grant_revisions, self.grant_reclaimed,
+            ));
+        }
+        if self.cost_cache_hits + self.cost_cache_misses > 0 {
+            s.push_str(&format!(
+                " | cost cache {}h/{}m",
+                self.cost_cache_hits, self.cost_cache_misses,
             ));
         }
         s
@@ -298,10 +323,12 @@ impl SchedulerMetrics {
                 "\"peak_gpu_reserved\":{},\"gpu_capacity\":{},\"gpu_retired\":{},",
                 "\"peak_concurrency\":{},\"mean_concurrency\":{},",
                 "\"cache_hit_bytes\":{},\"cache_spilled_bytes\":{},",
-                "\"build_cache_hits\":{},\"build_cache_misses\":{},",
+                "\"build_cache_hits\":{},\"build_cache_prefix_hits\":{},",
+                "\"build_cache_misses\":{},",
                 "\"builds_quarantined\":{},\"faults_injected\":{},",
                 "\"retries\":{},\"downgrades\":{},\"revocations\":{},",
                 "\"grant_revisions\":{},\"grant_reclaimed\":{},",
+                "\"cost_cache_hits\":{},\"cost_cache_misses\":{},",
                 "\"phases\":{}}}"
             ),
             self.completed,
@@ -324,6 +351,7 @@ impl SchedulerMetrics {
             self.cache_hit_bytes.0,
             self.cache_spilled_bytes.0,
             self.build_cache_hits,
+            self.build_cache_prefix_hits,
             self.build_cache_misses,
             self.builds_quarantined,
             self.faults_injected,
@@ -332,6 +360,8 @@ impl SchedulerMetrics {
             self.revocations,
             self.grant_revisions,
             self.grant_reclaimed.0,
+            self.cost_cache_hits,
+            self.cost_cache_misses,
             phases,
         )
     }
@@ -429,6 +459,8 @@ mod tests {
         assert!(a.starts_with('{') && a.ends_with('}'));
         assert!(a.contains("\"faults_injected\":0"));
         assert!(a.contains("\"cache_hit_bytes\":0,\"cache_spilled_bytes\":0"));
+        assert!(a.contains("\"build_cache_prefix_hits\":0"));
+        assert!(a.contains("\"cost_cache_hits\":0,\"cost_cache_misses\":0"));
         assert!(a.ends_with("\"phases\":[]}"));
         assert_eq!(m, m.clone(), "PartialEq must hold for identical runs");
     }

@@ -320,6 +320,35 @@ impl Recorder {
         }
     }
 
+    /// An operator pricing was resolved through the cost/plan memo:
+    /// `sched.cost_cache.hit` when the memo served a cached report,
+    /// `sched.cost_cache.miss` when the operator had to run. Registry
+    /// counters only — no trace events, so the trace stays byte-identical
+    /// with the memo on or off, and a disabled memo (which never calls
+    /// this) differs from an enabled one in exactly these counter lanes.
+    pub fn cost_cache(&mut self, hit: bool, ts: Ns) {
+        let name = if hit {
+            "sched.cost_cache.hit"
+        } else {
+            "sched.cost_cache.miss"
+        };
+        self.registry.counter_inc(name, sim_ns(ts.0));
+    }
+
+    /// A shared-build acquire was served: `sched.build_cache.exact_hit`,
+    /// `sched.build_cache.prefix_hit`, or `sched.build_cache.miss`.
+    /// Registry counters only, recorded identically in every scheduler
+    /// configuration (build sharing is independent of the cost-cache
+    /// knob).
+    pub fn build_cache(&mut self, hit: crate::build_cache::BuildHit, ts: Ns) {
+        let name = match hit {
+            crate::build_cache::BuildHit::Exact => "sched.build_cache.exact_hit",
+            crate::build_cache::BuildHit::Prefix => "sched.build_cache.prefix_hit",
+            crate::build_cache::BuildHit::Miss => "sched.build_cache.miss",
+        };
+        self.registry.counter_inc(name, sim_ns(ts.0));
+    }
+
     /// A hardware fault struck the run: recorded on the scheduler's fault
     /// track, mirrored into the ring, and the ring is dumped.
     pub fn fault(&mut self, kind: &'static str, ts: Ns, attrs: Vec<Attr>) {

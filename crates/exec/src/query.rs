@@ -114,9 +114,15 @@ pub struct JoinQuery {
     pub deadline: Option<Ns>,
     /// Simulated arrival time.
     pub arrival: Ns,
-    /// Cache key identifying the build relation for build-side sharing;
-    /// `None` disables sharing for this query.
+    /// Cache key identifying the build relation *family* for build-side
+    /// sharing; `None` disables sharing for this query.
     pub build_key: Option<u64>,
+    /// Radix-partition range (half-open, within
+    /// `0..1 << BUILD_RADIX_BITS`) of the build side within its family;
+    /// `None` means the whole relation. A query whose range is covered
+    /// by a resident build of the same family reuses that state instead
+    /// of rebuilding (see [`crate::BuildCache`]).
+    pub build_range: Option<(u32, u32)>,
 }
 
 impl JoinQuery {
@@ -130,6 +136,7 @@ impl JoinQuery {
             deadline: None,
             arrival,
             build_key: None,
+            build_range: None,
         }
     }
 
@@ -157,6 +164,7 @@ impl JoinQuery {
             deadline: None,
             arrival,
             build_key: None,
+            build_range: None,
         }
     }
 
@@ -189,6 +197,59 @@ impl JoinQuery {
         }
     }
 
+    /// Radix partition a build-side key lands in for build-state
+    /// sharing: the low [`crate::BUILD_RADIX_BITS`] bits of the hashed
+    /// key, exactly the assignment the first partitioning pass uses.
+    pub fn build_partition_of(key: u64) -> u32 {
+        triton_datagen::radix(
+            triton_datagen::multiply_shift(key),
+            0,
+            crate::build_cache::BUILD_RADIX_BITS,
+        ) as u32
+    }
+
+    /// Derive a *slice* workload over the same build family: `R` keeps
+    /// only the rows whose radix partition falls in `range`, and `S` is
+    /// regenerated with `probe_seed` as foreign keys drawn from the
+    /// sliced `R` (probe volume scaled by the slice fraction). A query
+    /// built from this workload should carry the family's `build_key`
+    /// and `build_range = Some(range)` — its partitioned build state is
+    /// physically the `[lo, hi)` slice of the family's, so a resident
+    /// covering build serves it without rebuilding.
+    pub fn probe_slice(base: &Workload, range: (u32, u32), probe_seed: u64) -> Workload {
+        let mut rng = Rng::seed_from_u64(probe_seed);
+        let keep: Vec<usize> = (0..base.r.len())
+            .filter(|&i| {
+                let p = Self::build_partition_of(base.r.keys[i]);
+                range.0 <= p && p < range.1
+            })
+            .collect();
+        let r_keys: Vec<u64> = keep.iter().map(|&i| base.r.keys[i]).collect();
+        let r_rids: Vec<u64> = keep.iter().map(|&i| base.r.rids[i]).collect();
+        let full = 1u64 << crate::build_cache::BUILD_RADIX_BITS;
+        let span = u64::from(range.1.saturating_sub(range.0));
+        let n_s = ((base.s.len() as u64 * span) / full.max(1)).max(1) as usize;
+        let (s_keys, s_rids) = if r_keys.is_empty() {
+            // Degenerate slice (tiny R): a single unmatched probe keeps
+            // the workload well-formed without inventing build rows.
+            (vec![u64::MAX], vec![rng.next_u64()])
+        } else {
+            let ks: Vec<u64> = (0..n_s)
+                .map(|_| r_keys[rng.gen_index(r_keys.len())])
+                .collect();
+            let rs: Vec<u64> = (0..n_s).map(|_| rng.next_u64()).collect();
+            (ks, rs)
+        };
+        let mut spec = base.spec.clone();
+        spec.r_tuples_modeled = r_keys.len() as u64;
+        spec.s_tuples_modeled = s_keys.len() as u64;
+        Workload {
+            r: triton_datagen::Relation::from_columns(r_keys, r_rids),
+            s: triton_datagen::Relation::from_columns(s_keys, s_rids),
+            spec,
+        }
+    }
+
     /// Total tuples this query processes (throughput numerator). Plans
     /// count every base relation, not the placeholder workload.
     pub fn tuples(&self) -> u64 {
@@ -215,5 +276,27 @@ mod tests {
         // All probe keys land in R's key domain (full match fraction).
         let n_r = base.r.len() as u64;
         assert!(a.s.keys.iter().all(|&k| (1..=n_r).contains(&k)));
+    }
+
+    #[test]
+    fn probe_slice_partitions_and_probes_within_range() {
+        let base = WorkloadSpec::paper_default(2, 2048).generate();
+        let range = (0u32, 64u32);
+        let w = JoinQuery::probe_slice(&base, range, 7);
+        assert!(!w.r.keys.is_empty());
+        assert!(w.r.len() < base.r.len(), "a slice is a strict subset");
+        for &k in &w.r.keys {
+            let p = JoinQuery::build_partition_of(k);
+            assert!(range.0 <= p && p < range.1);
+        }
+        // Every probe key comes from the sliced build side.
+        let build: std::collections::BTreeSet<u64> = w.r.keys.iter().copied().collect();
+        assert!(w.s.keys.iter().all(|k| build.contains(k)));
+        // Probe volume scales with the slice fraction.
+        assert!(w.s.len() <= base.s.len() / 2);
+        // Slicing is deterministic per seed.
+        let again = JoinQuery::probe_slice(&base, range, 7);
+        assert_eq!(w.r.keys, again.r.keys);
+        assert_eq!(w.s.keys, again.s.keys);
     }
 }

@@ -56,8 +56,9 @@ use triton_metrics::MetricsRegistry;
 
 use triton_trace::{Attr, Trace};
 
-use crate::admission::{operator_with_grant, AdmissionController, GrantRevision, Reservation};
-use crate::build_cache::BuildCache;
+use crate::admission::{AdmissionController, GrantRevision, Reservation};
+use crate::build_cache::{BuildCache, FULL_RANGE};
+use crate::cost_cache::CostCache;
 use crate::demand::ResourceDemand;
 use crate::fault::{degraded_vector, FaultCause, FaultOutcome};
 use crate::metrics::{RunTotals, SchedulerMetrics};
@@ -210,6 +211,22 @@ pub struct SchedulerConfig {
     /// Capacity of the flight-recorder ring (most recent trace events
     /// kept for the automatic dump on faults and ladder steps).
     pub flight_capacity: usize,
+    /// Arrival-wake batching (epoch scheduling). With work in flight the
+    /// event loop defers its arrival wake until this many pending
+    /// arrivals are due — or the next completion / fault / retry wake,
+    /// whichever comes first — then drains and admits the whole due
+    /// batch in one pass instead of re-running admission and arbitration
+    /// per arrival. `1` wakes per arrival: the classic event-per-arrival
+    /// loop, reproduced exactly. An idle machine always wakes on the
+    /// first arrival regardless.
+    pub arrival_batch: usize,
+    /// Memoize repeat scheduling work — operator pricing
+    /// ([`crate::CostCache`]) and plan-footprint analyses
+    /// ([`triton_plan::FootprintCache`]) — across decisions.
+    /// Semantically transparent: outcomes, trace, and SLO accounts are
+    /// identical with the memos on or off (only the
+    /// `sched.cost_cache.*` telemetry counters differ).
+    pub cost_caching: bool,
 }
 
 impl Default for SchedulerConfig {
@@ -219,6 +236,8 @@ impl Default for SchedulerConfig {
             max_queue: 64,
             resilience: ResilienceConfig::default(),
             flight_capacity: 64,
+            arrival_batch: 1,
+            cost_caching: true,
         }
     }
 }
@@ -250,6 +269,20 @@ impl SchedulerConfig {
     pub fn fixed_grants() -> Self {
         SchedulerConfig {
             resilience: ResilienceConfig::fixed_grants(),
+            ..Self::default()
+        }
+    }
+
+    /// The sustained-load throughput path: epoch-batched admission
+    /// (arrival wakes amortized over batches of 8) on top of the default
+    /// cost/plan memos. Per-query outcomes are unchanged in kind —
+    /// every query still terminates with a typed outcome and exact
+    /// results — but decision points, and therefore scheduler overhead
+    /// per arrival, drop under bursty load.
+    #[must_use]
+    pub fn throughput() -> Self {
+        SchedulerConfig {
+            arrival_batch: 8,
             ..Self::default()
         }
     }
@@ -368,13 +401,9 @@ impl Scheduler {
             .enumerate()
             .map(|(i, q)| (QueryId(i as u64), q))
             .collect();
-        // Stable by arrival time; ids preserve submission order.
-        arrivals.sort_by(|a, b| {
-            a.1.arrival
-                .0
-                .partial_cmp(&b.1.arrival.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        // Stable by arrival time (total order — NaN arrivals cannot
+        // scramble the timeline); ids preserve submission order.
+        arrivals.sort_by(|a, b| a.1.arrival.0.total_cmp(&b.1.arrival.0));
 
         let retirements = plan.retirements();
         let kernel_faults = plan.kernel_faults();
@@ -390,12 +419,14 @@ impl Scheduler {
 
         let mut obs = Recorder::new(self.config.flight_capacity);
         let mut admission = AdmissionController::new(&self.hw);
+        admission.set_plan_caching(self.config.cost_caching);
         let mut cache = BuildCache::new();
+        let mut costs = CostCache::new(self.config.cost_caching);
         let mut queue: VecDeque<Queued> = VecDeque::new();
         let mut running: Vec<Running> = Vec::new();
         let mut outcomes: Vec<(QueryId, Outcome)> = Vec::new();
         let mut clock = Ns::ZERO;
-        let mut arrivals = arrivals.into_iter().peekable();
+        let mut arrivals: VecDeque<(QueryId, JoinQuery)> = arrivals.into();
         let mut peak_concurrency = 0usize;
         let mut busy_time = 0.0f64; // integral of (running > 0) dt
         let mut weighted_conc = 0.0f64; // integral of |running| dt
@@ -412,9 +443,12 @@ impl Scheduler {
                 gpu_retired += retired_now;
                 // The retired pages tear resident partitioned builds:
                 // trip the circuit breaker so followers rebuild instead
-                // of sharing stale state.
+                // of sharing stale state. Memoized pricings go with them
+                // (the capacity change alters future grants; a wholesale
+                // flush keeps the invalidation story uniform).
                 let quarantined = cache.quarantine_all() as u64;
                 builds_quarantined += quarantined;
+                costs.flush();
                 obs.fault(
                     "ecc-retirement",
                     clock,
@@ -434,6 +468,7 @@ impl Scheduler {
                         clock,
                         &mut running,
                         &mut admission,
+                        &mut costs,
                         &mut obs,
                         &mut grant_revisions,
                         &mut grant_reclaimed,
@@ -503,6 +538,7 @@ impl Scheduler {
                 &mut running,
                 &mut admission,
                 &mut cache,
+                &mut costs,
                 &mut outcomes,
                 &mut obs,
                 &mut grant_revisions,
@@ -510,7 +546,7 @@ impl Scheduler {
             );
             peak_concurrency = peak_concurrency.max(running.len());
 
-            let next_arrival_at = arrivals.peek().map(|(_, q)| q.arrival.0);
+            let next_arrival_at = arrivals.front().map(|(_, q)| q.arrival.0);
             if running.is_empty() && next_arrival_at.is_none() {
                 // Sleeping retries may still wake; jump to the earliest.
                 let next_wake = queue
@@ -525,7 +561,7 @@ impl Scheduler {
                 // Anything still queued can never start (no completions
                 // left to free memory): shed it as over-capacity backlog.
                 while let Some(q) = queue.pop_front() {
-                    let floor = AdmissionController::min_reserve(&q.query, &self.hw);
+                    let floor = admission.min_reserve_of(&q.query, &self.hw);
                     let reason = RejectReason::OverCapacity {
                         needed: floor,
                         capacity: admission.capacity(),
@@ -582,7 +618,21 @@ impl Scheduler {
                 .zip(&rates)
                 .map(|(r, &s)| r.remaining / s.max(1e-12))
                 .fold(f64::INFINITY, f64::min);
-            let t_arrival = next_arrival_at.map_or(f64::INFINITY, |at| (at - clock.0).max(0.0));
+            // Epoch batching: with work already in flight, the arrival
+            // wake is deferred to the k-th pending arrival (k =
+            // min(arrival_batch, pending)) so a burst is drained and
+            // admitted in one pass; completions, fault transitions, and
+            // retry wakes still fire on time and drain whatever is due.
+            // An idle machine (or batch = 1) wakes on the very next
+            // arrival — the classic loop, reproduced exactly.
+            let t_arrival = if self.config.arrival_batch > 1 && !running.is_empty() {
+                let k = self.config.arrival_batch.min(arrivals.len());
+                arrivals
+                    .get(k.saturating_sub(1))
+                    .map_or(f64::INFINITY, |(_, q)| (q.arrival.0 - clock.0).max(0.0))
+            } else {
+                next_arrival_at.map_or(f64::INFINITY, |at| (at - clock.0).max(0.0))
+            };
             while next_transition < transitions.len() && transitions[next_transition].0 <= clock.0 {
                 next_transition += 1;
             }
@@ -610,8 +660,16 @@ impl Scheduler {
                 r.remaining = (r.remaining - dt * s).max(0.0);
             }
 
-            // --- Arrivals land in the queue (or bounce off its limit).
-            while let Some((id, query)) = arrivals.next_if(|(_, q)| q.arrival.0 <= clock.0) {
+            // --- Arrivals land in the queue (or bounce off its limit);
+            // under epoch batching the whole due batch lands here at
+            // once and the next admit pass handles it in a single sweep.
+            while arrivals
+                .front()
+                .is_some_and(|(_, q)| q.arrival.0 <= clock.0)
+            {
+                let Some((id, query)) = arrivals.pop_front() else {
+                    break;
+                };
                 if queue.len() >= self.config.max_queue {
                     let reason = RejectReason::QueueFull {
                         limit: self.config.max_queue,
@@ -648,7 +706,7 @@ impl Scheduler {
                     let r = running.swap_remove(i);
                     let _ = admission.release(r.id);
                     if let Some(k) = r.query.build_key {
-                        cache.release(k);
+                        cache.release_range(k, r.query.build_range.unwrap_or(FULL_RANGE));
                     }
                     let c = CompletedQuery {
                         id: r.id,
@@ -687,11 +745,14 @@ impl Scheduler {
                     0.0
                 },
                 build_cache_hits: cache.hits,
+                build_cache_prefix_hits: cache.prefix_hits,
                 build_cache_misses: cache.misses,
                 builds_quarantined,
                 faults_injected,
                 grant_revisions,
                 grant_reclaimed,
+                cost_cache_hits: costs.hits,
+                cost_cache_misses: costs.misses,
             },
             obs.rollups(),
         );
@@ -724,7 +785,7 @@ impl Scheduler {
     ) {
         let _ = admission.release(victim.id);
         if let Some(k) = victim.query.build_key {
-            cache.release(k);
+            cache.release_range(k, victim.query.build_range.unwrap_or(FULL_RANGE));
         }
         let mut query = victim.query;
         let mut fault = victim.fault;
@@ -831,6 +892,7 @@ impl Scheduler {
         clock: Ns,
         running: &mut [Running],
         admission: &mut AdmissionController,
+        costs: &mut CostCache,
         obs: &mut Recorder,
         grant_revisions: &mut u64,
         grant_reclaimed: &mut Bytes,
@@ -875,9 +937,17 @@ impl Scheduler {
             reclaimed += out.delta;
             // Re-price the rest of the query under the revised grant:
             // same workload, same operator, smaller cache — placement
-            // and timing change, the answer cannot.
-            let op = operator_with_grant(&r.query, &out.grant);
-            if let Ok(rep) = op.run(&r.query.workload, &self.hw) {
+            // and timing change, the answer cannot. Re-pricings go
+            // through the memo too: a repeat shrink to a grant already
+            // priced replays the identical report.
+            let (h0, m0) = (costs.hits, costs.misses);
+            let (priced, _) = costs.price(&r.query, &out.grant, &self.hw);
+            if costs.hits > h0 {
+                obs.cost_cache(true, clock);
+            } else if costs.misses > m0 {
+                obs.cost_cache(false, clock);
+            }
+            if let Ok(rep) = priced {
                 let r_bytes = r.query.workload.r.len() as u64 * TUPLE_BYTES;
                 let s_bytes = r.query.workload.s.len() as u64 * TUPLE_BYTES;
                 let probe_frac = s_bytes as f64 / (r_bytes + s_bytes).max(1) as f64;
@@ -913,6 +983,14 @@ impl Scheduler {
     /// Admit queued queries in priority order while memory, the
     /// concurrency cap, and deadlines allow. Entries sleeping out a
     /// retry backoff are skipped until eligible.
+    ///
+    /// The walk is a single sweep: a cursor remembers how far the
+    /// priority order has been scanned at this instant, so admitting a
+    /// whole epoch batch is one pass over the queue instead of a
+    /// from-the-front rescan per admission (entries before the cursor
+    /// were already found ineligible and the clock does not move inside
+    /// an admit pass; only a re-enqueue can seat an eligible entry in
+    /// scanned territory, which rewinds the cursor).
     #[allow(clippy::too_many_arguments)]
     fn admit_ready(
         &self,
@@ -921,16 +999,25 @@ impl Scheduler {
         running: &mut Vec<Running>,
         admission: &mut AdmissionController,
         cache: &mut BuildCache,
+        costs: &mut CostCache,
         outcomes: &mut Vec<(QueryId, Outcome)>,
         obs: &mut Recorder,
         grant_revisions: &mut u64,
         grant_reclaimed: &mut Bytes,
     ) {
+        let mut cursor = 0usize;
         'admit: while running.len() < self.config.max_inflight {
-            // Highest-priority eligible entry (sleepers excluded).
-            let Some(pos) = queue.iter().position(|q| q.eligible_at.0 <= clock.0) else {
+            // Highest-priority eligible entry (sleepers excluded) at or
+            // past the cursor.
+            let Some(off) = queue
+                .iter()
+                .skip(cursor)
+                .position(|q| q.eligible_at.0 <= clock.0)
+            else {
                 break;
             };
+            let pos = cursor + off;
+            cursor = pos;
 
             // Deadline shedding: a query whose budget is already spent
             // queueing will miss it regardless — drop it now.
@@ -958,7 +1045,7 @@ impl Scheduler {
             // always terminates. A query too big for the *pristine*
             // machine is shed with the typed reason as always.
             loop {
-                let floor = AdmissionController::min_reserve(&queue[pos].query, &self.hw);
+                let floor = admission.min_reserve_of(&queue[pos].query, &self.hw);
                 if floor <= admission.capacity() {
                     break;
                 }
@@ -1012,13 +1099,14 @@ impl Scheduler {
                         if !(elastic && queue[pos].query.deadline.is_some()) {
                             break;
                         }
-                        let floor = AdmissionController::min_reserve(&queue[pos].query, &self.hw);
+                        let floor = admission.min_reserve_of(&queue[pos].query, &self.hw);
                         self.reclaim_cache(
                             |a| floor.saturating_sub(a.available()),
                             "burst-admission",
                             clock,
                             running,
                             admission,
+                            costs,
                             obs,
                             grant_revisions,
                             grant_reclaimed,
@@ -1036,23 +1124,38 @@ impl Scheduler {
                 break;
             };
 
-            // Build-side sharing.
+            // Build-side sharing: exact builds hit as always, and a
+            // query over a sub-range of a resident build of the same
+            // family rides the covering state ([`crate::BuildHit`]).
             let r_bytes = q.query.workload.r.len() as u64 * TUPLE_BYTES;
             let s_bytes = q.query.workload.s.len() as u64 * TUPLE_BYTES;
+            let range = q.query.build_range.unwrap_or(FULL_RANGE);
             let hit = match q.query.build_key {
-                Some(k) => cache.acquire(k, r_bytes),
+                Some(k) => {
+                    let served = cache.acquire_range(k, r_bytes, range);
+                    obs.build_cache(served, clock);
+                    served.is_hit()
+                }
                 None => false,
             };
             let probe_frac = s_bytes as f64 / (r_bytes + s_bytes).max(1) as f64;
 
-            // Functional dedicated run with the granted cache budget.
-            let op = operator_with_grant(&q.query, &reservation);
-            let report = match op.run(&q.query.workload, &self.hw) {
+            // Functional dedicated run with the granted cache budget,
+            // memoized: a repeat (workload, grant) pricing replays the
+            // byte-identical report instead of re-running the operator.
+            let (h0, m0) = (costs.hits, costs.misses);
+            let priced = costs.price(&q.query, &reservation, &self.hw).0;
+            if costs.hits > h0 {
+                obs.cost_cache(true, clock);
+            } else if costs.misses > m0 {
+                obs.cost_cache(false, clock);
+            }
+            let report = match priced {
                 Ok(rep) => rep,
                 Err(e) => {
                     let _ = admission.release(q.id);
                     if let Some(k) = q.query.build_key {
-                        cache.release(k);
+                        cache.release_range(k, range);
                     }
                     if self.config.resilience.enabled {
                         if let Some(next) = downgrade_operator(&q.query.op) {
@@ -1065,6 +1168,9 @@ impl Scheduler {
                             q.eligible_at = clock;
                             obs.downgrade(q.id, clock, from, q.query.op.label(), "oom");
                             enqueue(queue, q);
+                            // The requeued entry is eligible now and may
+                            // land anywhere in priority order: rescan.
+                            cursor = 0;
                             continue;
                         }
                     }
@@ -1085,7 +1191,7 @@ impl Scheduler {
             obs.admit(
                 q.id,
                 clock,
-                op.label(),
+                q.query.op.label(),
                 reservation.reserved,
                 reservation.cache_grant,
                 hit,
@@ -1102,8 +1208,8 @@ impl Scheduler {
                 report,
                 reservation,
                 build_cache_hit: hit,
-                uses_gpu: op.uses_gpu(),
-                op_label: op.label(),
+                uses_gpu: q.query.op.uses_gpu(),
+                op_label: q.query.op.label(),
                 fault: q.fault,
                 attempts_at_rung: q.attempts_at_rung,
                 revisions: 0,
